@@ -1,0 +1,62 @@
+// Command mistral-costs runs the paper's offline adaptation-cost
+// measurement campaign (§III-C) against the request-level testbed and
+// prints the resulting cost table next to the paper-anchored one.
+//
+// Usage:
+//
+//	mistral-costs [-trials N] [-sessions 100,400,800] [-seed N] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/mistralcloud/mistral"
+	"github.com/mistralcloud/mistral/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mistral-costs:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		trials   = flag.Int("trials", 3, "trials per (action, workload) cell")
+		sessions = flag.String("sessions", "100,200,400,800", "comma-separated session levels")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		asCSV    = flag.Bool("csv", false, "emit CSV")
+	)
+	flag.Parse()
+
+	var levels []float64
+	for _, s := range strings.Split(*sessions, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return fmt.Errorf("invalid session level %q: %w", s, err)
+		}
+		levels = append(levels, v)
+	}
+
+	paper := experiments.Fig7Table(mistral.RunFig7())
+	rows, err := experiments.Fig7MeasuredCampaign(*seed, *trials, levels)
+	if err != nil {
+		return err
+	}
+	measured := experiments.Fig7Table(rows)
+	measured.Title = "Measured campaign (request-level testbed)"
+
+	for _, t := range []experiments.Table{paper, measured} {
+		if *asCSV {
+			fmt.Println(t.CSV())
+		} else {
+			fmt.Println(t.ASCII())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+// Command mistral-exp regenerates the paper's tables and figures from the
+// reproduction, rendering each as an ASCII table (or CSV) on stdout or
+// into an output directory.
+//
+// Usage:
+//
+//	mistral-exp [-run all|fig1|...|table1|ablations]
+//	            [-seed N] [-csv] [-outdir DIR] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/mistralcloud/mistral"
+	"github.com/mistralcloud/mistral/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mistral-exp:", err)
+		os.Exit(1)
+	}
+}
+
+type emitter struct {
+	csv    bool
+	outdir string
+}
+
+func (e *emitter) emit(name string, tables []experiments.Table) error {
+	for i := range tables {
+		t := &tables[i]
+		body := t.ASCII()
+		ext := "txt"
+		if e.csv {
+			body = t.CSV()
+			ext = "csv"
+		}
+		if e.outdir == "" {
+			fmt.Println(body)
+			continue
+		}
+		file := filepath.Join(e.outdir, fmt.Sprintf("%s_%d.%s", name, i, ext))
+		if err := os.WriteFile(file, []byte(body), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", file)
+	}
+	return nil
+}
+
+func run() error {
+	var (
+		which  = flag.String("run", "all", "which experiment: all, fig1, fig3, fig4, fig5, fig6, fig7, fig7m, fig89, fig10, table1, ablations")
+		seed   = flag.Uint64("seed", 42, "random seed")
+		asCSV  = flag.Bool("csv", false, "emit CSV instead of ASCII tables")
+		outdir = flag.String("outdir", "", "write outputs to this directory instead of stdout")
+		quick  = flag.Bool("quick", false, "cheaper variants of the slow experiments (shorter replays, fewer trials)")
+	)
+	flag.Parse()
+	e := &emitter{csv: *asCSV, outdir: *outdir}
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	want := func(name string) bool { return *which == "all" || strings.EqualFold(*which, name) }
+	start := time.Now()
+
+	if want("fig1") {
+		r, err := mistral.RunFig1(*seed)
+		if err != nil {
+			return fmt.Errorf("fig1: %w", err)
+		}
+		if err := e.emit("fig1", r.Tables()); err != nil {
+			return err
+		}
+	}
+	if want("fig3") {
+		if err := e.emit("fig3", []experiments.Table{experiments.Fig3Table(mistral.RunFig3())}); err != nil {
+			return err
+		}
+	}
+	if want("fig4") {
+		if err := e.emit("fig4", []experiments.Table{mistral.RunFig4(*seed).Table()}); err != nil {
+			return err
+		}
+	}
+	if want("fig5") {
+		r, err := mistral.RunFig5(*seed)
+		if err != nil {
+			return fmt.Errorf("fig5: %w", err)
+		}
+		if err := e.emit("fig5", []experiments.Table{r.Table()}); err != nil {
+			return err
+		}
+	}
+	if want("fig6") {
+		if err := e.emit("fig6", []experiments.Table{mistral.RunFig6(*seed).Table()}); err != nil {
+			return err
+		}
+	}
+	if want("fig7") {
+		if err := e.emit("fig7", []experiments.Table{experiments.Fig7Table(mistral.RunFig7())}); err != nil {
+			return err
+		}
+	}
+	if want("fig7m") {
+		trials := 3
+		if *quick {
+			trials = 1
+		}
+		rows, err := mistral.RunFig7Measured(*seed, trials)
+		if err != nil {
+			return fmt.Errorf("fig7m: %w", err)
+		}
+		t := experiments.Fig7Table(rows)
+		t.Title = "Fig. 7 (measured campaign on the request-level testbed)"
+		if err := e.emit("fig7_measured", []experiments.Table{t}); err != nil {
+			return err
+		}
+	}
+	if want("fig89") {
+		r, err := mistral.RunFig89(*seed)
+		if err != nil {
+			return fmt.Errorf("fig89: %w", err)
+		}
+		if err := e.emit("fig8_9", r.Tables()); err != nil {
+			return err
+		}
+	}
+	if want("fig10") {
+		r, err := mistral.RunFig10(*seed)
+		if err != nil {
+			return fmt.Errorf("fig10: %w", err)
+		}
+		if err := e.emit("fig10", r.Tables()); err != nil {
+			return err
+		}
+	}
+	if want("table1") {
+		opts := experiments.Table1Options{}
+		if *quick {
+			opts.Duration = 2 * time.Hour
+		}
+		r, err := mistral.RunTable1(*seed, opts)
+		if err != nil {
+			return fmt.Errorf("table1: %w", err)
+		}
+		if err := e.emit("table1", []experiments.Table{r.Table()}); err != nil {
+			return err
+		}
+	}
+	if want("ablations") {
+		t := experiments.Table{
+			Title:  "Ablations (beyond the paper)",
+			Header: []string{"study", "variant", "utility($)", "actions", "mean search"},
+		}
+		prune, err := experiments.AblationPruneFraction(*seed)
+		if err != nil {
+			return fmt.Errorf("ablations: %w", err)
+		}
+		for _, r := range prune {
+			t.Rows = append(t.Rows, []string{"prune fraction", r.Label, fmt.Sprintf("%.2f", r.Utility), fmt.Sprint(r.Actions), r.MeanSearch.String()})
+		}
+		band, err := experiments.AblationBandWidth(*seed)
+		if err != nil {
+			return fmt.Errorf("ablations: %w", err)
+		}
+		for _, r := range band {
+			t.Rows = append(t.Rows, []string{"L2 band width", r.Label, fmt.Sprintf("%.2f", r.Utility), fmt.Sprint(r.Actions), r.MeanSearch.String()})
+		}
+		dvfs, err := experiments.AblationDVFS(*seed)
+		if err != nil {
+			return fmt.Errorf("ablations: %w", err)
+		}
+		for _, r := range dvfs {
+			t.Rows = append(t.Rows, []string{"DVFS extension", r.Label, fmt.Sprintf("%.2f", r.Utility), fmt.Sprint(r.Actions), r.MeanSearch.String()})
+		}
+		for _, r := range experiments.AblationARMA(*seed) {
+			t.Rows = append(t.Rows, []string{"ARMA estimator", r.Label, "-", "-", fmt.Sprintf("%.1f%% err", r.ErrorPct)})
+		}
+		fid, err := experiments.AblationFidelity(*seed)
+		if err != nil {
+			return fmt.Errorf("ablations: %w", err)
+		}
+		t.Rows = append(t.Rows, []string{"testbed fidelity", "analytic vs request", "-", "-",
+			fmt.Sprintf("rt gap %.1f%%, watts gap %.2f%%", fid.RTGapPct, fid.WattsGapPct)})
+		if err := e.emit("ablations", []experiments.Table{t}); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,57 @@
+package mistral_test
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/mistralcloud/mistral"
+)
+
+// ExampleNewSystem builds the paper's 2-application setup, runs the
+// hierarchical Mistral controller for half an hour of the Fig. 4 workload
+// day, and reports what it did.
+func ExampleNewSystem() {
+	sys, err := mistral.NewSystem(mistral.SystemOptions{NumApps: 2, Seed: 42})
+	if err != nil {
+		fmt.Println("setup:", err)
+		return
+	}
+	ctrl, err := sys.NewMistral(mistral.ControllerOptions{})
+	if err != nil {
+		fmt.Println("controller:", err)
+		return
+	}
+	res, err := sys.ReplayFor(ctrl, nil, 30*time.Minute)
+	if err != nil {
+		fmt.Println("replay:", err)
+		return
+	}
+	fmt.Printf("windows: %d\n", len(res.Windows))
+	fmt.Printf("strategy: %s\n", res.Strategy)
+	// Output:
+	// windows: 15
+	// strategy: Mistral
+}
+
+// ExampleSystem_IdealConfiguration shows the Perf-Pwr optimizer
+// consolidating at low load.
+func ExampleSystem_IdealConfiguration() {
+	sys, err := mistral.NewSystem(mistral.SystemOptions{NumApps: 2, Seed: 42})
+	if err != nil {
+		fmt.Println("setup:", err)
+		return
+	}
+	low, err := sys.IdealConfiguration(map[string]float64{"rubis1": 5, "rubis2": 5})
+	if err != nil {
+		fmt.Println("optimize:", err)
+		return
+	}
+	high, err := sys.IdealConfiguration(map[string]float64{"rubis1": 90, "rubis2": 90})
+	if err != nil {
+		fmt.Println("optimize:", err)
+		return
+	}
+	fmt.Printf("consolidates at low load: %v\n", low.Config.NumActiveHosts() < high.Config.NumActiveHosts())
+	// Output:
+	// consolidates at low load: true
+}

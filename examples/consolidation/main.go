@@ -1,0 +1,68 @@
+// Command consolidation contrasts Mistral against the cost-blind Perf-Pwr
+// baseline on the paper's 2-application World Cup day: both consolidate
+// servers at low load, but only Mistral weighs each adaptation's transient
+// cost against its benefit over the predicted stability interval.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/mistralcloud/mistral"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "consolidation:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("Replaying the full 15:00-21:30 scenario under Mistral and Perf-Pwr...")
+
+	results := make(map[string]*mistral.RunResult, 2)
+	for _, which := range []string{"Mistral", "Perf-Pwr"} {
+		// A fresh system per strategy: identical workloads and noise.
+		sys, err := mistral.NewSystem(mistral.SystemOptions{NumApps: 2, Seed: 42})
+		if err != nil {
+			return err
+		}
+		var d mistral.Decider
+		switch which {
+		case "Mistral":
+			d, err = sys.NewMistral(mistral.ControllerOptions{})
+		default:
+			d, err = sys.NewPerfPwrBaseline()
+		}
+		if err != nil {
+			return err
+		}
+		res, err := sys.Replay(d, nil)
+		if err != nil {
+			return err
+		}
+		results[which] = res
+	}
+
+	fmt.Printf("\n%-10s  %12s  %9s  %12s  %11s\n", "strategy", "cum.utility", "actions", "violations", "mean watts")
+	for _, which := range []string{"Mistral", "Perf-Pwr"} {
+		res := results[which]
+		var watts float64
+		for _, w := range res.Windows {
+			watts += w.Watts
+		}
+		watts /= float64(len(res.Windows))
+		fmt.Printf("%-10s  %12.1f  %9d  %12d  %11.0f\n",
+			which, res.CumUtility, res.TotalActions, res.TargetViolations, watts)
+	}
+
+	m, p := results["Mistral"], results["Perf-Pwr"]
+	fmt.Printf("\nMistral accrued $%.1f more utility than Perf-Pwr with %d fewer target violations.\n",
+		m.CumUtility-p.CumUtility, p.TargetViolations-m.TargetViolations)
+	fmt.Println("Ignoring transient adaptation costs makes Perf-Pwr fire disruptive migrations on")
+	fmt.Println("every workload wiggle, paying penalties its steady-state savings never recoup;")
+	fmt.Println("Mistral prefers cheap CPU retunes and reshapes the cluster only when the")
+	fmt.Println("predicted stability interval lets a migration pay for itself (Fig. 9).")
+	return nil
+}

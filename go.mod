@@ -1,0 +1,3 @@
+module github.com/mistralcloud/mistral
+
+go 1.22

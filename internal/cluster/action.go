@@ -1,0 +1,435 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ActionKind enumerates the six adaptation actions of the paper (§III-C).
+type ActionKind int
+
+// Adaptation action kinds.
+const (
+	ActionIncreaseCPU ActionKind = iota + 1
+	ActionDecreaseCPU
+	ActionAddReplica
+	ActionRemoveReplica
+	ActionMigrate
+	ActionStartHost
+	ActionStopHost
+	// ActionSetDVFS changes a host's frequency level — the §VI
+	// "complementary technique" extension, available to the lowest-level
+	// controllers as a near-free power/performance knob.
+	ActionSetDVFS
+	// ActionWANMigrate moves a VM (memory and disk image) to a host in a
+	// different data center — the §VI "migration over WAN" extension,
+	// wielded by the top hierarchy level at tens-of-minutes timescales.
+	ActionWANMigrate
+)
+
+// String implements fmt.Stringer.
+func (k ActionKind) String() string {
+	switch k {
+	case ActionIncreaseCPU:
+		return "increase-cpu"
+	case ActionDecreaseCPU:
+		return "decrease-cpu"
+	case ActionAddReplica:
+		return "add-replica"
+	case ActionRemoveReplica:
+		return "remove-replica"
+	case ActionMigrate:
+		return "migrate"
+	case ActionStartHost:
+		return "start-host"
+	case ActionStopHost:
+		return "stop-host"
+	case ActionSetDVFS:
+		return "set-dvfs"
+	case ActionWANMigrate:
+		return "wan-migrate"
+	default:
+		return fmt.Sprintf("ActionKind(%d)", int(k))
+	}
+}
+
+// Action is one adaptation step. Fields are used according to Kind:
+//
+//   - ActionIncreaseCPU / ActionDecreaseCPU: VM, DeltaCPUPct
+//   - ActionAddReplica: VM (the dormant replica), Host (target), CPUPct
+//     (initial allocation; catalog minimum if zero)
+//   - ActionRemoveReplica: VM
+//   - ActionMigrate: VM, Host (destination); FromHost is filled by Apply
+//   - ActionStartHost / ActionStopHost: Host
+//   - ActionSetDVFS: Host, Freq (target frequency fraction)
+type Action struct {
+	Kind        ActionKind
+	VM          VMID
+	Host        string
+	FromHost    string
+	DeltaCPUPct float64
+	CPUPct      float64
+	Freq        float64
+}
+
+// String renders a human-readable description.
+func (a Action) String() string {
+	switch a.Kind {
+	case ActionIncreaseCPU:
+		return fmt.Sprintf("increase-cpu %s +%.0f%%", a.VM, a.DeltaCPUPct)
+	case ActionDecreaseCPU:
+		return fmt.Sprintf("decrease-cpu %s -%.0f%%", a.VM, a.DeltaCPUPct)
+	case ActionAddReplica:
+		return fmt.Sprintf("add-replica %s -> %s", a.VM, a.Host)
+	case ActionRemoveReplica:
+		return fmt.Sprintf("remove-replica %s", a.VM)
+	case ActionMigrate:
+		if a.FromHost != "" {
+			return fmt.Sprintf("migrate %s %s -> %s", a.VM, a.FromHost, a.Host)
+		}
+		return fmt.Sprintf("migrate %s -> %s", a.VM, a.Host)
+	case ActionStartHost:
+		return fmt.Sprintf("start-host %s", a.Host)
+	case ActionStopHost:
+		return fmt.Sprintf("stop-host %s", a.Host)
+	case ActionSetDVFS:
+		return fmt.Sprintf("set-dvfs %s %.0f%%", a.Host, a.Freq*100)
+	case ActionWANMigrate:
+		if a.FromHost != "" {
+			return fmt.Sprintf("wan-migrate %s %s -> %s", a.VM, a.FromHost, a.Host)
+		}
+		return fmt.Sprintf("wan-migrate %s -> %s", a.VM, a.Host)
+	default:
+		return fmt.Sprintf("unknown-action(%d)", int(a.Kind))
+	}
+}
+
+// PlanString renders an action sequence as a single line.
+func PlanString(plan []Action) string {
+	if len(plan) == 0 {
+		return "(no-op)"
+	}
+	parts := make([]string, len(plan))
+	for i, a := range plan {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, "; ")
+}
+
+// Apply executes the action on cfg and returns the resulting configuration.
+// Apply enforces action *feasibility* (the action must make sense in cfg:
+// e.g. a migrated VM must be active and the destination powered on) but not
+// candidate constraints: the result may be an intermediate configuration
+// that oversubscribes a host, as the paper's search deliberately allows.
+// The returned Action is the input with derived fields (FromHost, CPUPct)
+// filled in for cost accounting.
+func Apply(cat *Catalog, cfg Config, a Action) (Config, Action, error) {
+	switch a.Kind {
+	case ActionIncreaseCPU:
+		p, ok := cfg.PlacementOf(a.VM)
+		if !ok {
+			return Config{}, a, fmt.Errorf("cluster: increase-cpu: VM %q not active", a.VM)
+		}
+		delta := a.DeltaCPUPct
+		if delta <= 0 {
+			delta = cat.CPUStepPct
+			a.DeltaCPUPct = delta
+		}
+		spec, _ := cat.Host(p.Host)
+		if p.CPUPct+delta > spec.UsableCPUPct+1e-9 {
+			return Config{}, a, fmt.Errorf("cluster: increase-cpu: VM %q would exceed host usable capacity (%.1f+%.1f > %.1f)", a.VM, p.CPUPct, delta, spec.UsableCPUPct)
+		}
+		n := cfg.Clone()
+		n.Place(a.VM, p.Host, p.CPUPct+delta)
+		a.Host = p.Host
+		return n, a, nil
+
+	case ActionDecreaseCPU:
+		p, ok := cfg.PlacementOf(a.VM)
+		if !ok {
+			return Config{}, a, fmt.Errorf("cluster: decrease-cpu: VM %q not active", a.VM)
+		}
+		delta := a.DeltaCPUPct
+		if delta <= 0 {
+			delta = cat.CPUStepPct
+			a.DeltaCPUPct = delta
+		}
+		if p.CPUPct-delta < cat.MinCPUPct-1e-9 {
+			return Config{}, a, fmt.Errorf("cluster: decrease-cpu: VM %q would fall below minimum (%.1f-%.1f < %.1f)", a.VM, p.CPUPct, delta, cat.MinCPUPct)
+		}
+		n := cfg.Clone()
+		n.Place(a.VM, p.Host, p.CPUPct-delta)
+		a.Host = p.Host
+		return n, a, nil
+
+	case ActionAddReplica:
+		vm, ok := cat.VM(a.VM)
+		if !ok {
+			return Config{}, a, fmt.Errorf("cluster: add-replica: unknown VM %q", a.VM)
+		}
+		if cfg.Active(a.VM) {
+			return Config{}, a, fmt.Errorf("cluster: add-replica: VM %q already active", a.VM)
+		}
+		if _, ok := cat.Host(a.Host); !ok {
+			return Config{}, a, fmt.Errorf("cluster: add-replica: unknown host %q", a.Host)
+		}
+		if !cfg.HostOn(a.Host) {
+			return Config{}, a, fmt.Errorf("cluster: add-replica: host %q is off", a.Host)
+		}
+		cpu := a.CPUPct
+		if cpu <= 0 {
+			cpu = cat.MinCPUPct
+			a.CPUPct = cpu
+		}
+		_ = vm
+		n := cfg.Clone()
+		n.Place(a.VM, a.Host, cpu)
+		return n, a, nil
+
+	case ActionRemoveReplica:
+		vm, ok := cat.VM(a.VM)
+		if !ok {
+			return Config{}, a, fmt.Errorf("cluster: remove-replica: unknown VM %q", a.VM)
+		}
+		p, active := cfg.PlacementOf(a.VM)
+		if !active {
+			return Config{}, a, fmt.Errorf("cluster: remove-replica: VM %q not active", a.VM)
+		}
+		k := TierKey{App: vm.App, Tier: vm.Tier}
+		if cat.TierRequired(k) && len(cfg.ActiveReplicas(cat, k)) <= 1 {
+			return Config{}, a, fmt.Errorf("cluster: remove-replica: VM %q is the last replica of required tier %s/%s", a.VM, k.App, k.Tier)
+		}
+		n := cfg.Clone()
+		n.Unplace(a.VM)
+		a.FromHost = p.Host
+		return n, a, nil
+
+	case ActionMigrate, ActionWANMigrate:
+		p, ok := cfg.PlacementOf(a.VM)
+		if !ok {
+			return Config{}, a, fmt.Errorf("cluster: %s: VM %q not active", a.Kind, a.VM)
+		}
+		if _, ok := cat.Host(a.Host); !ok {
+			return Config{}, a, fmt.Errorf("cluster: %s: unknown host %q", a.Kind, a.Host)
+		}
+		if a.Host == p.Host {
+			return Config{}, a, fmt.Errorf("cluster: %s: VM %q already on host %q", a.Kind, a.VM, a.Host)
+		}
+		if !cfg.HostOn(a.Host) {
+			return Config{}, a, fmt.Errorf("cluster: %s: destination host %q is off", a.Kind, a.Host)
+		}
+		sameZone := cat.ZoneOf(p.Host) == cat.ZoneOf(a.Host)
+		if a.Kind == ActionMigrate && !sameZone {
+			return Config{}, a, fmt.Errorf("cluster: migrate: %q and %q are in different zones; use wan-migrate", p.Host, a.Host)
+		}
+		if a.Kind == ActionWANMigrate && sameZone {
+			return Config{}, a, fmt.Errorf("cluster: wan-migrate: %q and %q share a zone; use migrate", p.Host, a.Host)
+		}
+		n := cfg.Clone()
+		n.Place(a.VM, a.Host, p.CPUPct)
+		a.FromHost = p.Host
+		a.CPUPct = p.CPUPct
+		return n, a, nil
+
+	case ActionStartHost:
+		if _, ok := cat.Host(a.Host); !ok {
+			return Config{}, a, fmt.Errorf("cluster: start-host: unknown host %q", a.Host)
+		}
+		if cfg.HostOn(a.Host) {
+			return Config{}, a, fmt.Errorf("cluster: start-host: host %q already on", a.Host)
+		}
+		n := cfg.Clone()
+		n.SetHostOn(a.Host, true)
+		return n, a, nil
+
+	case ActionStopHost:
+		if _, ok := cat.Host(a.Host); !ok {
+			return Config{}, a, fmt.Errorf("cluster: stop-host: unknown host %q", a.Host)
+		}
+		if !cfg.HostOn(a.Host) {
+			return Config{}, a, fmt.Errorf("cluster: stop-host: host %q already off", a.Host)
+		}
+		if n := cfg.VMsOnHost(a.Host); len(n) > 0 {
+			return Config{}, a, fmt.Errorf("cluster: stop-host: host %q still has %d VMs", a.Host, len(n))
+		}
+		n := cfg.Clone()
+		n.SetHostOn(a.Host, false)
+		return n, a, nil
+
+	case ActionSetDVFS:
+		spec, ok := cat.Host(a.Host)
+		if !ok {
+			return Config{}, a, fmt.Errorf("cluster: set-dvfs: unknown host %q", a.Host)
+		}
+		if !cfg.HostOn(a.Host) {
+			return Config{}, a, fmt.Errorf("cluster: set-dvfs: host %q is off", a.Host)
+		}
+		if !spec.HasDVFSLevel(a.Freq) {
+			return Config{}, a, fmt.Errorf("cluster: set-dvfs: host %q has no level %v", a.Host, a.Freq)
+		}
+		if cfg.HostFreq(a.Host) == a.Freq {
+			return Config{}, a, fmt.Errorf("cluster: set-dvfs: host %q already at %v", a.Host, a.Freq)
+		}
+		n := cfg.Clone()
+		n.SetHostFreq(a.Host, a.Freq)
+		return n, a, nil
+
+	default:
+		return Config{}, a, fmt.Errorf("cluster: unknown action kind %d", int(a.Kind))
+	}
+}
+
+// ApplyAll applies a sequence of actions, returning the final configuration
+// and the sequence with derived fields filled in.
+func ApplyAll(cat *Catalog, cfg Config, plan []Action) (Config, []Action, error) {
+	out := make([]Action, 0, len(plan))
+	cur := cfg
+	for i, a := range plan {
+		next, filled, err := Apply(cat, cur, a)
+		if err != nil {
+			return Config{}, nil, fmt.Errorf("cluster: applying step %d (%s): %w", i, a, err)
+		}
+		out = append(out, filled)
+		cur = next
+	}
+	return cur, out, nil
+}
+
+// ActionSpace restricts which actions Enumerate generates. The zero value
+// allows everything on all hosts and VMs.
+type ActionSpace struct {
+	// Kinds restricts the generated action kinds; empty means all six.
+	Kinds []ActionKind
+	// Hosts restricts target hosts (migration destinations, replica
+	// targets, power cycling) and the VMs considered (only VMs currently
+	// placed within Hosts); empty means all hosts.
+	Hosts []string
+	// AppPools confines each application's VMs to a fixed host pool (the
+	// Perf-Cost baseline's "2 hosts per application"): migrations and
+	// replica additions for a pooled app only target its pool. Apps absent
+	// from the map are unconstrained.
+	AppPools map[string][]string
+}
+
+func (s ActionSpace) allowsKind(k ActionKind) bool {
+	if len(s.Kinds) == 0 {
+		return true
+	}
+	for _, allowed := range s.Kinds {
+		if allowed == k {
+			return true
+		}
+	}
+	return false
+}
+
+func (s ActionSpace) hostSet() map[string]bool {
+	if len(s.Hosts) == 0 {
+		return nil
+	}
+	set := make(map[string]bool, len(s.Hosts))
+	for _, h := range s.Hosts {
+		set[h] = true
+	}
+	return set
+}
+
+// allowsAppHost reports whether app may use host under the pools.
+func (s ActionSpace) allowsAppHost(appName, host string) bool {
+	pool, pooled := s.AppPools[appName]
+	if !pooled {
+		return true
+	}
+	for _, h := range pool {
+		if h == host {
+			return true
+		}
+	}
+	return false
+}
+
+// Enumerate generates every feasible single action from cfg within the
+// action space. The result is deterministic (sorted by VM/host iteration
+// order). Infeasible actions are filtered by attempting Apply.
+func Enumerate(cat *Catalog, cfg Config, space ActionSpace) []Action {
+	hosts := space.hostSet()
+	inScope := func(h string) bool { return hosts == nil || hosts[h] }
+
+	var out []Action
+	tryAppend := func(a Action) {
+		if _, _, err := Apply(cat, cfg, a); err == nil {
+			out = append(out, a)
+		}
+	}
+
+	for _, id := range cat.VMIDs() {
+		p, active := cfg.PlacementOf(id)
+		if active && !inScope(p.Host) {
+			continue
+		}
+		if active {
+			if space.allowsKind(ActionIncreaseCPU) {
+				tryAppend(Action{Kind: ActionIncreaseCPU, VM: id, DeltaCPUPct: cat.CPUStepPct})
+			}
+			if space.allowsKind(ActionDecreaseCPU) {
+				tryAppend(Action{Kind: ActionDecreaseCPU, VM: id, DeltaCPUPct: cat.CPUStepPct})
+			}
+			if space.allowsKind(ActionMigrate) || space.allowsKind(ActionWANMigrate) {
+				vm, _ := cat.VM(id)
+				srcZone := cat.ZoneOf(p.Host)
+				for _, h := range cat.HostNames() {
+					if h == p.Host || !inScope(h) || !cfg.HostOn(h) || !space.allowsAppHost(vm.App, h) {
+						continue
+					}
+					kind := ActionMigrate
+					if cat.ZoneOf(h) != srcZone {
+						kind = ActionWANMigrate
+					}
+					if space.allowsKind(kind) {
+						tryAppend(Action{Kind: kind, VM: id, Host: h})
+					}
+				}
+			}
+			if space.allowsKind(ActionRemoveReplica) {
+				tryAppend(Action{Kind: ActionRemoveReplica, VM: id})
+			}
+		} else if space.allowsKind(ActionAddReplica) {
+			vm, _ := cat.VM(id)
+			for _, h := range cat.HostNames() {
+				if !inScope(h) || !cfg.HostOn(h) || !space.allowsAppHost(vm.App, h) {
+					continue
+				}
+				tryAppend(Action{Kind: ActionAddReplica, VM: id, Host: h, CPUPct: cat.MinCPUPct})
+			}
+		}
+	}
+	for _, h := range cat.HostNames() {
+		if !inScope(h) {
+			continue
+		}
+		if cfg.HostOn(h) {
+			if space.allowsKind(ActionStopHost) {
+				tryAppend(Action{Kind: ActionStopHost, Host: h})
+			}
+			if space.allowsKind(ActionSetDVFS) {
+				spec, _ := cat.Host(h)
+				hasNominal := false
+				for _, f := range spec.DVFSLevels {
+					if f == 1 {
+						hasNominal = true
+					}
+					if f != cfg.HostFreq(h) {
+						tryAppend(Action{Kind: ActionSetDVFS, Host: h, Freq: f})
+					}
+				}
+				// Returning to nominal speed is always available.
+				if !hasNominal && spec.SupportsDVFS() && cfg.HostFreq(h) != 1 {
+					tryAppend(Action{Kind: ActionSetDVFS, Host: h, Freq: 1})
+				}
+			}
+		} else if space.allowsKind(ActionStartHost) {
+			tryAppend(Action{Kind: ActionStartHost, Host: h})
+		}
+	}
+	return out
+}

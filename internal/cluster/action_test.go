@@ -1,0 +1,312 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestApplyIncreaseDecreaseCPU(t *testing.T) {
+	cat := testCatalog(t, 2, 1)
+	cfg := baseConfig(t, cat, 2, 40)
+
+	next, filled, err := Apply(cat, cfg, Action{Kind: ActionIncreaseCPU, VM: "rubis1-web-0"})
+	if err != nil {
+		t.Fatalf("increase: %v", err)
+	}
+	if p, _ := next.PlacementOf("rubis1-web-0"); p.CPUPct != 50 {
+		t.Errorf("CPU after increase = %v, want 50 (default step)", p.CPUPct)
+	}
+	if filled.DeltaCPUPct != 10 || filled.Host == "" {
+		t.Errorf("filled action = %+v, want delta 10 and host set", filled)
+	}
+	// Original untouched.
+	if p, _ := cfg.PlacementOf("rubis1-web-0"); p.CPUPct != 40 {
+		t.Error("Apply mutated input config")
+	}
+
+	next2, _, err := Apply(cat, next, Action{Kind: ActionDecreaseCPU, VM: "rubis1-web-0", DeltaCPUPct: 30})
+	if err != nil {
+		t.Fatalf("decrease: %v", err)
+	}
+	if p, _ := next2.PlacementOf("rubis1-web-0"); p.CPUPct != 20 {
+		t.Errorf("CPU after decrease = %v, want 20", p.CPUPct)
+	}
+
+	// Below minimum rejected.
+	if _, _, err := Apply(cat, next2, Action{Kind: ActionDecreaseCPU, VM: "rubis1-web-0"}); err == nil {
+		t.Error("decrease below minimum accepted")
+	}
+	// Above usable rejected.
+	big := cfg.Clone()
+	big.Place("rubis1-web-0", "host0", 80)
+	if _, _, err := Apply(cat, big, Action{Kind: ActionIncreaseCPU, VM: "rubis1-web-0"}); err == nil {
+		t.Error("increase above usable accepted")
+	}
+	// Inactive VM rejected.
+	if _, _, err := Apply(cat, cfg, Action{Kind: ActionIncreaseCPU, VM: "rubis1-app-1"}); err == nil {
+		t.Error("increase on dormant VM accepted")
+	}
+}
+
+func TestApplyAddRemoveReplica(t *testing.T) {
+	cat := testCatalog(t, 2, 1)
+	cfg := baseConfig(t, cat, 2, 25)
+
+	next, filled, err := Apply(cat, cfg, Action{Kind: ActionAddReplica, VM: "rubis1-db-1", Host: "host1"})
+	if err != nil {
+		t.Fatalf("add-replica: %v", err)
+	}
+	if p, ok := next.PlacementOf("rubis1-db-1"); !ok || p.Host != "host1" || p.CPUPct != cat.MinCPUPct {
+		t.Errorf("placement after add = %+v ok=%v", p, ok)
+	}
+	if filled.CPUPct != cat.MinCPUPct {
+		t.Errorf("filled CPUPct = %v, want %v", filled.CPUPct, cat.MinCPUPct)
+	}
+
+	// Duplicate add rejected.
+	if _, _, err := Apply(cat, next, Action{Kind: ActionAddReplica, VM: "rubis1-db-1", Host: "host0"}); err == nil {
+		t.Error("adding already-active VM accepted")
+	}
+	// Add to off host rejected.
+	off := cfg.Clone()
+	off.SetHostOn("host1", false)
+	if _, _, err := Apply(cat, off, Action{Kind: ActionAddReplica, VM: "rubis1-db-1", Host: "host1"}); err == nil {
+		t.Error("add to powered-off host accepted")
+	}
+	// Unknown VM / host rejected.
+	if _, _, err := Apply(cat, cfg, Action{Kind: ActionAddReplica, VM: "ghost", Host: "host0"}); err == nil {
+		t.Error("unknown VM accepted")
+	}
+	if _, _, err := Apply(cat, cfg, Action{Kind: ActionAddReplica, VM: "rubis1-db-1", Host: "ghost"}); err == nil {
+		t.Error("unknown host accepted")
+	}
+
+	// Remove the second replica: fine. Remove the last one: rejected.
+	removed, filledRm, err := Apply(cat, next, Action{Kind: ActionRemoveReplica, VM: "rubis1-db-1"})
+	if err != nil {
+		t.Fatalf("remove-replica: %v", err)
+	}
+	if filledRm.FromHost != "host1" {
+		t.Errorf("FromHost = %q, want host1", filledRm.FromHost)
+	}
+	if removed.Active("rubis1-db-1") {
+		t.Error("VM still active after removal")
+	}
+	if _, _, err := Apply(cat, removed, Action{Kind: ActionRemoveReplica, VM: "rubis1-db-0"}); err == nil {
+		t.Error("removing last replica of required tier accepted")
+	}
+	if _, _, err := Apply(cat, removed, Action{Kind: ActionRemoveReplica, VM: "rubis1-db-1"}); err == nil {
+		t.Error("removing dormant VM accepted")
+	}
+}
+
+func TestApplyMigrate(t *testing.T) {
+	cat := testCatalog(t, 2, 1)
+	cfg := baseConfig(t, cat, 2, 25)
+	p0, _ := cfg.PlacementOf("rubis1-web-0")
+	dst := "host1"
+	if p0.Host == "host1" {
+		dst = "host0"
+	}
+
+	next, filled, err := Apply(cat, cfg, Action{Kind: ActionMigrate, VM: "rubis1-web-0", Host: dst})
+	if err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+	p, _ := next.PlacementOf("rubis1-web-0")
+	if p.Host != dst || p.CPUPct != p0.CPUPct {
+		t.Errorf("placement after migrate = %+v, want host %s cpu %v", p, dst, p0.CPUPct)
+	}
+	if filled.FromHost != p0.Host || filled.CPUPct != p0.CPUPct {
+		t.Errorf("filled = %+v", filled)
+	}
+
+	if _, _, err := Apply(cat, cfg, Action{Kind: ActionMigrate, VM: "rubis1-web-0", Host: p0.Host}); err == nil {
+		t.Error("self-migration accepted")
+	}
+	off := cfg.Clone()
+	off.SetHostOn(dst, false)
+	for _, id := range off.VMsOnHost(dst) {
+		off.Unplace(id)
+	}
+	if _, _, err := Apply(cat, off, Action{Kind: ActionMigrate, VM: "rubis1-web-0", Host: dst}); err == nil {
+		t.Error("migration to powered-off host accepted")
+	}
+	if _, _, err := Apply(cat, cfg, Action{Kind: ActionMigrate, VM: "rubis1-app-1", Host: dst}); err == nil {
+		t.Error("migrating dormant VM accepted")
+	}
+}
+
+func TestApplyHostPowerCycling(t *testing.T) {
+	cat := testCatalog(t, 3, 1)
+	cfg := baseConfig(t, cat, 2, 25)
+
+	next, _, err := Apply(cat, cfg, Action{Kind: ActionStartHost, Host: "host2"})
+	if err != nil {
+		t.Fatalf("start-host: %v", err)
+	}
+	if !next.HostOn("host2") {
+		t.Error("host2 not on after start")
+	}
+	if _, _, err := Apply(cat, next, Action{Kind: ActionStartHost, Host: "host2"}); err == nil {
+		t.Error("starting already-on host accepted")
+	}
+
+	stopped, _, err := Apply(cat, next, Action{Kind: ActionStopHost, Host: "host2"})
+	if err != nil {
+		t.Fatalf("stop-host: %v", err)
+	}
+	if stopped.HostOn("host2") {
+		t.Error("host2 still on after stop")
+	}
+	// Stopping a host with VMs rejected.
+	if _, _, err := Apply(cat, cfg, Action{Kind: ActionStopHost, Host: "host0"}); err == nil {
+		t.Error("stopping non-empty host accepted")
+	}
+	if _, _, err := Apply(cat, cfg, Action{Kind: ActionStopHost, Host: "host2"}); err == nil {
+		t.Error("stopping already-off host accepted")
+	}
+	if _, _, err := Apply(cat, cfg, Action{Kind: ActionStartHost, Host: "ghost"}); err == nil {
+		t.Error("starting unknown host accepted")
+	}
+}
+
+func TestApplyUnknownKind(t *testing.T) {
+	cat := testCatalog(t, 2, 1)
+	cfg := baseConfig(t, cat, 2, 25)
+	if _, _, err := Apply(cat, cfg, Action{Kind: ActionKind(99)}); err == nil {
+		t.Error("unknown action kind accepted")
+	}
+}
+
+func TestApplyAllRollsForward(t *testing.T) {
+	cat := testCatalog(t, 2, 1)
+	cfg := baseConfig(t, cat, 2, 25)
+	plan := []Action{
+		{Kind: ActionIncreaseCPU, VM: "rubis1-web-0"},
+		{Kind: ActionAddReplica, VM: "rubis1-app-1", Host: "host1"},
+		{Kind: ActionIncreaseCPU, VM: "rubis1-app-1"},
+	}
+	got, filled, err := ApplyAll(cat, cfg, plan)
+	if err != nil {
+		t.Fatalf("ApplyAll: %v", err)
+	}
+	if len(filled) != 3 {
+		t.Fatalf("filled = %d actions", len(filled))
+	}
+	if p, _ := got.PlacementOf("rubis1-app-1"); p.CPUPct != 30 {
+		t.Errorf("app-1 CPU = %v, want 30", p.CPUPct)
+	}
+	// A failing step reports its index.
+	bad := append(plan, Action{Kind: ActionMigrate, VM: "ghost", Host: "host0"})
+	if _, _, err := ApplyAll(cat, cfg, bad); err == nil || !strings.Contains(err.Error(), "step 3") {
+		t.Errorf("ApplyAll error = %v, want step 3 failure", err)
+	}
+}
+
+func TestEnumerateProducesOnlyFeasibleActions(t *testing.T) {
+	cat := testCatalog(t, 3, 2)
+	cfg := baseConfig(t, cat, 2, 25)
+	actions := Enumerate(cat, cfg, ActionSpace{})
+	if len(actions) == 0 {
+		t.Fatal("no actions enumerated")
+	}
+	for _, a := range actions {
+		if _, _, err := Apply(cat, cfg, a); err != nil {
+			t.Errorf("enumerated infeasible action %s: %v", a, err)
+		}
+	}
+	// Determinism.
+	again := Enumerate(cat, cfg, ActionSpace{})
+	if len(again) != len(actions) {
+		t.Fatalf("non-deterministic enumeration: %d vs %d", len(again), len(actions))
+	}
+	for i := range actions {
+		if actions[i] != again[i] {
+			t.Fatalf("non-deterministic enumeration at %d: %v vs %v", i, actions[i], again[i])
+		}
+	}
+}
+
+func TestEnumerateRespectsKindFilter(t *testing.T) {
+	cat := testCatalog(t, 3, 1)
+	cfg := baseConfig(t, cat, 2, 25)
+	actions := Enumerate(cat, cfg, ActionSpace{Kinds: []ActionKind{ActionIncreaseCPU, ActionDecreaseCPU}})
+	for _, a := range actions {
+		if a.Kind != ActionIncreaseCPU && a.Kind != ActionDecreaseCPU {
+			t.Errorf("unexpected action kind %s", a.Kind)
+		}
+	}
+	if len(actions) == 0 {
+		t.Error("no CPU actions enumerated")
+	}
+}
+
+func TestEnumerateRespectsHostScope(t *testing.T) {
+	cat := testCatalog(t, 4, 2)
+	cfg := baseConfig(t, cat, 4, 25)
+	scope := []string{"host0", "host1"}
+	actions := Enumerate(cat, cfg, ActionSpace{Hosts: scope})
+	inScope := map[string]bool{"host0": true, "host1": true}
+	for _, a := range actions {
+		if a.Host != "" && !inScope[a.Host] {
+			t.Errorf("action %s targets out-of-scope host", a)
+		}
+		if a.VM != "" {
+			if p, ok := cfg.PlacementOf(a.VM); ok && !inScope[p.Host] {
+				t.Errorf("action %s touches VM on out-of-scope host %s", a, p.Host)
+			}
+		}
+	}
+}
+
+func TestEnumerateIncludesHostCycling(t *testing.T) {
+	cat := testCatalog(t, 3, 1)
+	cfg := baseConfig(t, cat, 2, 25)
+	var haveStart, haveStop bool
+	for _, a := range Enumerate(cat, cfg, ActionSpace{}) {
+		switch a.Kind {
+		case ActionStartHost:
+			if a.Host == "host2" {
+				haveStart = true
+			}
+		case ActionStopHost:
+			haveStop = true
+		}
+	}
+	if !haveStart {
+		t.Error("start-host for off host not enumerated")
+	}
+	if haveStop {
+		t.Error("stop-host enumerated for hosts with VMs")
+	}
+}
+
+func TestActionStrings(t *testing.T) {
+	cases := []struct {
+		a    Action
+		want string
+	}{
+		{Action{Kind: ActionIncreaseCPU, VM: "v", DeltaCPUPct: 10}, "increase-cpu"},
+		{Action{Kind: ActionDecreaseCPU, VM: "v", DeltaCPUPct: 10}, "decrease-cpu"},
+		{Action{Kind: ActionAddReplica, VM: "v", Host: "h"}, "add-replica"},
+		{Action{Kind: ActionRemoveReplica, VM: "v"}, "remove-replica"},
+		{Action{Kind: ActionMigrate, VM: "v", Host: "h", FromHost: "g"}, "migrate"},
+		{Action{Kind: ActionStartHost, Host: "h"}, "start-host"},
+		{Action{Kind: ActionStopHost, Host: "h"}, "stop-host"},
+	}
+	for _, c := range cases {
+		if got := c.a.String(); !strings.Contains(got, c.want) {
+			t.Errorf("String() = %q, want containing %q", got, c.want)
+		}
+		if got := c.a.Kind.String(); !strings.Contains(got, c.want) {
+			t.Errorf("Kind.String() = %q, want containing %q", got, c.want)
+		}
+	}
+	if got := PlanString(nil); got != "(no-op)" {
+		t.Errorf("PlanString(nil) = %q", got)
+	}
+	if got := PlanString([]Action{{Kind: ActionStartHost, Host: "h"}}); !strings.Contains(got, "start-host") {
+		t.Errorf("PlanString = %q", got)
+	}
+}

@@ -1,0 +1,269 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewCatalogValidation(t *testing.T) {
+	host := DefaultHostSpec("h0")
+	vm := VMSpec{ID: "v0", App: "a", Tier: "web", MemoryMB: 200}
+	cases := []struct {
+		name string
+		cfg  CatalogConfig
+		want string
+	}{
+		{"no hosts", CatalogConfig{VMs: []VMSpec{vm}}, "at least one host"},
+		{"no vms", CatalogConfig{Hosts: []HostSpec{host}}, "at least one VM"},
+		{"dup host", CatalogConfig{Hosts: []HostSpec{host, host}, VMs: []VMSpec{vm}}, "duplicate host"},
+		{"dup vm", CatalogConfig{Hosts: []HostSpec{host}, VMs: []VMSpec{vm, vm}}, "duplicate VM"},
+		{"bad usable", CatalogConfig{Hosts: []HostSpec{{Name: "h", TotalCPUPct: 100, UsableCPUPct: 120, MaxVMs: 4}}, VMs: []VMSpec{vm}}, "invalid usable CPU"},
+		{"bad maxvms", CatalogConfig{Hosts: []HostSpec{{Name: "h", TotalCPUPct: 100, UsableCPUPct: 80}}, VMs: []VMSpec{vm}}, "MaxVMs"},
+		{"bad vm mem", CatalogConfig{Hosts: []HostSpec{host}, VMs: []VMSpec{{ID: "v", App: "a", Tier: "t"}}}, "memory"},
+		{"unknown optional tier", CatalogConfig{Hosts: []HostSpec{host}, VMs: []VMSpec{vm}, OptionalTiers: []TierKey{{App: "x", Tier: "y"}}}, "optional tier"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := NewCatalog(c.cfg)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err = %v, want containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestCatalogAccessors(t *testing.T) {
+	cat := testCatalog(t, 4, 2)
+	if got := len(cat.HostNames()); got != 4 {
+		t.Errorf("hosts = %d, want 4", got)
+	}
+	if got := len(cat.VMIDs()); got != 10 {
+		t.Errorf("VMs = %d, want 10", got)
+	}
+	if got := len(cat.Tiers()); got != 6 {
+		t.Errorf("tiers = %d, want 6", got)
+	}
+	apps := cat.Apps()
+	if len(apps) != 2 || apps[0] != "rubis1" || apps[1] != "rubis2" {
+		t.Errorf("apps = %v", apps)
+	}
+	ids := cat.TierVMs(TierKey{App: "rubis1", Tier: "db"})
+	if len(ids) != 2 {
+		t.Errorf("db replicas = %d, want 2", len(ids))
+	}
+	if _, ok := cat.Host("nope"); ok {
+		t.Error("unknown host resolved")
+	}
+	if _, ok := cat.VM("nope"); ok {
+		t.Error("unknown VM resolved")
+	}
+	if cat.MaxVMCPUPct() != 80 {
+		t.Errorf("MaxVMCPUPct = %v, want 80", cat.MaxVMCPUPct())
+	}
+	if cat.MinCPUPct != 20 || cat.CPUStepPct != 10 {
+		t.Errorf("defaults = %v/%v, want 20/10", cat.MinCPUPct, cat.CPUStepPct)
+	}
+}
+
+func TestConfigCloneIndependence(t *testing.T) {
+	cat := testCatalog(t, 2, 1)
+	cfg := baseConfig(t, cat, 2, 25)
+	clone := cfg.Clone()
+	clone.Place("rubis1-web-0", "host1", 50)
+	clone.SetHostOn("host0", false)
+	if p, _ := cfg.PlacementOf("rubis1-web-0"); p.CPUPct == 50 {
+		t.Error("mutating clone changed original placement")
+	}
+	if !cfg.HostOn("host0") {
+		t.Error("mutating clone changed original host power")
+	}
+}
+
+func TestConfigKeyStableAndDistinct(t *testing.T) {
+	cat := testCatalog(t, 2, 1)
+	a := baseConfig(t, cat, 2, 25)
+	b := a.Clone()
+	if a.Key() != b.Key() {
+		t.Error("identical configs have different keys")
+	}
+	if !a.Equal(b) {
+		t.Error("Equal false for identical configs")
+	}
+	b.Place("rubis1-web-0", "host1", 25)
+	if a.Key() == b.Key() {
+		t.Error("different placements share a key")
+	}
+	c := a.Clone()
+	c.Place("rubis1-web-0", "host0", 25.004) // within rounding resolution
+	_ = c
+}
+
+func TestConfigAccounting(t *testing.T) {
+	cat := testCatalog(t, 2, 1)
+	cfg := NewConfig()
+	cfg.SetHostOn("host0", true)
+	cfg.Place("rubis1-web-0", "host0", 30)
+	cfg.Place("rubis1-app-0", "host0", 25)
+	if got := cfg.AllocatedCPU("host0"); got != 55 {
+		t.Errorf("AllocatedCPU = %v, want 55", got)
+	}
+	if got := cfg.AllocatedCPU("host1"); got != 0 {
+		t.Errorf("AllocatedCPU empty host = %v, want 0", got)
+	}
+	if got := cfg.VMsOnHost("host0"); len(got) != 2 {
+		t.Errorf("VMsOnHost = %v", got)
+	}
+	if cfg.NumActiveHosts() != 1 {
+		t.Errorf("NumActiveHosts = %d, want 1", cfg.NumActiveHosts())
+	}
+	reps := cfg.ActiveReplicas(cat, TierKey{App: "rubis1", Tier: "web"})
+	if len(reps) != 1 || reps[0] != "rubis1-web-0" {
+		t.Errorf("ActiveReplicas = %v", reps)
+	}
+	cfg.Unplace("rubis1-web-0")
+	if cfg.Active("rubis1-web-0") {
+		t.Error("Unplace did not deactivate")
+	}
+}
+
+func TestValidateViolations(t *testing.T) {
+	cat := testCatalog(t, 2, 1)
+
+	t.Run("candidate", func(t *testing.T) {
+		cfg := baseConfig(t, cat, 2, 25)
+		if vs := cfg.Validate(cat); len(vs) != 0 {
+			t.Errorf("unexpected violations: %v", vs)
+		}
+	})
+
+	t.Run("cpu oversubscription", func(t *testing.T) {
+		cfg := baseConfig(t, cat, 2, 25)
+		cfg.Place("rubis1-web-0", "host0", 70)
+		cfg.Place("rubis1-app-0", "host0", 70)
+		found := false
+		for _, v := range cfg.Validate(cat) {
+			if strings.Contains(v.Msg, "oversubscribed") {
+				found = true
+			}
+		}
+		if !found {
+			t.Error("CPU oversubscription not detected")
+		}
+		if cfg.IsCandidate(cat) {
+			t.Error("oversubscribed config reported as candidate")
+		}
+	})
+
+	t.Run("below min cpu", func(t *testing.T) {
+		cfg := baseConfig(t, cat, 2, 25)
+		cfg.Place("rubis1-web-0", "host0", 10)
+		if cfg.IsCandidate(cat) {
+			t.Error("below-min CPU accepted")
+		}
+	})
+
+	t.Run("vm on off host", func(t *testing.T) {
+		cfg := baseConfig(t, cat, 2, 25)
+		cfg.SetHostOn("host1", false)
+		found := false
+		for _, v := range cfg.Validate(cat) {
+			if strings.Contains(v.Msg, "powered-off") {
+				found = true
+			}
+		}
+		if !found {
+			t.Error("VM on powered-off host not detected")
+		}
+	})
+
+	t.Run("too many vms", func(t *testing.T) {
+		cfg := NewConfig()
+		cfg.SetHostOn("host0", true)
+		for _, id := range []VMID{"rubis1-web-0", "rubis1-app-0", "rubis1-app-1", "rubis1-db-0", "rubis1-db-1"} {
+			cfg.Place(id, "host0", 20) // 5 VMs > MaxVMs 4; memory 5*200+200 > 1024 too
+		}
+		var haveCount, haveMem bool
+		for _, v := range cfg.Validate(cat) {
+			if strings.Contains(v.Msg, "VMs, max") {
+				haveCount = true
+			}
+			if strings.Contains(v.Msg, "memory oversubscribed") {
+				haveMem = true
+			}
+		}
+		if !haveCount || !haveMem {
+			t.Errorf("missing violations: count=%v mem=%v", haveCount, haveMem)
+		}
+	})
+
+	t.Run("missing required tier", func(t *testing.T) {
+		cfg := baseConfig(t, cat, 2, 25)
+		cfg.Unplace("rubis1-db-0")
+		found := false
+		for _, v := range cfg.Validate(cat) {
+			if strings.Contains(v.Msg, "no active replica") {
+				found = true
+			}
+		}
+		if !found {
+			t.Error("missing required tier not detected")
+		}
+	})
+
+	t.Run("unknown vm and host", func(t *testing.T) {
+		cfg := NewConfig()
+		cfg.Place("ghost", "host0", 20)
+		cfg.SetHostOn("host0", true)
+		vs := cfg.Validate(cat)
+		found := false
+		for _, v := range vs {
+			if strings.Contains(v.Msg, "unknown VM") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("unknown VM not detected: %v", vs)
+		}
+		cfg2 := NewConfig()
+		cfg2.Place("rubis1-web-0", "ghosthost", 20)
+		found = false
+		for _, v := range cfg2.Validate(cat) {
+			if strings.Contains(v.Msg, "unknown host") {
+				found = true
+			}
+		}
+		if !found {
+			t.Error("unknown host not detected")
+		}
+	})
+}
+
+func TestOptionalTierMayScaleToZero(t *testing.T) {
+	host := DefaultHostSpec("h0")
+	cat, err := NewCatalog(CatalogConfig{
+		Hosts: []HostSpec{host},
+		VMs: []VMSpec{
+			{ID: "a-web-0", App: "a", Tier: "web", MemoryMB: 200},
+			{ID: "a-cache-0", App: "a", Tier: "cache", MemoryMB: 200},
+		},
+		OptionalTiers: []TierKey{{App: "a", Tier: "cache"}},
+	})
+	if err != nil {
+		t.Fatalf("NewCatalog: %v", err)
+	}
+	cfg := NewConfig()
+	cfg.SetHostOn("h0", true)
+	cfg.Place("a-web-0", "h0", 40)
+	if !cfg.IsCandidate(cat) {
+		t.Errorf("config with empty optional tier rejected: %v", cfg.Validate(cat))
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	cat := testCatalog(t, 2, 1)
+	cfg := baseConfig(t, cat, 2, 25)
+	s := cfg.String()
+	if !strings.Contains(s, "host0") || !strings.Contains(s, "rubis1-web-0") {
+		t.Errorf("String() = %q missing expected elements", s)
+	}
+}

@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+// dvfsCatalog builds a 2-host catalog whose first host supports DVFS.
+func dvfsCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	h0 := DefaultHostSpec("h0")
+	h0.DVFSLevels = []float64{0.6, 0.8}
+	cat, err := NewCatalog(CatalogConfig{
+		Hosts: []HostSpec{h0, DefaultHostSpec("h1")},
+		VMs: []VMSpec{
+			{ID: "a-web-0", App: "a", Tier: "web", MemoryMB: 200},
+			{ID: "a-db-0", App: "a", Tier: "db", MemoryMB: 200},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func dvfsConfig(t *testing.T, cat *Catalog) Config {
+	t.Helper()
+	cfg := NewConfig()
+	cfg.SetHostOn("h0", true)
+	cfg.SetHostOn("h1", true)
+	cfg.Place("a-web-0", "h0", 40)
+	cfg.Place("a-db-0", "h1", 40)
+	if !cfg.IsCandidate(cat) {
+		t.Fatalf("base config invalid: %v", cfg.Validate(cat))
+	}
+	return cfg
+}
+
+func TestDVFSLevelValidation(t *testing.T) {
+	bad := DefaultHostSpec("h")
+	bad.DVFSLevels = []float64{0.8, 0.6}
+	if _, err := NewCatalog(CatalogConfig{Hosts: []HostSpec{bad}, VMs: []VMSpec{{ID: "v", App: "a", Tier: "t", MemoryMB: 100}}}); err == nil {
+		t.Error("descending levels accepted")
+	}
+	bad.DVFSLevels = []float64{0, 0.5}
+	if _, err := NewCatalog(CatalogConfig{Hosts: []HostSpec{bad}, VMs: []VMSpec{{ID: "v", App: "a", Tier: "t", MemoryMB: 100}}}); err == nil {
+		t.Error("zero level accepted")
+	}
+	ok := DefaultHostSpec("h")
+	if ok.SupportsDVFS() {
+		t.Error("default host should not support DVFS")
+	}
+	ok.DVFSLevels = []float64{0.6}
+	if !ok.SupportsDVFS() || !ok.HasDVFSLevel(0.6) || !ok.HasDVFSLevel(1) || ok.HasDVFSLevel(0.7) {
+		t.Error("level queries broken")
+	}
+}
+
+func TestApplySetDVFS(t *testing.T) {
+	cat := dvfsCatalog(t)
+	cfg := dvfsConfig(t, cat)
+
+	next, _, err := Apply(cat, cfg, Action{Kind: ActionSetDVFS, Host: "h0", Freq: 0.8})
+	if err != nil {
+		t.Fatalf("set-dvfs: %v", err)
+	}
+	if got := next.HostFreq("h0"); got != 0.8 {
+		t.Errorf("freq = %v, want 0.8", got)
+	}
+	if cfg.HostFreq("h0") != 1 {
+		t.Error("Apply mutated input config")
+	}
+	if !next.IsCandidate(cat) {
+		t.Errorf("DVFS config invalid: %v", next.Validate(cat))
+	}
+	// Key distinguishes frequencies.
+	if cfg.Key() == next.Key() {
+		t.Error("frequency change not reflected in Key")
+	}
+	// Back to nominal.
+	back, _, err := Apply(cat, next, Action{Kind: ActionSetDVFS, Host: "h0", Freq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(cfg) {
+		t.Error("restoring nominal frequency did not restore the config")
+	}
+
+	// Errors: unsupported level, unknown/off host, already-at-level.
+	if _, _, err := Apply(cat, cfg, Action{Kind: ActionSetDVFS, Host: "h0", Freq: 0.7}); err == nil {
+		t.Error("unsupported level accepted")
+	}
+	if _, _, err := Apply(cat, cfg, Action{Kind: ActionSetDVFS, Host: "ghost", Freq: 0.8}); err == nil {
+		t.Error("unknown host accepted")
+	}
+	if _, _, err := Apply(cat, cfg, Action{Kind: ActionSetDVFS, Host: "h0", Freq: 1}); err == nil {
+		t.Error("no-op transition accepted")
+	}
+	if _, _, err := Apply(cat, next, Action{Kind: ActionSetDVFS, Host: "h1", Freq: 0.8}); err == nil {
+		t.Error("level on non-DVFS host accepted")
+	}
+}
+
+func TestValidateRejectsUnsupportedFreq(t *testing.T) {
+	cat := dvfsCatalog(t)
+	cfg := dvfsConfig(t, cat)
+	cfg.SetHostFreq("h1", 0.8) // h1 has no DVFS
+	found := false
+	for _, v := range cfg.Validate(cat) {
+		if strings.Contains(v.Msg, "DVFS") || strings.Contains(v.Msg, "does not support") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("unsupported frequency not flagged")
+	}
+}
+
+func TestEnumerateDVFSActions(t *testing.T) {
+	cat := dvfsCatalog(t)
+	cfg := dvfsConfig(t, cat)
+	actions := Enumerate(cat, cfg, ActionSpace{Kinds: []ActionKind{ActionSetDVFS}})
+	// h0 at nominal: levels 0.6 and 0.8 offered; h1 has none.
+	if len(actions) != 2 {
+		t.Fatalf("actions = %v, want 2 DVFS transitions", actions)
+	}
+	for _, a := range actions {
+		if a.Host != "h0" {
+			t.Errorf("DVFS offered on non-DVFS host: %v", a)
+		}
+	}
+	// From a reduced level, returning to nominal is offered.
+	low, _, err := Apply(cat, cfg, Action{Kind: ActionSetDVFS, Host: "h0", Freq: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	actions = Enumerate(cat, low, ActionSpace{Kinds: []ActionKind{ActionSetDVFS}})
+	var hasNominal bool
+	for _, a := range actions {
+		if a.Freq == 1 {
+			hasNominal = true
+		}
+	}
+	if !hasNominal {
+		t.Errorf("return to nominal not offered: %v", actions)
+	}
+}
+
+func TestPlanHandlesDVFS(t *testing.T) {
+	cat := dvfsCatalog(t)
+	from := dvfsConfig(t, cat)
+	to := from.Clone()
+	to.SetHostFreq("h0", 0.6)
+	plan, err := Plan(cat, from, to)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	got, _, err := ApplyAll(cat, from, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(to) {
+		t.Errorf("plan result %s != target %s", got, to)
+	}
+	if len(plan) != 1 || plan[0].Kind != ActionSetDVFS {
+		t.Errorf("plan = %v, want single set-dvfs", plan)
+	}
+}

@@ -1,0 +1,77 @@
+package cluster
+
+import "fmt"
+
+// Plan computes an ordered sequence of adaptation actions that transforms
+// configuration from into configuration to. The plan orders actions so that
+// every step is feasible under Apply:
+//
+//  1. start hosts that to powers on,
+//  2. decrease CPU allocations (freeing capacity),
+//  3. add replicas activated by to,
+//  4. migrate VMs whose host changes,
+//  5. increase CPU allocations,
+//  6. remove replicas deactivated by to,
+//  7. stop hosts that to powers off.
+//
+// The returned plan applied to from yields a configuration equal to to.
+func Plan(cat *Catalog, from, to Config) ([]Action, error) {
+	var starts, dvfs, decreases, adds, migrates, increases, removes, stops []Action
+
+	for _, h := range cat.HostNames() {
+		fromOn, toOn := from.HostOn(h), to.HostOn(h)
+		switch {
+		case !fromOn && toOn:
+			starts = append(starts, Action{Kind: ActionStartHost, Host: h})
+		case fromOn && !toOn:
+			stops = append(stops, Action{Kind: ActionStopHost, Host: h})
+		}
+		if toOn && from.HostFreq(h) != to.HostFreq(h) {
+			dvfs = append(dvfs, Action{Kind: ActionSetDVFS, Host: h, Freq: to.HostFreq(h)})
+		}
+	}
+
+	for _, id := range cat.VMIDs() {
+		fromP, fromActive := from.PlacementOf(id)
+		toP, toActive := to.PlacementOf(id)
+		switch {
+		case !fromActive && toActive:
+			adds = append(adds, Action{Kind: ActionAddReplica, VM: id, Host: toP.Host, CPUPct: toP.CPUPct})
+		case fromActive && !toActive:
+			removes = append(removes, Action{Kind: ActionRemoveReplica, VM: id})
+		case fromActive && toActive:
+			if delta := toP.CPUPct - fromP.CPUPct; delta < -1e-9 {
+				decreases = append(decreases, Action{Kind: ActionDecreaseCPU, VM: id, DeltaCPUPct: -delta})
+			}
+			if fromP.Host != toP.Host {
+				kind := ActionMigrate
+				if cat.ZoneOf(fromP.Host) != cat.ZoneOf(toP.Host) {
+					kind = ActionWANMigrate
+				}
+				migrates = append(migrates, Action{Kind: kind, VM: id, Host: toP.Host})
+			}
+			if delta := toP.CPUPct - fromP.CPUPct; delta > 1e-9 {
+				increases = append(increases, Action{Kind: ActionIncreaseCPU, VM: id, DeltaCPUPct: delta})
+			}
+		}
+	}
+
+	plan := make([]Action, 0, len(starts)+len(dvfs)+len(decreases)+len(adds)+len(migrates)+len(increases)+len(removes)+len(stops))
+	plan = append(plan, starts...)
+	plan = append(plan, dvfs...)
+	plan = append(plan, decreases...)
+	plan = append(plan, adds...)
+	plan = append(plan, migrates...)
+	plan = append(plan, increases...)
+	plan = append(plan, removes...)
+	plan = append(plan, stops...)
+
+	got, filled, err := ApplyAll(cat, from, plan)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: plan infeasible: %w", err)
+	}
+	if !got.Equal(to) {
+		return nil, fmt.Errorf("cluster: plan does not reach target: got %s, want %s", got, to)
+	}
+	return filled, nil
+}

@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/mistralcloud/mistral/internal/sim"
+)
+
+func TestPlanReachesTarget(t *testing.T) {
+	cat := testCatalog(t, 3, 1)
+	from := baseConfig(t, cat, 2, 25)
+
+	// Target: consolidate everything onto host0/host2, scale up web,
+	// add a db replica, power host1 down and host2 up.
+	to := NewConfig()
+	to.SetHostOn("host0", true)
+	to.SetHostOn("host2", true)
+	to.Place("rubis1-web-0", "host0", 40)
+	to.Place("rubis1-app-0", "host0", 30)
+	to.Place("rubis1-db-0", "host2", 25)
+	to.Place("rubis1-db-1", "host2", 25)
+	if !to.IsCandidate(cat) {
+		t.Fatalf("target not a candidate: %v", to.Validate(cat))
+	}
+
+	plan, err := Plan(cat, from, to)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	got, _, err := ApplyAll(cat, from, plan)
+	if err != nil {
+		t.Fatalf("ApplyAll: %v", err)
+	}
+	if !got.Equal(to) {
+		t.Errorf("plan result %s != target %s", got, to)
+	}
+}
+
+func TestPlanNoopForIdenticalConfigs(t *testing.T) {
+	cat := testCatalog(t, 2, 1)
+	cfg := baseConfig(t, cat, 2, 25)
+	plan, err := Plan(cat, cfg, cfg.Clone())
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if len(plan) != 0 {
+		t.Errorf("plan for identical configs = %v, want empty", plan)
+	}
+}
+
+func TestPlanFailsForInvalidTarget(t *testing.T) {
+	cat := testCatalog(t, 2, 1)
+	from := baseConfig(t, cat, 2, 25)
+	// Deactivating every replica of a required tier cannot be planned.
+	to := from.Clone()
+	to.Unplace("rubis1-db-0")
+	if _, err := Plan(cat, from, to); err == nil {
+		t.Error("Plan to config with missing required tier succeeded")
+	}
+}
+
+// randomCandidate builds a random valid configuration over the catalog using
+// the RNG, by placing one required replica per tier and then optionally more.
+func randomCandidate(cat *Catalog, rng *sim.RNG) (Config, bool) {
+	hosts := cat.HostNames()
+	cfg := NewConfig()
+	nOn := 1 + rng.IntN(len(hosts))
+	perm := rng.Perm(len(hosts))
+	onHosts := make([]string, 0, nOn)
+	for _, i := range perm[:nOn] {
+		cfg.SetHostOn(hosts[i], true)
+		onHosts = append(onHosts, hosts[i])
+	}
+	fits := func(h string, cpu float64) bool {
+		spec, _ := cat.Host(h)
+		return cfg.AllocatedCPU(h)+cpu <= spec.UsableCPUPct &&
+			len(cfg.VMsOnHost(h)) < spec.MaxVMs
+	}
+	place := func(id VMID) bool {
+		cpu := cat.MinCPUPct + float64(rng.IntN(3))*cat.CPUStepPct
+		start := rng.IntN(len(onHosts))
+		for i := 0; i < len(onHosts); i++ {
+			h := onHosts[(start+i)%len(onHosts)]
+			if fits(h, cpu) {
+				cfg.Place(id, h, cpu)
+				return true
+			}
+		}
+		return false
+	}
+	for _, k := range cat.Tiers() {
+		ids := cat.TierVMs(k)
+		if !place(ids[rng.IntN(len(ids))]) {
+			return Config{}, false
+		}
+		// Possibly activate extra replicas.
+		for _, id := range ids {
+			if !cfg.Active(id) && rng.Float64() < 0.3 {
+				place(id)
+			}
+		}
+	}
+	return cfg, cfg.IsCandidate(cat)
+}
+
+// Property: for any two random candidate configurations, Plan produces a
+// feasible action sequence reaching the target exactly.
+func TestPlanProperty(t *testing.T) {
+	cat := testCatalog(t, 4, 2)
+	rng := sim.NewRNG(42, 7)
+	prop := func() bool {
+		from, ok1 := randomCandidate(cat, rng)
+		to, ok2 := randomCandidate(cat, rng)
+		if !ok1 || !ok2 {
+			return true // skip unlucky draws
+		}
+		plan, err := Plan(cat, from, to)
+		if err != nil {
+			t.Logf("Plan failed: from=%s to=%s err=%v", from, to, err)
+			return false
+		}
+		got, _, err := ApplyAll(cat, from, plan)
+		return err == nil && got.Equal(to)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,47 @@
+package cluster
+
+import "testing"
+
+func TestEnumerateRespectsAppPools(t *testing.T) {
+	cat := testCatalog(t, 4, 2)
+	cfg := baseConfig(t, cat, 4, 25)
+	pools := map[string][]string{
+		"rubis1": {"host0", "host1"},
+		"rubis2": {"host2", "host3"},
+	}
+	actions := Enumerate(cat, cfg, ActionSpace{
+		Kinds:    []ActionKind{ActionMigrate, ActionAddReplica},
+		AppPools: pools,
+	})
+	if len(actions) == 0 {
+		t.Fatal("no actions enumerated")
+	}
+	for _, a := range actions {
+		vm, _ := cat.VM(a.VM)
+		pool := pools[vm.App]
+		found := false
+		for _, h := range pool {
+			if a.Host == h {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("action %s targets host outside %s's pool %v", a, vm.App, pool)
+		}
+	}
+	// Unpooled apps stay unconstrained.
+	free := Enumerate(cat, cfg, ActionSpace{
+		Kinds:    []ActionKind{ActionMigrate},
+		AppPools: map[string][]string{"rubis1": {"host0", "host1"}},
+	})
+	cross := false
+	for _, a := range free {
+		vm, _ := cat.VM(a.VM)
+		if vm.App == "rubis2" && (a.Host == "host0" || a.Host == "host1") {
+			cross = true
+		}
+	}
+	if !cross {
+		t.Error("unpooled app unexpectedly constrained")
+	}
+}

@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+// zonedCatalog builds two hosts per zone across two zones.
+func zonedCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	mk := func(name, zone string) HostSpec {
+		h := DefaultHostSpec(name)
+		h.Zone = zone
+		return h
+	}
+	cat, err := NewCatalog(CatalogConfig{
+		Hosts: []HostSpec{mk("east0", "east"), mk("east1", "east"), mk("west0", "west"), mk("west1", "west")},
+		VMs: []VMSpec{
+			{ID: "a-web-0", App: "a", Tier: "web", MemoryMB: 200},
+			{ID: "a-db-0", App: "a", Tier: "db", MemoryMB: 200},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestCatalogZones(t *testing.T) {
+	cat := zonedCatalog(t)
+	zones := cat.Zones()
+	if len(zones) != 2 || zones[0] != "east" || zones[1] != "west" {
+		t.Errorf("Zones = %v", zones)
+	}
+	if got := cat.ZoneOf("west1"); got != "west" {
+		t.Errorf("ZoneOf(west1) = %q", got)
+	}
+	if got := cat.ZoneOf("ghost"); got != "" {
+		t.Errorf("ZoneOf(ghost) = %q", got)
+	}
+	if got := cat.HostsInZone("east"); len(got) != 2 || got[0] != "east0" {
+		t.Errorf("HostsInZone(east) = %v", got)
+	}
+	// Single-zone catalogs report one (empty) zone.
+	single := testCatalog(t, 2, 1)
+	if got := single.Zones(); len(got) != 1 || got[0] != "" {
+		t.Errorf("single-zone Zones = %v", got)
+	}
+}
+
+func TestMigrateVsWANMigrate(t *testing.T) {
+	cat := zonedCatalog(t)
+	cfg := NewConfig()
+	for _, h := range cat.HostNames() {
+		cfg.SetHostOn(h, true)
+	}
+	cfg.Place("a-web-0", "east0", 40)
+	cfg.Place("a-db-0", "east1", 40)
+
+	// Same-zone move: migrate works, wan-migrate refuses.
+	if _, _, err := Apply(cat, cfg, Action{Kind: ActionMigrate, VM: "a-db-0", Host: "east0"}); err != nil {
+		t.Errorf("same-zone migrate rejected: %v", err)
+	}
+	if _, _, err := Apply(cat, cfg, Action{Kind: ActionWANMigrate, VM: "a-db-0", Host: "east0"}); err == nil {
+		t.Error("same-zone wan-migrate accepted")
+	}
+	// Cross-zone move: wan-migrate works, migrate refuses.
+	if _, _, err := Apply(cat, cfg, Action{Kind: ActionMigrate, VM: "a-db-0", Host: "west0"}); err == nil {
+		t.Error("cross-zone migrate accepted")
+	}
+	next, filled, err := Apply(cat, cfg, Action{Kind: ActionWANMigrate, VM: "a-db-0", Host: "west0"})
+	if err != nil {
+		t.Fatalf("cross-zone wan-migrate rejected: %v", err)
+	}
+	if p, _ := next.PlacementOf("a-db-0"); p.Host != "west0" {
+		t.Errorf("VM on %s after wan-migrate", p.Host)
+	}
+	if filled.FromHost != "east1" {
+		t.Errorf("FromHost = %q", filled.FromHost)
+	}
+	if !strings.Contains(filled.String(), "wan-migrate") {
+		t.Errorf("String = %q", filled.String())
+	}
+}
+
+func TestEnumerateSplitsMigrationsByZone(t *testing.T) {
+	cat := zonedCatalog(t)
+	cfg := NewConfig()
+	for _, h := range cat.HostNames() {
+		cfg.SetHostOn(h, true)
+	}
+	cfg.Place("a-web-0", "east0", 40)
+	cfg.Place("a-db-0", "east1", 40)
+
+	lan := Enumerate(cat, cfg, ActionSpace{Kinds: []ActionKind{ActionMigrate}})
+	for _, a := range lan {
+		if cat.ZoneOf(a.Host) != "east" {
+			t.Errorf("LAN migration to foreign zone: %v", a)
+		}
+	}
+	if len(lan) == 0 {
+		t.Error("no LAN migrations enumerated")
+	}
+	wan := Enumerate(cat, cfg, ActionSpace{Kinds: []ActionKind{ActionWANMigrate}})
+	for _, a := range wan {
+		if a.Kind != ActionWANMigrate || cat.ZoneOf(a.Host) != "west" {
+			t.Errorf("unexpected WAN enumeration: %v", a)
+		}
+	}
+	if len(wan) != 4 { // 2 VMs x 2 west hosts
+		t.Errorf("WAN migrations = %d, want 4", len(wan))
+	}
+}
+
+func TestPlanUsesWANMigrateAcrossZones(t *testing.T) {
+	cat := zonedCatalog(t)
+	from := NewConfig()
+	for _, h := range cat.HostNames() {
+		from.SetHostOn(h, true)
+	}
+	from.Place("a-web-0", "east0", 40)
+	from.Place("a-db-0", "east1", 40)
+
+	to := from.Clone()
+	to.Place("a-db-0", "west0", 40)
+
+	plan, err := Plan(cat, from, to)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if len(plan) != 1 || plan[0].Kind != ActionWANMigrate {
+		t.Errorf("plan = %v, want one wan-migrate", plan)
+	}
+	got, _, err := ApplyAll(cat, from, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(to) {
+		t.Error("plan did not reach target")
+	}
+}

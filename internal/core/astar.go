@@ -1,0 +1,494 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/mistralcloud/mistral/internal/cluster"
+)
+
+// SearchOptions tunes the adaptation search of §IV-B.
+type SearchOptions struct {
+	// SelfAware enables Algorithm 1's self-cost accounting and dynamic
+	// pruning; false yields the Naive A* baseline.
+	SelfAware bool
+	// PruneFraction is the fraction of expanded children kept once the
+	// Self-Aware trigger fires (default 0.05, the paper's top 5%).
+	PruneFraction float64
+	// PruneMinKeep floors the pruned width (default 6): a beam of one or
+	// two children collapses into already-visited configurations and
+	// drains the frontier before any plan is found.
+	PruneMinKeep int
+	// DelayFraction is the search delay threshold T̄ as a fraction of the
+	// control window (default 0.05, the paper's 5%).
+	DelayFraction float64
+	// TimePerChild is the simulated decision-making time charged per
+	// generated child vertex; it makes self-awareness deterministic
+	// (default 250 µs, calibrated to the paper's search durations).
+	TimePerChild time.Duration
+	// SearchWatts is the power drawn by the controller host while
+	// searching; the paper measures ≈12% over a 60 W idle host (default
+	// 67 W).
+	SearchWatts float64
+	// MaxExpansions bounds the number of vertex expansions as a safety
+	// valve (default 2500). When hit, the best candidate found so far is
+	// returned.
+	MaxExpansions int
+	// ShapingFraction controls how strongly the search discounts its
+	// cost-to-go by §IV-B's weighted Euclidean distance to the ideal
+	// configuration: traversing the entire root-to-ideal distance forfeits
+	// this fraction of the potential gain (default 0.8; set negative to
+	// disable). Values near 1 turn the search into greedy descent toward
+	// c*. Both variants shape (a pure admissible bound degenerates into
+	// near-exhaustive exploration); what distinguishes Self-Aware is the
+	// width pruning, decision deadline, and expected-utility budget.
+	ShapingFraction float64
+	// EpsilonMargin terminates the search once the best candidate found is
+	// within this fraction of the theoretical utility upper bound
+	// (default 0.01). The admissible heuristic makes shallow intermediates
+	// look marginally better than any reachable candidate, so exact A*
+	// degenerates into near-exhaustive search — precisely the blow-up
+	// §IV-B describes; the margin bounds that tail for the naive search
+	// without affecting which plan wins by more than ε.
+	EpsilonMargin float64
+}
+
+func (o SearchOptions) withDefaults() SearchOptions {
+	if o.PruneFraction <= 0 || o.PruneFraction > 1 {
+		o.PruneFraction = 0.05
+	}
+	if o.PruneMinKeep <= 0 {
+		o.PruneMinKeep = 6
+	}
+	if o.DelayFraction <= 0 {
+		o.DelayFraction = 0.05
+	}
+	if o.TimePerChild <= 0 {
+		o.TimePerChild = 250 * time.Microsecond
+	}
+	if o.SearchWatts <= 0 {
+		o.SearchWatts = 67
+	}
+	if o.MaxExpansions <= 0 {
+		o.MaxExpansions = 2500
+	}
+	if o.EpsilonMargin <= 0 {
+		o.EpsilonMargin = 0.01
+	}
+	switch {
+	case o.ShapingFraction == 0:
+		o.ShapingFraction = 0.8
+	case o.ShapingFraction < 0:
+		o.ShapingFraction = 0
+	case o.ShapingFraction > 1:
+		o.ShapingFraction = 1
+	}
+	return o
+}
+
+// ExpectedUtility carries the controller's pessimistic estimate UH of the
+// utility a control window should deliver, with the rates used to decay it
+// during the search (Algorithm 1's URT_H and Upwr_H, in dollars/second).
+type ExpectedUtility struct {
+	Total    float64 // UH, dollars over the window
+	PerfRate float64
+	PwrRate  float64 // non-positive
+}
+
+// SearchResult is a completed search.
+type SearchResult struct {
+	// Plan is the optimal action sequence (possibly empty: stay put).
+	Plan []cluster.Action
+	// Utility is Eq. 3 evaluated for the plan over the control window.
+	Utility float64
+	// SearchTime is the simulated decision-making time.
+	SearchTime time.Duration
+	// SearchCost is the dollar cost of the decision itself: power drawn by
+	// the controller host over SearchTime.
+	SearchCost float64
+	// Expanded counts vertex expansions; Generated counts children created.
+	Expanded, Generated int
+	// Pruned reports whether Self-Aware pruning fired.
+	Pruned bool
+	// Truncated reports the expansion cap was hit (best-so-far returned).
+	Truncated bool
+}
+
+// vertex is a node in the search graph.
+type vertex struct {
+	cfg      cluster.Config
+	key      string
+	plan     []cluster.Action
+	dur      time.Duration // total duration of plan
+	accrued  float64       // utility accrued while executing plan, dollars
+	utility  float64       // priority: accrued + remaining-window bound
+	finished bool          // reached via the "null" action
+	index    int           // heap position
+}
+
+type vertexHeap []*vertex
+
+func (h vertexHeap) Len() int           { return len(h) }
+func (h vertexHeap) Less(i, j int) bool { return h[i].utility > h[j].utility }
+func (h vertexHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *vertexHeap) Push(x any)        { v := x.(*vertex); v.index = len(*h); *h = append(*h, v) }
+func (h *vertexHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	old[n-1] = nil
+	v.index = -1
+	*h = old[:n-1]
+	return v
+}
+
+// debugSearch enables temporary expansion tracing.
+var debugSearch = false
+
+// Searcher runs adaptation searches against an evaluator.
+type Searcher struct {
+	eval *Evaluator
+	opts SearchOptions
+}
+
+// NewSearcher builds a searcher.
+func NewSearcher(eval *Evaluator, opts SearchOptions) *Searcher {
+	return &Searcher{eval: eval, opts: opts.withDefaults()}
+}
+
+// Search finds the action sequence maximizing Eq. 3 from configuration cfg
+// under the given workload, control window cw, ideal configuration (the
+// admissible cost-to-go), and action space. expected carries UH for the
+// Self-Aware trigger; it is ignored by the naive search.
+func (s *Searcher) Search(cfg cluster.Config, rates map[string]float64, cw time.Duration, ideal Ideal, expected ExpectedUtility, space cluster.ActionSpace) (SearchResult, error) {
+	opts := s.opts
+	cwSec := cw.Seconds()
+	if cwSec <= 0 {
+		return SearchResult{}, fmt.Errorf("core: non-positive control window %v", cw)
+	}
+	idealRate := ideal.Steady.NetRate()
+
+	// As in the paper: if the ideal configuration equals the current one,
+	// no adaptation is worth considering.
+	if ideal.Config.Equal(cfg) {
+		st, err := s.eval.Steady(cfg, rates)
+		if err != nil {
+			return SearchResult{}, err
+		}
+		return SearchResult{Utility: cwSec * st.NetRate()}, nil
+	}
+
+	remaining := func(d time.Duration) float64 {
+		r := (cw - d).Seconds()
+		if r < 0 {
+			return 0
+		}
+		return r
+	}
+
+	// Distance shaping: the admissible bound (CW−D)·U* is identical for
+	// every intermediate, so best-first search would wander plateaus of
+	// near-free actions. The same weighted Euclidean distance §IV-B defines
+	// for pruning is folded into the cost-to-go as a penalty scaled so that
+	// traversing the full distance from the current configuration to the
+	// ideal one forfeits half the potential gain. This grades the frontier
+	// toward c* at the price of ε-bounded (rather than exact) optimality.
+	curRate := 0.0
+	if st, err := s.eval.Steady(cfg, rates); err == nil {
+		curRate = st.NetRate()
+	}
+	rootDist := ConfigDistance(cfg, ideal.Config)
+	var distWeight float64
+	if gain := (idealRate - curRate) * cwSec; gain > 0 && rootDist > 1e-9 {
+		distWeight = opts.ShapingFraction * gain / rootDist
+	}
+	shaped := func(v *vertex) float64 {
+		u := v.accrued + remaining(v.dur)*idealRate
+		if distWeight > 0 {
+			u -= distWeight * ConfigDistance(v.cfg, ideal.Config)
+		}
+		return u
+	}
+
+	root := &vertex{cfg: cfg, key: cfg.Key()}
+	root.utility = shaped(root)
+
+	open := &vertexHeap{}
+	heap.Init(open)
+	heap.Push(open, root)
+	bestByKey := map[string]float64{root.key: root.utility}
+
+	res := SearchResult{}
+	var bestCandidate *vertex
+
+	// Self-awareness state (Algorithm 1). The cost of searching has two
+	// parts: the power the controller host burns (UpwrT) and the utility
+	// forgone by lingering in the current configuration instead of an
+	// expected-quality one while the search runs (UT). When their sum
+	// reaches the expected utility UH of the coming window — or the delay
+	// threshold T̄ passes — the search restricts its width. A system
+	// bleeding utility therefore triggers restriction almost immediately:
+	// deciding soon beats deciding optimally.
+	searchRate := -s.eval.util.PowerRate(opts.SearchWatts) // $/s burned by searching
+	uh := expected.Total
+	var ut, upwrT float64
+	var elapsed time.Duration
+	curSteady, err := s.eval.Steady(cfg, rates)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	expectedRate := expected.PerfRate + expected.PwrRate
+	forgoneRate := expectedRate - curSteady.NetRate()
+	if forgoneRate < 0 {
+		forgoneRate = 0 // a current config above expectations forgoes nothing
+	}
+	delayThreshold := time.Duration(float64(cw) * opts.DelayFraction)
+
+	finish := func(v *vertex) SearchResult {
+		res.Plan = v.plan
+		res.Utility = v.utility
+		res.SearchTime = elapsed
+		res.SearchCost = upwrT
+		return res
+	}
+
+	slack := opts.EpsilonMargin * (math.Abs(idealRate)*cwSec + 1e-9)
+	for open.Len() > 0 {
+		vmax := heap.Pop(open).(*vertex)
+		if vmax.utility < bestByKey[vmax.key]-1e-12 && !vmax.finished {
+			continue // stale duplicate
+		}
+		if vmax.finished {
+			return finish(vmax), nil
+		}
+		// ε-termination: the frontier's optimism has decayed to within the
+		// margin of the best complete plan.
+		if bestCandidate != nil && bestCandidate.utility >= vmax.utility-slack {
+			return finish(bestCandidate), nil
+		}
+		// Self-aware deadline: once the search has run twice past its delay
+		// budget it commits to the best complete plan found — a suboptimal
+		// decision now beats an optimal one whose cost is never recouped
+		// ("consuming power to save power").
+		if opts.SelfAware && elapsed >= 2*delayThreshold && bestCandidate != nil {
+			return finish(bestCandidate), nil
+		}
+		if res.Expanded >= opts.MaxExpansions {
+			res.Truncated = true
+			if bestCandidate != nil {
+				return finish(bestCandidate), nil
+			}
+			// No candidate seen: stay put.
+			st, err := s.eval.Steady(cfg, rates)
+			if err != nil {
+				return SearchResult{}, err
+			}
+			res.SearchTime = elapsed
+			res.SearchCost = upwrT
+			res.Utility = cwSec * st.NetRate()
+			return res, nil
+		}
+		res.Expanded++
+		if debugSearch && res.Expanded%50 == 1 {
+			fmt.Printf("POP #%d u=%.3f depth=%d dur=%v dist=%.3f accr=%.2f open=%d\n",
+				res.Expanded, vmax.utility, len(vmax.plan), vmax.dur, ConfigDistance(vmax.cfg, ideal.Config), vmax.accrued, open.Len())
+		}
+
+		parentSteady, err := s.eval.Steady(vmax.cfg, rates)
+		if err != nil {
+			return SearchResult{}, err
+		}
+
+		// Generate children: every feasible action plus "null" when the
+		// configuration is a candidate.
+		actions := cluster.Enumerate(s.eval.cat, vmax.cfg, space)
+		var children []*vertex
+		if vmax.cfg.IsCandidate(s.eval.cat) {
+			child := &vertex{
+				cfg:      vmax.cfg,
+				key:      vmax.key + "|fin",
+				plan:     vmax.plan,
+				dur:      vmax.dur,
+				accrued:  vmax.accrued,
+				finished: true,
+			}
+			child.utility = vmax.accrued + remaining(vmax.dur)*parentSteady.NetRate()
+			children = append(children, child)
+		}
+		for _, a := range actions {
+			next, filled, err := cluster.Apply(s.eval.cat, vmax.cfg, a)
+			if err != nil {
+				continue
+			}
+			ac := s.eval.Action(vmax.cfg, parentSteady, filled, rates)
+			// A plan must fit the control window: actions past its end
+			// would be charged against benefits the window cannot see —
+			// when the current configuration is bleeding, arbitrarily long
+			// plans would otherwise look free beyond the horizon.
+			if vmax.dur+ac.Duration > cw {
+				continue
+			}
+			child := &vertex{
+				cfg:     next,
+				key:     next.Key(),
+				dur:     vmax.dur + ac.Duration,
+				accrued: vmax.accrued + ac.Duration.Seconds()*ac.Rate,
+			}
+			child.plan = append(append(make([]cluster.Action, 0, len(vmax.plan)+1), vmax.plan...), filled)
+			child.utility = shaped(child)
+			children = append(children, child)
+		}
+		res.Generated += len(children)
+
+		// Self-aware accounting: charge the time spent producing this
+		// expansion, then prune if the search has outspent its budget.
+		t := time.Duration(len(children)) * opts.TimePerChild
+		elapsed += t
+		upwrT += t.Seconds() * searchRate
+		ut += t.Seconds() * forgoneRate
+		uh -= t.Seconds() * expectedRate
+		if opts.SelfAware && ((ut+upwrT) >= uh || elapsed >= delayThreshold) {
+			children = pruneByDistance(children, ideal.Config, opts.PruneFraction, opts.PruneMinKeep)
+			res.Pruned = true
+		}
+
+		for _, child := range children {
+			if child.finished {
+				if bestCandidate == nil || child.utility > bestCandidate.utility {
+					bestCandidate = child
+				}
+				heap.Push(open, child)
+				continue
+			}
+			if prev, seen := bestByKey[child.key]; seen && child.utility <= prev {
+				continue
+			}
+			bestByKey[child.key] = child.utility
+			heap.Push(open, child)
+		}
+	}
+
+	// Open set exhausted without a finished vertex (tiny action spaces):
+	// stay put.
+	st, err := s.eval.Steady(cfg, rates)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	res.SearchTime = elapsed
+	res.SearchCost = upwrT
+	res.Utility = cwSec * st.NetRate()
+	return res, nil
+}
+
+// pruneByDistance keeps the fraction of children closest to the ideal
+// configuration under the weighted Euclidean distance of §IV-B: per-VM CPU
+// differences weighted by the VM's relative size in the ideal
+// configuration, plus a placement term counting VMs on different hosts.
+func pruneByDistance(children []*vertex, ideal cluster.Config, fraction float64, minKeep int) []*vertex {
+	if len(children) == 0 {
+		return children
+	}
+	keep := int(math.Ceil(float64(len(children)) * fraction))
+	if keep < minKeep {
+		keep = minKeep
+	}
+	if keep >= len(children) {
+		return children
+	}
+	type scored struct {
+		v *vertex
+		d float64
+	}
+	scoredChildren := make([]scored, 0, len(children))
+	for _, c := range children {
+		if c.finished {
+			// Finished candidates are never pruned: they are the states the
+			// search must be able to return.
+			scoredChildren = append(scoredChildren, scored{v: c, d: -1})
+			continue
+		}
+		scoredChildren = append(scoredChildren, scored{v: c, d: ConfigDistance(c.cfg, ideal)})
+	}
+	sort.SliceStable(scoredChildren, func(i, j int) bool { return scoredChildren[i].d < scoredChildren[j].d })
+	out := make([]*vertex, 0, keep)
+	for i := 0; i < keep; i++ {
+		out = append(out, scoredChildren[i].v)
+	}
+	return out
+}
+
+// Distance weights: roughly proportional to the transient cost of the
+// action that repairs each kind of mismatch, so that the shaped cost-to-go
+// refunds structural progress (host power, placement) in proportion to what
+// reaching it costs, instead of letting cheap CPU plateaus dominate.
+const (
+	distHostWeight  = 1.5  // start/stop host per mismatched power state
+	distPlaceWeight = 1.0  // migration or replica add/remove per VM
+	distCPUWeight   = 0.02 // per 10% CPU-step gap, weighted by ideal size
+	distFreqWeight  = 0.02 // DVFS transitions are near-free
+)
+
+// ConfigDistance measures how far a configuration is from the ideal one,
+// following §IV-B: per-VM CPU differences weighted by the VM's relative
+// size in the ideal configuration, plus placement and host power-state
+// mismatch counts. It is used both to prune expansions in the Self-Aware
+// search and to shape the search's cost-to-go.
+func ConfigDistance(cfg, ideal cluster.Config) float64 {
+	idealVMs := ideal.ActiveVMs()
+	var totalIdeal float64
+	for _, id := range idealVMs {
+		p, _ := ideal.PlacementOf(id)
+		totalIdeal += p.CPUPct
+	}
+	var dist float64
+	seen := make(map[cluster.VMID]bool, len(idealVMs))
+	for _, id := range idealVMs {
+		ip, _ := ideal.PlacementOf(id)
+		seen[id] = true
+		p, active := cfg.PlacementOf(id)
+		if !active {
+			// Dormant here, active in the ideal: one replica addition.
+			dist += distPlaceWeight
+			continue
+		}
+		if p.Host != ip.Host {
+			// One migration.
+			dist += distPlaceWeight
+		}
+		// CPU gap in steps, weighted by relative ideal size (§IV-B's
+		// "2 times more weight to VMi than VMj" rule).
+		w := 1.0
+		if totalIdeal > 0 {
+			w = ip.CPUPct / totalIdeal * float64(len(idealVMs))
+		}
+		dist += distCPUWeight * w * math.Abs(p.CPUPct-ip.CPUPct) / 10
+	}
+	// Active here, dormant in the ideal: one replica removal.
+	for _, id := range cfg.ActiveVMs() {
+		if !seen[id] {
+			dist += distPlaceWeight
+		}
+	}
+	// Host power-state mismatches: one power-cycling action each. Without
+	// this term, starting a host toward the ideal would look like zero
+	// progress and the search could never justify it.
+	union := make(map[string]bool)
+	for _, h := range cfg.ActiveHosts() {
+		union[h] = true
+	}
+	for _, h := range ideal.ActiveHosts() {
+		union[h] = true
+	}
+	for h := range union {
+		if cfg.HostOn(h) != ideal.HostOn(h) {
+			dist += distHostWeight
+		}
+		if cfg.HostFreq(h) != ideal.HostFreq(h) {
+			dist += distFreqWeight
+		}
+	}
+	return dist
+}

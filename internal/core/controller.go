@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/mistralcloud/mistral/internal/cluster"
+	"github.com/mistralcloud/mistral/internal/predict"
+	"github.com/mistralcloud/mistral/internal/workload"
+)
+
+// ControllerOptions configures one Mistral controller instance (one level
+// of the hierarchy).
+type ControllerOptions struct {
+	// Name labels the controller in logs and results (e.g. "L1-rack0").
+	Name string
+	// BandWidth is the workload band width in req/s (0 for the paper's
+	// 1st-level controllers: any workload change triggers re-evaluation).
+	BandWidth float64
+	// Space restricts the adaptation actions this controller may take.
+	Space cluster.ActionSpace
+	// Hosts scopes the controller to a host subset; empty means all.
+	Hosts []string
+	// Scope selects the Perf-Pwr variant used for the ideal configuration:
+	// ScopeFull repacks (2nd level), ScopeTune only reallocates CPU within
+	// existing placements (1st level).
+	Scope PerfPwrScope
+	// PinAppsToZones constrains the controller's ideal configuration to
+	// keep each application in its current data-center zone. Set it on
+	// levels that cannot migrate across the WAN, so their search bound
+	// stays reachable.
+	PinAppsToZones bool
+	// AppHostPools confines each application to a fixed host pool in both
+	// the ideal computation and the action space (the Perf-Cost baseline's
+	// "2 hosts per application" allotment).
+	AppHostPools map[string][]string
+	// Search configures the A* search.
+	Search SearchOptions
+	// MonitoringInterval is the unit monitoring interval M.
+	MonitoringInterval time.Duration
+	// InitialCW seeds the stability-interval estimator before any
+	// measurement (default 2×M).
+	InitialCW time.Duration
+	// MinCW floors the control window (default 2×M). During steep ramps
+	// every monitoring interval crosses the band, driving the ARMA
+	// estimate to its minimum; without a floor no adaptation with a
+	// minute-scale cost can ever pay off and the controller freezes
+	// exactly when action is most needed.
+	MinCW time.Duration
+	// CrisisCW optionally floors the control window while the current
+	// configuration misses a response-time target (default: same as MinCW,
+	// i.e. no extra floor). Raising it lets deep recoveries (boots plus
+	// replicas, minutes of transients) amortize past the next band escape;
+	// empirically the MinCW floor suffices on the paper's scenarios, and
+	// larger values over-commit to recoveries just as flash crowds
+	// subside.
+	CrisisCW time.Duration
+	// UtilityHistory is how many recent window utilities feed the
+	// pessimistic expected utility UH (default 3).
+	UtilityHistory int
+}
+
+func (o ControllerOptions) withDefaults() ControllerOptions {
+	if o.Scope == 0 {
+		o.Scope = ScopeFull
+	}
+	if o.MonitoringInterval <= 0 {
+		o.MonitoringInterval = 2 * time.Minute
+	}
+	if o.InitialCW <= 0 {
+		o.InitialCW = 2 * o.MonitoringInterval
+	}
+	if o.MinCW <= 0 {
+		o.MinCW = 4 * o.MonitoringInterval
+	}
+	if o.CrisisCW <= 0 {
+		o.CrisisCW = o.MinCW
+	}
+	if o.UtilityHistory <= 0 {
+		o.UtilityHistory = 3
+	}
+	return o
+}
+
+// windowRecord is one past window's realized utility and rates.
+type windowRecord struct {
+	utility  float64 // dollars over the window
+	perfRate float64 // dollars/second
+	pwrRate  float64 // dollars/second, non-positive
+}
+
+// Controller is one Mistral controller: it tracks workload bands, predicts
+// stability intervals with the adaptive ARMA filter, computes the ideal
+// configuration via Perf-Pwr, and searches for the optimal adaptation plan.
+type Controller struct {
+	opts     ControllerOptions
+	eval     *Evaluator
+	searcher *Searcher
+	est      *predict.Estimator
+
+	bands     map[string]workload.Band
+	bandsSet  bool
+	bandStart time.Duration
+	history   []windowRecord
+}
+
+// NewController builds a controller over an evaluator.
+func NewController(eval *Evaluator, opts ControllerOptions) (*Controller, error) {
+	if eval == nil {
+		return nil, fmt.Errorf("core: controller needs an evaluator")
+	}
+	opts = opts.withDefaults()
+	return &Controller{
+		opts:     opts,
+		eval:     eval,
+		searcher: NewSearcher(eval, opts.Search),
+		est:      predict.NewEstimator(0, 0, opts.InitialCW),
+	}, nil
+}
+
+// Name returns the controller's label.
+func (c *Controller) Name() string { return c.opts.Name }
+
+// Options returns the controller's configuration.
+func (c *Controller) Options() ControllerOptions { return c.opts }
+
+// Decision is the outcome of one controller invocation.
+type Decision struct {
+	// Invoked reports whether the workload escaped the band and a search
+	// actually ran; when false all other fields are zero.
+	Invoked bool
+	// Plan is the chosen action sequence (possibly empty).
+	Plan []cluster.Action
+	// CW is the predicted stability interval used as the control window.
+	CW time.Duration
+	// MeasuredInterval is the just-completed stability interval.
+	MeasuredInterval time.Duration
+	// Ideal is the Perf-Pwr result used as the search heuristic.
+	Ideal Ideal
+	// Search carries the search statistics (time, self-cost, pruning).
+	Search SearchResult
+}
+
+// ShouldRun reports whether the current rates escape the controller's
+// bands. Before the first decision it is always true. A zero band width
+// means the controller is invoked on every unit monitoring interval, the
+// paper's 1st-level setting.
+func (c *Controller) ShouldRun(rates map[string]float64) bool {
+	if !c.bandsSet || c.opts.BandWidth <= 0 {
+		return true
+	}
+	return workload.AnyOutside(c.bands, c.scopedRates(rates))
+}
+
+// scopedRates filters rates to the applications this controller can see.
+// All applications are visible to every level in this implementation (the
+// paper partitions hosts, not applications).
+func (c *Controller) scopedRates(rates map[string]float64) map[string]float64 {
+	return rates
+}
+
+// RecordWindow feeds one completed monitoring window's realized utility so
+// the controller can maintain its pessimistic expected utility UH.
+func (c *Controller) RecordWindow(utilityDollars, perfRate, pwrRate float64) {
+	c.history = append(c.history, windowRecord{utility: utilityDollars, perfRate: perfRate, pwrRate: pwrRate})
+	if len(c.history) > c.opts.UtilityHistory {
+		c.history = c.history[len(c.history)-c.opts.UtilityHistory:]
+	}
+}
+
+// expected derives UH for a control window of length cw: the lowest recent
+// window utility, scaled from the monitoring interval to the window.
+func (c *Controller) expected(cw time.Duration) ExpectedUtility {
+	if len(c.history) == 0 {
+		return ExpectedUtility{Total: 0}
+	}
+	low := c.history[0]
+	for _, r := range c.history[1:] {
+		if r.utility < low.utility {
+			low = r
+		}
+	}
+	scale := cw.Seconds() / c.opts.MonitoringInterval.Seconds()
+	return ExpectedUtility{
+		Total:    low.utility * scale,
+		PerfRate: low.perfRate,
+		PwrRate:  low.pwrRate,
+	}
+}
+
+// Decide runs one control cycle at virtual time now: band check, stability
+// interval bookkeeping, Perf-Pwr ideal, and the adaptation search.
+func (c *Controller) Decide(now time.Duration, cfg cluster.Config, rates map[string]float64) (Decision, error) {
+	if !c.ShouldRun(rates) {
+		return Decision{}, nil
+	}
+
+	var measured time.Duration
+	if c.bandsSet {
+		measured = now - c.bandStart
+		c.est.Observe(measured)
+	}
+	cw := c.est.Predict()
+	if cw < c.opts.MinCW {
+		cw = c.opts.MinCW
+	}
+	if cur, err := c.eval.Steady(cfg, rates); err == nil {
+		for name, a := range c.eval.Utility().Apps {
+			if rates[name] > 0 && cur.RTSec[name] > a.TargetRT.Seconds() && cw < c.opts.CrisisCW {
+				cw = c.opts.CrisisCW
+				break
+			}
+		}
+	}
+	c.bands = workload.NewBands(c.scopedRates(rates), c.opts.BandWidth)
+	c.bandsSet = true
+	c.bandStart = now
+
+	c.eval.ResetCache()
+	var ideal Ideal
+	var err error
+	switch c.opts.Scope {
+	case ScopeTune:
+		ideal, err = PerfPwrTune(c.eval, cfg, rates, c.opts.Hosts)
+	case ScopeSubset:
+		ideal, err = PerfPwrSubset(c.eval, cfg, rates, c.opts.Hosts)
+	default:
+		popts := PerfPwrOptions{Scope: ScopeFull, Hosts: c.opts.Hosts, AppHostPools: c.opts.AppHostPools}
+		if c.opts.PinAppsToZones {
+			popts.VMZonePins = VMZonePinsOf(c.eval.cat, cfg)
+		}
+		ideal, err = PerfPwr(c.eval, rates, popts)
+	}
+	if err != nil {
+		return Decision{}, fmt.Errorf("core: %s: %w", c.opts.Name, err)
+	}
+
+	space := c.opts.Space
+	if c.opts.AppHostPools != nil {
+		space.AppPools = c.opts.AppHostPools
+	}
+	sr, err := c.searcher.Search(cfg, rates, cw, ideal, c.expected(cw), space)
+	if err != nil {
+		return Decision{}, fmt.Errorf("core: %s: %w", c.opts.Name, err)
+	}
+	if debugSearch {
+		cur, _ := c.eval.Steady(cfg, rates)
+		fmt.Printf("DECIDE %s t=%v cw=%v curNet=%.4f idealNet=%.4f plan=%d exp=%d st=%v\n",
+			c.opts.Name, now, cw, cur.NetRate(), ideal.Steady.NetRate(), len(sr.Plan), sr.Expanded, sr.SearchTime)
+	}
+	return Decision{
+		Invoked:          true,
+		Plan:             sr.Plan,
+		CW:               cw,
+		MeasuredInterval: measured,
+		Ideal:            ideal,
+		Search:           sr,
+	}, nil
+}

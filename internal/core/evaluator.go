@@ -1,0 +1,178 @@
+// Package core implements the Mistral controller of the paper: the
+// Perf-Pwr optimizer that computes the ideal power/performance
+// configuration while ignoring transient costs (§IV-A), the Naive and
+// Self-Aware A* searches over adaptation-action sequences that maximize the
+// overall utility of Eq. 3 including transient and decision-making costs
+// (§IV-B), and the per-level controller driving band tracking, stability-
+// interval prediction, and search invocation (§II-C).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/mistralcloud/mistral/internal/cluster"
+	"github.com/mistralcloud/mistral/internal/cost"
+	"github.com/mistralcloud/mistral/internal/lqn"
+	"github.com/mistralcloud/mistral/internal/power"
+	"github.com/mistralcloud/mistral/internal/utility"
+)
+
+// Steady is the evaluated steady-state behaviour of one configuration under
+// one workload.
+type Steady struct {
+	// PerfRate is the performance utility accrual rate (Eq. 1 summed over
+	// applications), dollars/second.
+	PerfRate float64
+	// PowerRate is the power utility accrual rate (Eq. 2), dollars/second,
+	// always non-positive.
+	PowerRate float64
+	// Watts is the predicted system power draw.
+	Watts float64
+	// RTSec is the predicted mean response time per application.
+	RTSec map[string]float64
+	// Saturated reports whether any application exceeded capacity.
+	Saturated bool
+}
+
+// NetRate is the combined accrual rate, dollars/second.
+func (s Steady) NetRate() float64 { return s.PerfRate + s.PowerRate }
+
+// Evaluator bundles the predictor modules of Figure 2 — the Performance
+// Manager (LQN model), the Power Consolidation Manager (power model), and
+// the Cost Manager (cost tables) — behind the two operations the optimizer
+// needs: steady-state evaluation of a configuration and transient
+// evaluation of an action. Steady evaluations are memoized by configuration
+// key; the cache is retained until ResetCache (workload change).
+type Evaluator struct {
+	cat   *cluster.Catalog
+	model *lqn.Model
+	util  *utility.Params
+	costs *cost.Manager
+
+	// appNames is the sorted application universe, fixed at construction;
+	// it keys workload fingerprints without per-call sorting.
+	appNames []string
+
+	cache     map[string]Steady
+	cacheHits int
+	evals     int
+}
+
+// NewEvaluator builds an evaluator.
+func NewEvaluator(cat *cluster.Catalog, model *lqn.Model, util *utility.Params, costs *cost.Manager) (*Evaluator, error) {
+	if cat == nil || model == nil || util == nil || costs == nil {
+		return nil, fmt.Errorf("core: evaluator needs catalog, model, utility params, and cost manager")
+	}
+	if err := util.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	names := make([]string, 0, len(model.Apps()))
+	for name := range model.Apps() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return &Evaluator{
+		cat:      cat,
+		model:    model,
+		util:     util,
+		costs:    costs,
+		appNames: names,
+		cache:    make(map[string]Steady),
+	}, nil
+}
+
+// Catalog returns the catalog.
+func (e *Evaluator) Catalog() *cluster.Catalog { return e.cat }
+
+// Utility returns the utility parameters.
+func (e *Evaluator) Utility() *utility.Params { return e.util }
+
+// Costs returns the cost manager.
+func (e *Evaluator) Costs() *cost.Manager { return e.costs }
+
+// ResetCache drops memoized steady evaluations; call it when the workload
+// changes.
+func (e *Evaluator) ResetCache() {
+	e.cache = make(map[string]Steady)
+	e.cacheHits = 0
+	e.evals = 0
+}
+
+// Evals reports how many distinct steady evaluations were performed since
+// the last reset (a proxy for model-solving work).
+func (e *Evaluator) Evals() int { return e.evals }
+
+// ratesKey fingerprints a workload vector for cache keying, iterating the
+// fixed application universe (apps absent from rates fingerprint as zero,
+// matching how the model treats them).
+func (e *Evaluator) ratesKey(rates map[string]float64) string {
+	var b strings.Builder
+	b.Grow(16 * len(e.appNames))
+	for _, name := range e.appNames {
+		b.WriteString(name)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatInt(int64(rates[name]*100+0.5), 10))
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// Steady evaluates a configuration's steady-state utility rates under the
+// given per-application request rates.
+func (e *Evaluator) Steady(cfg cluster.Config, rates map[string]float64) (Steady, error) {
+	key := cfg.Key() + "|" + e.ratesKey(rates)
+	if s, ok := e.cache[key]; ok {
+		e.cacheHits++
+		return s, nil
+	}
+	res, err := e.model.Evaluate(cfg, rates, nil)
+	if err != nil {
+		return Steady{}, fmt.Errorf("core: steady evaluation: %w", err)
+	}
+	s := Steady{RTSec: make(map[string]float64, len(res.Apps))}
+	hostUtil := make(map[string]float64, len(res.Hosts))
+	for h, hr := range res.Hosts {
+		hostUtil[h] = hr.CPUUtil
+	}
+	s.Watts = power.SystemWatts(e.cat, cfg, hostUtil)
+	s.PowerRate = e.util.PowerRate(s.Watts)
+	for name, ar := range res.Apps {
+		s.RTSec[name] = ar.MeanRTSec
+		if ar.Saturated {
+			s.Saturated = true
+		}
+	}
+	s.PerfRate = e.util.PerfRateAll(rates, s.RTSec)
+	e.cache[key] = s
+	e.evals++
+	return s, nil
+}
+
+// ActionCost is the transient evaluation of one action executed from a
+// given configuration: its duration and the utility accrual rate while it
+// runs (Eq. 1 and 2 applied to the degraded response times and elevated
+// power of §III-C).
+type ActionCost struct {
+	Duration time.Duration
+	// Rate is the utility accrual rate during the action, dollars/second.
+	Rate float64
+}
+
+// Action evaluates the transient cost of executing a from cfg, whose steady
+// state is base (pass the memoized Steady of cfg).
+func (e *Evaluator) Action(cfg cluster.Config, base Steady, a cluster.Action, rates map[string]float64) ActionCost {
+	pred := e.costs.Predict(cfg, a, rates)
+	rt := make(map[string]float64, len(base.RTSec))
+	for name, v := range base.RTSec {
+		rt[name] = v + pred.DeltaRTSec[name]
+	}
+	rate := e.util.PerfRateAll(rates, rt) + e.util.PowerRate(base.Watts+pred.DeltaWatts)
+	return ActionCost{Duration: pred.Duration, Rate: rate}
+}
+
+// Model exposes the LQN model (used by scenario assembly).
+func (e *Evaluator) Model() *lqn.Model { return e.model }

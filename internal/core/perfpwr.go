@@ -1,0 +1,881 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/mistralcloud/mistral/internal/cluster"
+)
+
+// Ideal is the output of the Perf-Pwr optimizer: the configuration that
+// optimally trades performance against power for the current workload when
+// transient adaptation costs are ignored, and its utility rates. Its net
+// rate is the admissible cost-to-go heuristic of the A* search.
+type Ideal struct {
+	Config cluster.Config
+	Steady Steady
+}
+
+// PerfPwrScope selects how much freedom the Perf-Pwr optimizer has.
+type PerfPwrScope int
+
+// Scopes.
+const (
+	// ScopeFull repacks every VM (including dormant replicas) onto as few
+	// hosts as possible (the 2nd-level controller's view).
+	ScopeFull PerfPwrScope = iota + 1
+	// ScopeTune keeps placements and replication fixed and only retunes
+	// CPU allocations (the cheapest possible view).
+	ScopeTune
+	// ScopeSubset repacks only the VMs currently placed within a host
+	// subset, holding the rest of the system fixed (the 1st-level
+	// controllers' view: CPU tuning plus migrations inside their group).
+	ScopeSubset
+)
+
+// PerfPwrOptions tunes the optimizer.
+type PerfPwrOptions struct {
+	// Scope defaults to ScopeFull.
+	Scope PerfPwrScope
+	// Hosts restricts the optimizer to a subset of hosts (hierarchy
+	// levels); empty means all hosts.
+	Hosts []string
+	// VMZonePins constrains individual VMs to a data-center zone.
+	// Controllers that cannot migrate across the WAN pin every currently
+	// active VM to its present zone — dormant replicas stay free, exactly
+	// mirroring what such a controller can actually reach (same-zone
+	// migrations plus replica additions anywhere).
+	VMZonePins map[cluster.VMID]string
+	// AppHostPools confines each application's VMs to a fixed host pool
+	// (the Perf-Cost baseline's "2 hosts per application").
+	AppHostPools map[string][]string
+}
+
+// PerfPwr implements the optimizer of §IV-A. For each candidate number of
+// active hosts, from all available down to the minimum able to hold the
+// required VMs at minimum capacity, it starts from maximum CPU allocations
+// for every replica and repeatedly (a) reduces an individual VM's capacity
+// by one step or (b) removes a replica, choosing the candidate with the
+// highest utilization-per-utility gradient ∇ρ, until the VMs bin-pack onto
+// the hosts (worst-fit). The packed configuration with the highest overall
+// utility rate across host counts is the ideal configuration c*.
+func PerfPwr(e *Evaluator, rates map[string]float64, opts PerfPwrOptions) (Ideal, error) {
+	if opts.Scope == 0 {
+		opts.Scope = ScopeFull
+	}
+	hosts := opts.Hosts
+	if len(hosts) == 0 {
+		hosts = e.cat.HostNames()
+	}
+	switch opts.Scope {
+	case ScopeTune:
+		return Ideal{}, fmt.Errorf("core: ScopeTune requires a base configuration; use PerfPwrTune")
+	case ScopeSubset:
+		return Ideal{}, fmt.Errorf("core: ScopeSubset requires a base configuration; use PerfPwrSubset")
+	case ScopeFull:
+	default:
+		return Ideal{}, fmt.Errorf("core: unknown Perf-Pwr scope %d", int(opts.Scope))
+	}
+
+	scope := packScope{
+		managed:             e.cat.VMIDs(),
+		fixed:               cluster.NewConfig(),
+		allowReplicaRemoval: true,
+		zonePins:            opts.VMZonePins,
+		appPools:            opts.AppHostPools,
+	}
+	minHosts := minHostsNeeded(e.cat, hosts)
+	return sweepHostCounts(e, rates, scope, hosts, minHosts)
+}
+
+// VMZonePinsOf pins every active VM of a configuration to its current
+// zone: the reachability constraint of controllers without WAN migration.
+func VMZonePinsOf(cat *cluster.Catalog, cfg cluster.Config) map[cluster.VMID]string {
+	pins := make(map[cluster.VMID]string)
+	for _, id := range cfg.ActiveVMs() {
+		p, _ := cfg.PlacementOf(id)
+		pins[id] = cat.ZoneOf(p.Host)
+	}
+	return pins
+}
+
+// PerfPwrSubset is the 1st-level controllers' ideal: repack only the VMs
+// currently placed within the host subset (no replication changes), holding
+// everything outside the subset fixed.
+func PerfPwrSubset(e *Evaluator, base cluster.Config, rates map[string]float64, hosts []string) (Ideal, error) {
+	if len(hosts) == 0 {
+		hosts = e.cat.HostNames()
+	}
+	// A 1st-level controller cannot cycle host power: only hosts already on
+	// are packing targets, and they stay on (and drawing power) even when
+	// the packing leaves them empty.
+	onHosts := make([]string, 0, len(hosts))
+	inScope := make(map[string]bool, len(hosts))
+	for _, h := range hosts {
+		if base.HostOn(h) {
+			onHosts = append(onHosts, h)
+			inScope[h] = true
+		}
+	}
+	hosts = onHosts
+	fixed := base.Clone()
+	var managed []cluster.VMID
+	for _, id := range base.ActiveVMs() {
+		p, _ := base.PlacementOf(id)
+		if inScope[p.Host] {
+			managed = append(managed, id)
+			fixed.Unplace(id)
+		}
+	}
+	if len(managed) == 0 || len(hosts) == 0 {
+		st, err := e.Steady(base, rates)
+		if err != nil {
+			return Ideal{}, err
+		}
+		return Ideal{Config: base.Clone(), Steady: st}, nil
+	}
+	scope := packScope{managed: managed, fixed: fixed}
+	return sweepHostCounts(e, rates, scope, hosts, 1)
+}
+
+// PerfPwrMeetingTargets is the modified Perf-Pwr optimizer behind the
+// Pwr-Cost baseline (§V-C): identical to PerfPwr except that no reduction
+// may push any application's predicted response time past its target —
+// capacities stay "large enough that the target response time can be met".
+// It returns an error when even maximum capacities cannot meet the targets
+// on any host count.
+func PerfPwrMeetingTargets(e *Evaluator, rates map[string]float64) (Ideal, error) {
+	targets := make(map[string]float64, len(e.util.Apps))
+	for name, a := range e.util.Apps {
+		targets[name] = a.TargetRT.Seconds()
+	}
+	scope := packScope{
+		managed:             e.cat.VMIDs(),
+		fixed:               cluster.NewConfig(),
+		allowReplicaRemoval: true,
+		rtTargets:           targets,
+	}
+	hosts := e.cat.HostNames()
+	ideal, err := sweepHostCounts(e, rates, scope, hosts, minHostsNeeded(e.cat, hosts))
+	if err != nil {
+		return Ideal{}, fmt.Errorf("core: no configuration meets all response-time targets: %w", err)
+	}
+	return ideal, nil
+}
+
+// EvaluatePlan computes Eq. 3 for executing a plan from cfg: transient
+// accrual during each action plus steady accrual of the final configuration
+// for the rest of the control window. An empty plan yields the stay-put
+// utility.
+func EvaluatePlan(e *Evaluator, cfg cluster.Config, plan []cluster.Action, rates map[string]float64, cw time.Duration) (float64, error) {
+	var total float64
+	var spent time.Duration
+	cur := cfg
+	for i, a := range plan {
+		st, err := e.Steady(cur, rates)
+		if err != nil {
+			return 0, err
+		}
+		next, filled, err := cluster.Apply(e.cat, cur, a)
+		if err != nil {
+			return 0, fmt.Errorf("core: evaluating plan step %d: %w", i, err)
+		}
+		ac := e.Action(cur, st, filled, rates)
+		charged := ac.Duration
+		if left := cw - spent; charged > left {
+			charged = left
+		}
+		if charged > 0 {
+			total += charged.Seconds() * ac.Rate
+		}
+		spent += ac.Duration
+		cur = next
+	}
+	if remaining := cw - spent; remaining > 0 {
+		st, err := e.Steady(cur, rates)
+		if err != nil {
+			return 0, err
+		}
+		total += remaining.Seconds() * st.NetRate()
+	}
+	return total, nil
+}
+
+// sweepHostCounts runs the reduction/packing loop for every candidate host
+// count and keeps the best packed configuration.
+func sweepHostCounts(e *Evaluator, rates map[string]float64, scope packScope, hosts []string, minHosts int) (Ideal, error) {
+	multiZone := len(e.cat.Zones()) > 1
+	var best *Ideal
+	for n := len(hosts); n >= minHosts; n-- {
+		variants := []packScope{scope}
+		if multiZone {
+			alt := scope
+			alt.noAffinity = true
+			variants = append(variants, alt)
+		}
+		for _, v := range variants {
+			cfg, ok, err := packWithReduction(e, rates, v, hosts[:n])
+			if err != nil {
+				return Ideal{}, err
+			}
+			if !ok {
+				continue
+			}
+			cfg, steady, err := polishAllocations(e, cfg, rates, v)
+			if err != nil {
+				return Ideal{}, err
+			}
+			if debugSearch {
+				fmt.Printf("SWEEP n=%d noAff=%v net=%.5f cfg=%s\n", n, v.noAffinity, steady.NetRate(), cfg)
+			}
+			if best == nil || steady.NetRate() > best.Steady.NetRate() {
+				best = &Ideal{Config: cfg, Steady: steady}
+			}
+		}
+	}
+	if best == nil {
+		return Ideal{}, fmt.Errorf("core: Perf-Pwr found no feasible configuration on %d hosts", len(hosts))
+	}
+	return tuneDVFS(e, *best, rates, scope)
+}
+
+// polishAllocations hill-climbs a packed configuration's CPU allocations:
+// the reduction loop stops at the *first* packable state, which can leave
+// allocations unbalanced (one tier starved just past the penalty cliff,
+// others over-provisioned). Single ±step moves that improve the net
+// utility rate — staying within host capacity, the VM minimum, and any
+// hard response-time targets — are applied until none remains.
+func polishAllocations(e *Evaluator, cfg cluster.Config, rates map[string]float64, scope packScope) (cluster.Config, Steady, error) {
+	cat := e.cat
+	cur, err := e.Steady(cfg, rates)
+	if err != nil {
+		return cluster.Config{}, Steady{}, err
+	}
+	managed := make(map[cluster.VMID]bool, len(scope.managed))
+	for _, id := range scope.managed {
+		managed[id] = true
+	}
+	for iter := 0; iter < 64; iter++ {
+		improved := false
+		for _, id := range cfg.ActiveVMs() {
+			if !managed[id] {
+				continue
+			}
+			p, _ := cfg.PlacementOf(id)
+			spec, _ := cat.Host(p.Host)
+			for _, delta := range []float64{cat.CPUStepPct, -cat.CPUStepPct} {
+				next := p.CPUPct + delta
+				if next < cat.MinCPUPct-1e-9 || next > spec.UsableCPUPct+1e-9 {
+					continue
+				}
+				if delta > 0 && cfg.AllocatedCPU(p.Host)+delta > spec.UsableCPUPct+1e-9 {
+					continue
+				}
+				cand := cfg.Clone()
+				cand.Place(id, p.Host, next)
+				st, err := e.Steady(cand, rates)
+				if err != nil {
+					return cluster.Config{}, Steady{}, err
+				}
+				if st.NetRate() > cur.NetRate()+1e-12 && scope.meetsTargets(st, rates) {
+					cfg, cur = cand, st
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cfg, cur, nil
+}
+
+// tuneDVFS greedily downclocks DVFS-capable hosts of an ideal configuration
+// while the net utility rate improves (the §VI extension: lower voltage
+// saves power; the model prices the response-time cost). Response-time
+// targets are never violated: explicit scope targets when present,
+// otherwise the evaluator's utility targets — downclocking is a quiet-phase
+// optimization, not a reason to miss objectives.
+func tuneDVFS(e *Evaluator, ideal Ideal, rates map[string]float64, scope packScope) (Ideal, error) {
+	if scope.rtTargets == nil {
+		scope.rtTargets = make(map[string]float64, len(e.util.Apps))
+		for name, a := range e.util.Apps {
+			scope.rtTargets[name] = a.TargetRT.Seconds()
+		}
+	}
+	// Guard band: a downclocked host must still meet targets if the
+	// workload grows ~30% before the next decision — frequency scaling is
+	// a quiet-phase optimization and must not amplify the next ramp.
+	guard := make(map[string]float64, len(rates))
+	for name, r := range rates {
+		guard[name] = r * 1.3
+	}
+	if st, err := e.Steady(ideal.Config, guard); err != nil || !scope.meetsTargets(st, guard) {
+		// The best packing has no slack (or is already overloaded):
+		// frequency scaling has nothing safe to offer.
+		return ideal, err
+	}
+	improved := true
+	for improved {
+		improved = false
+		for _, h := range ideal.Config.ActiveHosts() {
+			spec, ok := e.cat.Host(h)
+			if !ok || !spec.SupportsDVFS() {
+				continue
+			}
+			for _, f := range spec.DVFSLevels {
+				if f == ideal.Config.HostFreq(h) {
+					continue
+				}
+				cand := ideal.Config.Clone()
+				cand.SetHostFreq(h, f)
+				st, err := e.Steady(cand, rates)
+				if err != nil {
+					return Ideal{}, err
+				}
+				if st.NetRate() <= ideal.Steady.NetRate()+1e-12 || !scope.meetsTargets(st, rates) {
+					continue
+				}
+				// The guard band: still within targets at 1.3× the rates.
+				gst, err := e.Steady(cand, guard)
+				if err != nil {
+					return Ideal{}, err
+				}
+				if !scope.meetsTargets(gst, guard) {
+					continue
+				}
+				ideal = Ideal{Config: cand, Steady: st}
+				improved = true
+			}
+		}
+	}
+	return ideal, nil
+}
+
+// minHostsNeeded lower-bounds the host count able to hold one replica of
+// every required tier at minimum capacity.
+func minHostsNeeded(cat *cluster.Catalog, hosts []string) int {
+	var required int
+	for _, k := range cat.Tiers() {
+		if cat.TierRequired(k) {
+			required++
+		}
+	}
+	if required == 0 || len(hosts) == 0 {
+		return 1
+	}
+	spec, _ := cat.Host(hosts[0])
+	byCount := int(math.Ceil(float64(required) / float64(spec.MaxVMs)))
+	byCPU := int(math.Ceil(float64(required) * cat.MinCPUPct / spec.UsableCPUPct))
+	perHostMem := (spec.MemoryMB - spec.Dom0MemoryMB) / 200
+	byMem := 1
+	if perHostMem > 0 {
+		byMem = int(math.Ceil(float64(required) / float64(perHostMem)))
+	}
+	n := byCount
+	if byCPU > n {
+		n = byCPU
+	}
+	if byMem > n {
+		n = byMem
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// allocState is the reduction search state: which replicas are active and
+// their CPU allocations.
+type allocState struct {
+	cpu map[cluster.VMID]float64 // active VMs only
+}
+
+func (s allocState) clone() allocState {
+	n := allocState{cpu: make(map[cluster.VMID]float64, len(s.cpu))}
+	for id, c := range s.cpu {
+		n.cpu[id] = c
+	}
+	return n
+}
+
+func (s allocState) sortedVMs() []cluster.VMID {
+	ids := make([]cluster.VMID, 0, len(s.cpu))
+	for id := range s.cpu {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// packScope bounds what the reduction/packing loop may touch: the VMs it
+// places (everything else is held fixed), whether it may deactivate
+// replicas, and optional hard response-time ceilings that reductions must
+// not violate (the "modified Perf-Pwr optimizer" behind the Pwr-Cost
+// baseline).
+type packScope struct {
+	managed             []cluster.VMID
+	fixed               cluster.Config
+	allowReplicaRemoval bool
+	rtTargets           map[string]float64
+	zonePins            map[cluster.VMID]string
+	appPools            map[string][]string
+	// noAffinity disables the soft same-zone preference for unpinned VMs
+	// (pins stay hard). The sweep tries both variants: zone-local packing
+	// wins on WAN latency, cross-zone packing wins when the home zone has
+	// no capacity left — the model's net rate arbitrates.
+	noAffinity bool
+}
+
+func (s packScope) meetsTargets(st Steady, rates map[string]float64) bool {
+	if s.rtTargets == nil {
+		return true
+	}
+	for appName, target := range s.rtTargets {
+		if rates[appName] > 0 && st.RTSec[appName] > target {
+			return false
+		}
+	}
+	return true
+}
+
+// packWithReduction runs the §IV-A loop for a fixed host subset.
+func packWithReduction(e *Evaluator, rates map[string]float64, scope packScope, hosts []string) (cluster.Config, bool, error) {
+	cat := e.cat
+	// Initial state: every managed replica active at maximum capacity.
+	state := allocState{cpu: make(map[cluster.VMID]float64, len(scope.managed))}
+	maxCPU := cat.MaxVMCPUPct()
+	for _, id := range scope.managed {
+		state.cpu[id] = maxCPU
+	}
+
+	evalState := func(s allocState) (float64, Steady, error) {
+		cfg := spreadConfig(s, scope, hosts)
+		st, err := e.Steady(cfg, rates)
+		if err != nil {
+			return 0, Steady{}, err
+		}
+		return meanAllocUtil(s, rates, e, scope), st, nil
+	}
+
+	curRho, curSt, err := evalState(state)
+	if err != nil {
+		return cluster.Config{}, false, err
+	}
+	curPerf := curSt.PerfRate
+	if !scope.meetsTargets(curSt, rates) {
+		// Even maximum capacities violate a hard target: infeasible.
+		return cluster.Config{}, false, nil
+	}
+
+	var blocked cluster.VMID
+	for iter := 0; ; iter++ {
+		cfg, ok, blockedVM := binPack(cat, state, scope, hosts)
+		if ok {
+			if scope.rtTargets != nil {
+				st, err := e.Steady(cfg, rates)
+				if err != nil {
+					return cluster.Config{}, false, err
+				}
+				if !scope.meetsTargets(st, rates) {
+					return cluster.Config{}, false, nil
+				}
+			}
+			return cfg, true, nil
+		}
+		blocked = blockedVM
+		// When the blocker is pinned to a zone, cutting VMs pinned to a
+		// *different* zone cannot unblock the packing — unrestricted
+		// gradient cuts would starve unrelated applications first. VMs
+		// pinned to the same zone and unpinned VMs (which may be hogging
+		// the blocked zone) remain candidates.
+		var helps func(cluster.VMID) bool
+		if pin, pinned := scope.zonePins[blocked]; pinned {
+			helps = func(id cluster.VMID) bool {
+				z, ok := scope.zonePins[id]
+				return !ok || z == pin
+			}
+		} else {
+			helps = func(cluster.VMID) bool { return true }
+		}
+		// Generate reduction candidates.
+		type candidate struct {
+			state     allocState
+			rho, perf float64
+			gradient  float64
+			rt        float64
+		}
+		var candidates []candidate
+		consider := func(s allocState) error {
+			rho, st, err := evalState(s)
+			if err != nil {
+				return err
+			}
+			if !scope.meetsTargets(st, rates) {
+				return nil // hard targets: this reduction is off the table
+			}
+			perf := st.PerfRate
+			dRho := rho - curRho
+			dPerf := curPerf - perf // utility lost by the reduction
+			g := math.Inf(1)
+			if dPerf > 1e-12 {
+				g = dRho / dPerf
+			} else if dRho <= 1e-12 {
+				g = 0
+			}
+			candidates = append(candidates, candidate{state: s, rho: rho, perf: perf, gradient: g, rt: sumRT(st)})
+			return nil
+		}
+		// (a) reduce one VM's capacity by a step.
+		for _, id := range state.sortedVMs() {
+			if !helps(id) {
+				continue
+			}
+			if state.cpu[id]-cat.CPUStepPct >= cat.MinCPUPct-1e-9 {
+				s := state.clone()
+				s.cpu[id] -= cat.CPUStepPct
+				if err := consider(s); err != nil {
+					return cluster.Config{}, false, err
+				}
+			}
+		}
+		// (b) remove one replica from tiers with more than one active.
+		if scope.allowReplicaRemoval {
+			for _, k := range cat.Tiers() {
+				active := activeReplicas(cat, state, k)
+				if len(active) <= 1 {
+					continue
+				}
+				victim := active[len(active)-1]
+				if !helps(victim) {
+					continue
+				}
+				s := state.clone()
+				delete(s.cpu, victim)
+				if err := consider(s); err != nil {
+					return cluster.Config{}, false, err
+				}
+			}
+		}
+		if len(candidates) == 0 {
+			return cluster.Config{}, false, nil // fully reduced, still unpackable
+		}
+		// Highest gradient wins; ties (common when the flat penalty makes
+		// further cuts to a saturated VM "free") break toward the candidate
+		// with the lowest aggregate response time, so reductions spread
+		// rather than starving one VM.
+		best := candidates[0]
+		for _, c := range candidates[1:] {
+			if c.gradient > best.gradient || (c.gradient == best.gradient && c.rt < best.rt) {
+				best = c
+			}
+		}
+		state, curRho, curPerf = best.state, best.rho, best.perf
+		if iter > 10000 {
+			return cluster.Config{}, false, fmt.Errorf("core: Perf-Pwr reduction did not converge")
+		}
+	}
+}
+
+// sumRT aggregates the steady response times across applications, the
+// gradient tie-breaker.
+func sumRT(st Steady) float64 {
+	var sum float64
+	for _, rt := range st.RTSec {
+		sum += rt
+	}
+	return sum
+}
+
+// activeReplicas lists a tier's active replicas in ID order.
+func activeReplicas(cat *cluster.Catalog, s allocState, k cluster.TierKey) []cluster.VMID {
+	var out []cluster.VMID
+	for _, id := range cat.TierVMs(k) {
+		if _, ok := s.cpu[id]; ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// spreadConfig places the state's VMs round-robin over the host subset
+// (on top of the fixed remainder) ignoring capacity constraints —
+// intermediate configurations are legal for model evaluation, which depends
+// almost entirely on allocations.
+func spreadConfig(s allocState, scope packScope, hosts []string) cluster.Config {
+	cfg := scope.fixed.Clone()
+	for _, h := range hosts {
+		cfg.SetHostOn(h, true)
+	}
+	for i, id := range s.sortedVMs() {
+		cfg.Place(id, hosts[i%len(hosts)], s.cpu[id])
+	}
+	return cfg
+}
+
+// meanAllocUtil is the ∇ρ numerator source: the demand-weighted mean
+// utilization of the allocation, approximated from request rates and model
+// demands. Higher means tighter packing potential.
+func meanAllocUtil(s allocState, rates map[string]float64, e *Evaluator, scope packScope) float64 {
+	var totalDemand, totalAlloc float64
+	for id, cpu := range s.cpu {
+		vm, ok := e.cat.VM(id)
+		if !ok {
+			continue
+		}
+		spec := e.model.Apps()[vm.App]
+		if spec == nil {
+			continue
+		}
+		// Demand share of this replica: tier demand split across active
+		// replicas of the tier, managed or fixed.
+		k := cluster.TierKey{App: vm.App, Tier: vm.Tier}
+		n := len(activeReplicas(e.cat, s, k))
+		for _, rid := range e.cat.TierVMs(k) {
+			if scope.fixed.Active(rid) {
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		totalDemand += rates[vm.App] * spec.MeanDemandMS(vm.Tier) / 1000 / float64(n)
+		totalAlloc += cpu / 100
+	}
+	if totalAlloc <= 0 {
+		return 0
+	}
+	return totalDemand / totalAlloc
+}
+
+// binPack attempts the paper's worst-fit packing: VMs in decreasing size
+// order; each goes to the used host with the largest free capacity, or to a
+// new empty host if none fits. The packed result is merged over the scope's
+// fixed remainder. On failure the VM that could not be placed is returned,
+// so the reduction loop can aim its next cut at the actual bottleneck.
+func binPack(cat *cluster.Catalog, s allocState, scope packScope, hosts []string) (cluster.Config, bool, cluster.VMID) {
+	type hostState struct {
+		name    string
+		freeCPU float64
+		freeMem int
+		slots   int
+		used    bool
+	}
+	hs := make([]*hostState, 0, len(hosts))
+	for _, h := range hosts {
+		spec, _ := cat.Host(h)
+		st := &hostState{
+			name:    h,
+			freeCPU: spec.UsableCPUPct,
+			freeMem: spec.MemoryMB - spec.Dom0MemoryMB,
+			slots:   spec.MaxVMs,
+		}
+		// Fixed VMs on in-scope hosts consume capacity up front.
+		for _, id := range scope.fixed.VMsOnHost(h) {
+			p, _ := scope.fixed.PlacementOf(id)
+			vm, _ := cat.VM(id)
+			st.freeCPU -= p.CPUPct
+			st.freeMem -= vm.MemoryMB
+			st.slots--
+			st.used = true
+		}
+		hs = append(hs, st)
+	}
+	ids := s.sortedVMs()
+	// Pack VMs of the same application together (largest first within an
+	// app) so the zone-affinity preference below can keep each app inside
+	// one data center.
+	sort.SliceStable(ids, func(i, j int) bool {
+		vi, _ := cat.VM(ids[i])
+		vj, _ := cat.VM(ids[j])
+		if vi.App != vj.App {
+			return vi.App < vj.App
+		}
+		return s.cpu[ids[i]] > s.cpu[ids[j]]
+	})
+
+	cfg := scope.fixed.Clone()
+	// appZone remembers where each application's first VM landed; later
+	// VMs of the app prefer that zone, keeping tiers off the WAN. In
+	// single-zone catalogs every host shares the "" zone and the
+	// preference is vacuous (the paper's original worst-fit).
+	appZone := make(map[string]string)
+	for _, id := range ids {
+		vm, _ := cat.VM(id)
+		need := s.cpu[id]
+		inPool := func(hostName string) bool {
+			pool, pooled := scope.appPools[vm.App]
+			if !pooled {
+				return true
+			}
+			for _, p := range pool {
+				if p == hostName {
+					return true
+				}
+			}
+			return false
+		}
+		fits := func(h *hostState) bool {
+			return h.freeCPU >= need-1e-9 && h.freeMem >= vm.MemoryMB && h.slots > 0 && inPool(h.name)
+		}
+		zone, hasZone := appZone[vm.App]
+		if scope.noAffinity {
+			hasZone = false
+		}
+		pin, pinned := scope.zonePins[id]
+		if pinned {
+			zone, hasZone = pin, true
+		}
+		pick := func(used bool, zoneOnly bool) *hostState {
+			var target *hostState
+			for _, h := range hs {
+				if h.used != used || !fits(h) {
+					continue
+				}
+				if zoneOnly && hasZone && cat.ZoneOf(h.name) != zone {
+					continue
+				}
+				if target == nil || h.freeCPU > target.freeCPU {
+					target = h
+				}
+				if !used {
+					break // first empty host (they are interchangeable)
+				}
+			}
+			return target
+		}
+		target := pick(true, true)
+		if target == nil {
+			target = pick(false, true)
+		}
+		// A pinned application never spills to another zone; unpinned apps
+		// fall back to any host (the original worst-fit).
+		if target == nil && !pinned {
+			target = pick(true, false)
+		}
+		if target == nil && !pinned {
+			target = pick(false, false)
+		}
+		if target == nil {
+			return cluster.Config{}, false, id
+		}
+		target.used = true
+		target.freeCPU -= need
+		target.freeMem -= vm.MemoryMB
+		target.slots--
+		cfg.Place(id, target.name, need)
+		if !hasZone {
+			appZone[vm.App] = cat.ZoneOf(target.name)
+		}
+	}
+	// Power on exactly the used hosts.
+	for _, h := range hs {
+		if h.used {
+			cfg.SetHostOn(h.name, true)
+		}
+	}
+	return cfg, true, ""
+}
+
+// PerfPwrTune is the 1st-level controllers' quick variant: placements and
+// replication are fixed; only CPU allocations change. Starting from each
+// host's capacity split proportionally to current allocations, it reduces
+// by gradient until every host satisfies its capacity constraint.
+func PerfPwrTune(e *Evaluator, base cluster.Config, rates map[string]float64, hosts []string) (Ideal, error) {
+	cat := e.cat
+	inScope := func(h string) bool {
+		if len(hosts) == 0 {
+			return true
+		}
+		for _, s := range hosts {
+			if s == h {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Start: every in-scope VM raised to the maximum its host could give it
+	// alone; out-of-scope VMs stay fixed.
+	cfg := base.Clone()
+	var scoped []cluster.VMID
+	for _, id := range base.ActiveVMs() {
+		p, _ := base.PlacementOf(id)
+		if !inScope(p.Host) {
+			continue
+		}
+		spec, _ := cat.Host(p.Host)
+		cfg.Place(id, p.Host, spec.UsableCPUPct)
+		scoped = append(scoped, id)
+	}
+	if len(scoped) == 0 {
+		st, err := e.Steady(base, rates)
+		if err != nil {
+			return Ideal{}, err
+		}
+		return Ideal{Config: base.Clone(), Steady: st}, nil
+	}
+
+	overloaded := func(c cluster.Config) bool {
+		for _, h := range c.ActiveHosts() {
+			spec, _ := cat.Host(h)
+			if c.AllocatedCPU(h) > spec.UsableCPUPct+1e-9 {
+				return true
+			}
+		}
+		return false
+	}
+
+	for iter := 0; overloaded(cfg); iter++ {
+		if iter > 10000 {
+			return Ideal{}, fmt.Errorf("core: Perf-Pwr tune did not converge")
+		}
+		curSteady, err := e.Steady(cfg, rates)
+		if err != nil {
+			return Ideal{}, err
+		}
+		bestGradient := math.Inf(-1)
+		bestRT := math.Inf(1)
+		var bestCfg cluster.Config
+		var found bool
+		for _, id := range scoped {
+			p, _ := cfg.PlacementOf(id)
+			spec, _ := cat.Host(p.Host)
+			if cfg.AllocatedCPU(p.Host) <= spec.UsableCPUPct+1e-9 {
+				continue // host already fits; don't shrink its VMs
+			}
+			if p.CPUPct-cat.CPUStepPct < cat.MinCPUPct-1e-9 {
+				continue
+			}
+			cand := cfg.Clone()
+			cand.Place(id, p.Host, p.CPUPct-cat.CPUStepPct)
+			st, err := e.Steady(cand, rates)
+			if err != nil {
+				return Ideal{}, err
+			}
+			dPerf := curSteady.PerfRate - st.PerfRate
+			g := math.Inf(1)
+			if dPerf > 1e-12 {
+				g = cat.CPUStepPct / dPerf
+			}
+			rt := sumRT(st)
+			if g > bestGradient || (g == bestGradient && rt < bestRT) {
+				bestGradient = g
+				bestRT = rt
+				bestCfg = cand
+				found = true
+			}
+		}
+		if !found {
+			return Ideal{}, fmt.Errorf("core: Perf-Pwr tune cannot satisfy capacity constraints")
+		}
+		cfg = bestCfg
+	}
+	st, err := e.Steady(cfg, rates)
+	if err != nil {
+		return Ideal{}, err
+	}
+	return Ideal{Config: cfg, Steady: st}, nil
+}

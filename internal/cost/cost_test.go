@@ -1,0 +1,266 @@
+package cost
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/mistralcloud/mistral/internal/app"
+	"github.com/mistralcloud/mistral/internal/cluster"
+)
+
+func testCatalog(t *testing.T) (*cluster.Catalog, []*app.Spec) {
+	t.Helper()
+	apps := []*app.Spec{app.RUBiS("rubis1"), app.RUBiS("rubis2")}
+	cat, err := app.BuildCatalog([]cluster.HostSpec{
+		cluster.DefaultHostSpec("h0"), cluster.DefaultHostSpec("h1"),
+		cluster.DefaultHostSpec("h2"), cluster.DefaultHostSpec("h3"),
+	}, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat, apps
+}
+
+func TestTableAddAndLookupNearest(t *testing.T) {
+	tbl := NewTable()
+	k := Key{Kind: cluster.ActionMigrate, Tier: "db"}
+	tbl.Add(k, Entry{Sessions: 400, Duration: 40 * time.Second})
+	tbl.Add(k, Entry{Sessions: 100, Duration: 10 * time.Second})
+	tbl.Add(k, Entry{Sessions: 800, Duration: 80 * time.Second})
+
+	cases := []struct {
+		sessions float64
+		wantDur  time.Duration
+	}{
+		{0, 10 * time.Second},
+		{120, 10 * time.Second},
+		{260, 40 * time.Second},
+		{550, 40 * time.Second},
+		{700, 80 * time.Second},
+		{5000, 80 * time.Second},
+	}
+	for _, c := range cases {
+		e, ok := tbl.Lookup(k, c.sessions)
+		if !ok {
+			t.Fatalf("Lookup(%v) missed", c.sessions)
+		}
+		if e.Duration != c.wantDur {
+			t.Errorf("Lookup(%v).Duration = %v, want %v", c.sessions, e.Duration, c.wantDur)
+		}
+	}
+	// Entries sorted.
+	es := tbl.Entries(k)
+	for i := 1; i < len(es); i++ {
+		if es[i].Sessions < es[i-1].Sessions {
+			t.Error("entries not sorted")
+		}
+	}
+}
+
+func TestLookupFallsBackToTierlessKey(t *testing.T) {
+	tbl := NewTable()
+	tbl.Add(Key{Kind: cluster.ActionMigrate}, Entry{Sessions: 100, Duration: 5 * time.Second})
+	e, ok := tbl.Lookup(Key{Kind: cluster.ActionMigrate, Tier: "db"}, 100)
+	if !ok || e.Duration != 5*time.Second {
+		t.Errorf("fallback lookup = %+v ok=%v", e, ok)
+	}
+	if _, ok := tbl.Lookup(Key{Kind: cluster.ActionStopHost}, 1); ok {
+		t.Error("empty key matched")
+	}
+}
+
+func TestPaperTableShapes(t *testing.T) {
+	tbl := PaperTable()
+
+	// Costs grow with workload for every migration/replica family.
+	for _, k := range []Key{
+		{cluster.ActionMigrate, "db"}, {cluster.ActionMigrate, "app"}, {cluster.ActionMigrate, "web"},
+		{cluster.ActionAddReplica, "db"}, {cluster.ActionRemoveReplica, "db"},
+	} {
+		es := tbl.Entries(k)
+		if len(es) != 8 {
+			t.Fatalf("%v: %d entries, want 8 (100..800 sessions)", k, len(es))
+		}
+		for i := 1; i < len(es); i++ {
+			if es[i].Duration < es[i-1].Duration {
+				t.Errorf("%v: duration not nondecreasing at %v", k, es[i].Sessions)
+			}
+			if es[i].DeltaRTTargetSec < es[i-1].DeltaRTTargetSec {
+				t.Errorf("%v: delta RT not nondecreasing at %v", k, es[i].Sessions)
+			}
+			if es[i].DeltaWatts < es[i-1].DeltaWatts {
+				t.Errorf("%v: delta watts not nondecreasing at %v", k, es[i].Sessions)
+			}
+		}
+	}
+
+	// Fig. 7 ordering: MySQL migration costlier than Tomcat than Apache.
+	for s := 100.0; s <= 800; s += 100 {
+		db, _ := tbl.Lookup(Key{cluster.ActionMigrate, "db"}, s)
+		ap, _ := tbl.Lookup(Key{cluster.ActionMigrate, "app"}, s)
+		web, _ := tbl.Lookup(Key{cluster.ActionMigrate, "web"}, s)
+		if !(db.DeltaWatts > ap.DeltaWatts && ap.DeltaWatts > web.DeltaWatts) {
+			t.Errorf("watt ordering broken at %v sessions: db=%v app=%v web=%v", s, db.DeltaWatts, ap.DeltaWatts, web.DeltaWatts)
+		}
+		if !(db.DeltaRTTargetSec > ap.DeltaRTTargetSec && ap.DeltaRTTargetSec > web.DeltaRTTargetSec) {
+			t.Errorf("RT ordering broken at %v sessions", s)
+		}
+	}
+
+	// Host cycling constants from §V-B.
+	start, ok := tbl.Lookup(Key{Kind: cluster.ActionStartHost}, 300)
+	if !ok || start.Duration != 90*time.Second || start.DeltaWatts != 80 {
+		t.Errorf("start-host = %+v, want 90s/80W", start)
+	}
+	stop, ok := tbl.Lookup(Key{Kind: cluster.ActionStopHost}, 300)
+	if !ok || stop.Duration != 30*time.Second || stop.DeltaWatts != 20 {
+		t.Errorf("stop-host = %+v, want 30s/20W", stop)
+	}
+	if start.DeltaRTTargetSec != 0 || stop.DeltaRTTargetSec != 0 {
+		t.Error("host cycling should not perturb response times")
+	}
+
+	// CPU tuning is the cheapest, fastest action.
+	cpu, ok := tbl.Lookup(Key{Kind: cluster.ActionIncreaseCPU}, 400)
+	if !ok {
+		t.Fatal("no CPU entry")
+	}
+	mig, _ := tbl.Lookup(Key{cluster.ActionMigrate, "db"}, 400)
+	if cpu.Duration >= mig.Duration/10 {
+		t.Errorf("CPU tuning duration %v not much cheaper than migration %v", cpu.Duration, mig.Duration)
+	}
+
+	// Power deltas within Fig. 7a's 8–17%% of the 160 W baseline.
+	for _, k := range tbl.Keys() {
+		if k.Kind != cluster.ActionMigrate {
+			continue
+		}
+		for _, e := range tbl.Entries(k) {
+			pct := e.DeltaWatts / 160 * 100
+			if pct < 7.9 || pct > 17.1 {
+				t.Errorf("%v at %v sessions: %.1f%% outside Fig. 7a range", k, e.Sessions, pct)
+			}
+		}
+	}
+}
+
+func TestKeyFor(t *testing.T) {
+	cat, _ := testCatalog(t)
+	k := KeyFor(cat, cluster.Action{Kind: cluster.ActionMigrate, VM: "rubis1-db-0"})
+	if k.Tier != "db" {
+		t.Errorf("KeyFor migrate = %v, want db tier", k)
+	}
+	k = KeyFor(cat, cluster.Action{Kind: cluster.ActionIncreaseCPU, VM: "rubis1-db-0"})
+	if k.Tier != "" {
+		t.Errorf("KeyFor cpu = %v, want tierless", k)
+	}
+	k = KeyFor(cat, cluster.Action{Kind: cluster.ActionMigrate, VM: "ghost"})
+	if k.Tier != "" {
+		t.Errorf("KeyFor unknown VM = %v, want tierless fallback", k)
+	}
+	if s := (Key{Kind: cluster.ActionMigrate, Tier: "db"}).String(); s != "migrate(db)" {
+		t.Errorf("Key.String = %q", s)
+	}
+}
+
+func TestManagerPredict(t *testing.T) {
+	cat, apps := testCatalog(t)
+	cfg, err := app.DefaultConfig(cat, apps, 4, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(cat, PaperTable(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Migrate a rubis1 db VM; rubis1 at 50 req/s -> 400 sessions.
+	p1, _ := cfg.PlacementOf("rubis1-db-0")
+	dst := "h0"
+	if p1.Host == "h0" {
+		dst = "h1"
+	}
+	a := cluster.Action{Kind: cluster.ActionMigrate, VM: "rubis1-db-0", Host: dst, FromHost: p1.Host}
+	pred := m.Predict(cfg, a, map[string]float64{"rubis1": 50, "rubis2": 50})
+	if pred.Duration <= 0 {
+		t.Fatal("no duration predicted")
+	}
+	if pred.DeltaRTSec["rubis1"] <= 0 {
+		t.Error("target app delta RT missing")
+	}
+	if pred.DeltaWatts <= 0 {
+		t.Error("delta watts missing")
+	}
+	// Any rubis2 VM sharing src/dst hosts suffers the co-located delta.
+	shared := false
+	for _, h := range []string{p1.Host, dst} {
+		for _, id := range cfg.VMsOnHost(h) {
+			if vm, _ := cat.VM(id); vm.App == "rubis2" {
+				shared = true
+			}
+		}
+	}
+	if shared && pred.DeltaRTSec["rubis2"] <= 0 {
+		t.Error("co-located app delta RT missing")
+	}
+	if !shared && pred.DeltaRTSec["rubis2"] != 0 {
+		t.Error("unexpected co-located delta")
+	}
+	if shared && pred.DeltaRTSec["rubis2"] >= pred.DeltaRTSec["rubis1"] {
+		t.Error("co-located delta should be below target delta")
+	}
+
+	// Costs grow with workload.
+	predHi := m.Predict(cfg, a, map[string]float64{"rubis1": 100, "rubis2": 50})
+	if predHi.Duration < pred.Duration || predHi.DeltaRTSec["rubis1"] < pred.DeltaRTSec["rubis1"] {
+		t.Error("higher workload did not raise predicted cost")
+	}
+
+	// Host actions carry no app deltas.
+	hostPred := m.Predict(cfg, cluster.Action{Kind: cluster.ActionStartHost, Host: "h3"}, map[string]float64{"rubis1": 50})
+	if len(hostPred.DeltaRTSec) != 0 {
+		t.Errorf("host action deltas = %v, want none", hostPred.DeltaRTSec)
+	}
+	if hostPred.Duration != 90*time.Second {
+		t.Errorf("host start duration = %v", hostPred.Duration)
+	}
+}
+
+func TestManagerPredictUnmeasuredAction(t *testing.T) {
+	cat, apps := testCatalog(t)
+	cfg, err := app.DefaultConfig(cat, apps, 4, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(cat, NewTable(), 8) // empty table
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := m.Predict(cfg, cluster.Action{Kind: cluster.ActionMigrate, VM: "rubis1-db-0", Host: "h0"}, map[string]float64{"rubis1": 50})
+	if pred.Duration != 0 || pred.DeltaWatts != 0 || len(pred.DeltaRTSec) != 0 {
+		t.Errorf("unmeasured action prediction = %+v, want zero", pred)
+	}
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	cat, _ := testCatalog(t)
+	if _, err := NewManager(cat, nil, 8); err == nil {
+		t.Error("nil table accepted")
+	}
+	if _, err := NewManager(cat, NewTable(), 0); err == nil {
+		t.Error("zero session factor accepted")
+	}
+}
+
+func TestTableKeysDeterministic(t *testing.T) {
+	tbl := PaperTable()
+	k1 := tbl.Keys()
+	k2 := tbl.Keys()
+	if fmt.Sprint(k1) != fmt.Sprint(k2) {
+		t.Error("Keys not deterministic")
+	}
+	if len(k1) == 0 {
+		t.Error("no keys")
+	}
+}

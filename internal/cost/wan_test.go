@@ -1,0 +1,73 @@
+package cost
+
+import (
+	"testing"
+
+	"github.com/mistralcloud/mistral/internal/app"
+	"github.com/mistralcloud/mistral/internal/cluster"
+)
+
+func TestPredictWANMigration(t *testing.T) {
+	apps := []*app.Spec{app.RUBiS("rubis1"), app.RUBiS("rubis2")}
+	mk := func(name, zone string) cluster.HostSpec {
+		h := cluster.DefaultHostSpec(name)
+		h.Zone = zone
+		return h
+	}
+	cat, err := app.BuildCatalog([]cluster.HostSpec{
+		mk("e0", "east"), mk("e1", "east"), mk("w0", "west"), mk("w1", "west"),
+	}, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cluster.NewConfig()
+	for _, h := range cat.HostNames() {
+		cfg.SetHostOn(h, true)
+	}
+	cfg.Place("rubis1-web-0", "e0", 30)
+	cfg.Place("rubis1-app-0", "e0", 40)
+	cfg.Place("rubis1-db-0", "e1", 40)
+	cfg.Place("rubis2-web-0", "w0", 30)
+	cfg.Place("rubis2-app-0", "w0", 40)
+	cfg.Place("rubis2-db-0", "w1", 40)
+
+	m, err := NewManager(cat, PaperTable(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := map[string]float64{"rubis1": 50, "rubis2": 50}
+
+	wan := m.Predict(cfg, cluster.Action{
+		Kind: cluster.ActionWANMigrate, VM: "rubis1-db-0", Host: "w1", FromHost: "e1",
+	}, rates)
+	lan := m.Predict(cfg, cluster.Action{
+		Kind: cluster.ActionMigrate, VM: "rubis1-db-0", Host: "e0", FromHost: "e1",
+	}, rates)
+
+	if wan.Duration <= lan.Duration {
+		t.Errorf("WAN duration %v not above LAN %v", wan.Duration, lan.Duration)
+	}
+	if wan.DeltaRTSec["rubis1"] <= lan.DeltaRTSec["rubis1"] {
+		t.Errorf("WAN ΔRT %v not above LAN %v", wan.DeltaRTSec["rubis1"], lan.DeltaRTSec["rubis1"])
+	}
+	// The WAN move lands on rubis2's host: rubis2 suffers the co-located
+	// delta.
+	if wan.DeltaRTSec["rubis2"] <= 0 {
+		t.Error("co-located app unaffected by WAN migration onto its host")
+	}
+	if wan.DeltaRTSec["rubis2"] >= wan.DeltaRTSec["rubis1"] {
+		t.Error("co-located delta should stay below target delta")
+	}
+}
+
+func TestKeyForWANResolvesTier(t *testing.T) {
+	apps := []*app.Spec{app.RUBiS("rubis1")}
+	cat, err := app.BuildCatalog([]cluster.HostSpec{cluster.DefaultHostSpec("h0")}, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := KeyFor(cat, cluster.Action{Kind: cluster.ActionWANMigrate, VM: "rubis1-app-0"})
+	if k.Tier != "app" {
+		t.Errorf("KeyFor wan-migrate = %v, want app tier", k)
+	}
+}

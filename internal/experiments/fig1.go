@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/mistralcloud/mistral/internal/cluster"
+	"github.com/mistralcloud/mistral/internal/core"
+	"github.com/mistralcloud/mistral/internal/stats"
+	"github.com/mistralcloud/mistral/internal/testbed"
+	"github.com/mistralcloud/mistral/internal/workload"
+)
+
+// Fig1Series is one workload level's transient trace during a live
+// migration (Fig. 1): power and response-time deltas relative to the
+// pre-migration baseline, in percent, sampled at 5-second intervals.
+type Fig1Series struct {
+	Sessions      float64
+	BaselineWatts float64
+	BaselineRTSec float64
+	DeltaWattPct  []float64
+	DeltaRTPct    []float64
+}
+
+// Fig1Result aggregates the three workload levels of Fig. 1.
+type Fig1Result struct {
+	// Interval is the sampling interval (5 s) and MigrationAt the window
+	// index at which the migration was initiated (5 -> 25 s).
+	Interval    time.Duration
+	MigrationAt int
+	Series      []Fig1Series
+}
+
+// Fig1MigrationCost reproduces Figure 1: the end-to-end power and
+// response-time impact of a single live migration of a database VM of a
+// 3-tier application, measured on the request-level testbed at 100, 400,
+// and 800 concurrent sessions, at 5-second granularity over 110 intervals
+// with the migration initiated at the 25 s mark.
+func Fig1MigrationCost(seed uint64) (*Fig1Result, error) {
+	const (
+		nWindows    = 110
+		migrationAt = 5 // window index: 5 × 5 s = 25 s
+		warmup      = 2 * time.Minute
+	)
+	res := &Fig1Result{Interval: 5 * time.Second, MigrationAt: migrationAt}
+
+	for _, sessions := range []float64{100, 400, 800} {
+		lab, err := NewLab(LabOptions{NumApps: 1, NumHosts: 4, Seed: seed, Mode: testbed.ModeRequestLevel})
+		if err != nil {
+			return nil, err
+		}
+		rate := workload.RateForSessions(sessions)
+		rates := map[string]float64{"rubis1": rate}
+
+		// Baseline configuration: capacities adequate for the offered rate
+		// (the testbed stays stationary so the transient is measurable).
+		eval, err := lab.TrueEvaluator()
+		if err != nil {
+			return nil, err
+		}
+		ideal, err := core.PerfPwrMeetingTargets(eval, rates)
+		if err != nil {
+			ideal, err = core.PerfPwr(eval, rates, core.PerfPwrOptions{})
+			if err != nil {
+				return nil, err
+			}
+		}
+		// Pick a db replica and a feasible destination, powering on a spare
+		// host when the ideal configuration packed everything tight (the
+		// paper's testbed likewise keeps a free host to migrate into).
+		baseCfg := ideal.Config.Clone()
+		vm, dst := pickMigration(lab, &baseCfg)
+		if vm == "" {
+			return nil, fmt.Errorf("experiments: fig1: no migratable db VM at %v sessions", sessions)
+		}
+		tb, err := testbed.New(lab.Cat, lab.Apps, baseCfg, rates, lab.Costs, testbed.Options{
+			Mode:       testbed.ModeRequestLevel,
+			ClosedLoop: true, // the paper's client emulator: fixed sessions
+			Seed:       seed + uint64(sessions),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := tb.MeasureWindow(warmup); err != nil {
+			return nil, err
+		}
+
+		series := Fig1Series{Sessions: sessions}
+		var watts, rts []float64
+		for w := 0; w < nWindows; w++ {
+			if w == migrationAt {
+				if _, err := tb.Execute([]cluster.Action{{Kind: cluster.ActionMigrate, VM: vm, Host: dst}}); err != nil {
+					return nil, err
+				}
+			}
+			win, err := tb.MeasureWindow(tb.Now() + res.Interval)
+			if err != nil {
+				return nil, err
+			}
+			watts = append(watts, win.Watts)
+			rts = append(rts, win.RTSec["rubis1"])
+		}
+		series.BaselineWatts = stats.Mean(watts[:migrationAt])
+		series.BaselineRTSec = stats.Mean(rts[:migrationAt])
+		for w := 0; w < nWindows; w++ {
+			series.DeltaWattPct = append(series.DeltaWattPct, 100*(watts[w]-series.BaselineWatts)/series.BaselineWatts)
+			rtBase := series.BaselineRTSec
+			if rtBase <= 0 {
+				rtBase = 1e-9
+			}
+			series.DeltaRTPct = append(series.DeltaRTPct, 100*(rts[w]-rtBase)/rtBase)
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+// pickMigration selects a db replica and a destination host with capacity,
+// powering an off host on (mutating cfg) when every active host is full.
+func pickMigration(lab *Lab, cfg *cluster.Config) (cluster.VMID, string) {
+	fits := func(h string, cpu float64) bool {
+		spec, _ := lab.Cat.Host(h)
+		return cfg.AllocatedCPU(h)+cpu <= spec.UsableCPUPct && len(cfg.VMsOnHost(h)) < spec.MaxVMs
+	}
+	var dbVMs []cluster.VMID
+	for _, id := range cfg.ActiveVMs() {
+		if spec, _ := lab.Cat.VM(id); spec.Tier == "db" {
+			dbVMs = append(dbVMs, id)
+		}
+	}
+	for _, id := range dbVMs {
+		p, _ := cfg.PlacementOf(id)
+		for _, h := range cfg.ActiveHosts() {
+			if h != p.Host && fits(h, p.CPUPct) {
+				return id, h
+			}
+		}
+	}
+	// No active host has room: open a spare one.
+	for _, h := range lab.Cat.HostNames() {
+		if !cfg.HostOn(h) {
+			cfg.SetHostOn(h, true)
+			if len(dbVMs) > 0 {
+				return dbVMs[0], h
+			}
+		}
+	}
+	return "", ""
+}
+
+// PeakDeltaWattPct returns the maximum power delta of a series.
+func (s Fig1Series) PeakDeltaWattPct() float64 {
+	var peak float64
+	for _, v := range s.DeltaWattPct {
+		if v > peak {
+			peak = v
+		}
+	}
+	return peak
+}
+
+// PeakDeltaRTPct returns the maximum response-time delta of a series.
+func (s Fig1Series) PeakDeltaRTPct() float64 {
+	var peak float64
+	for _, v := range s.DeltaRTPct {
+		if v > peak {
+			peak = v
+		}
+	}
+	return peak
+}
+
+// Tables renders the result.
+func (r *Fig1Result) Tables() []Table {
+	power := Table{
+		Title:  "Fig. 1a — Delta power (%) during a single VM live-migration (migration at t=25s)",
+		Header: []string{"t(s)"},
+	}
+	rt := Table{
+		Title:  "Fig. 1b — Delta response time (%) during a single VM live-migration",
+		Header: []string{"t(s)"},
+	}
+	for _, s := range r.Series {
+		power.Header = append(power.Header, fmt.Sprintf("%.0f sess", s.Sessions))
+		rt.Header = append(rt.Header, fmt.Sprintf("%.0f sess", s.Sessions))
+	}
+	n := len(r.Series[0].DeltaWattPct)
+	for w := 0; w < n; w++ {
+		pRow := []string{f0(float64(w+1) * r.Interval.Seconds())}
+		rRow := []string{f0(float64(w+1) * r.Interval.Seconds())}
+		for _, s := range r.Series {
+			pRow = append(pRow, f1(s.DeltaWattPct[w]))
+			rRow = append(rRow, f1(s.DeltaRTPct[w]))
+		}
+		power.Rows = append(power.Rows, pRow)
+		rt.Rows = append(rt.Rows, rRow)
+	}
+	return []Table{power, rt}
+}

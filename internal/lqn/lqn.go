@@ -1,0 +1,385 @@
+// Package lqn implements the layered queuing network performance model of
+// §III-A: application tiers are software queues served by processor-sharing
+// CPU stations whose rate is the VM's CPU allocation, inter-tier
+// interactions are synchronous calls, and Xen's virtualization overhead is
+// charged to a per-host Dom-0 station. Given a configuration and a workload
+// the model predicts per-application mean response time, per-transaction
+// response times, per-VM and per-host CPU utilization.
+//
+// The model is an open product-form approximation: each replica is an
+// M/G/1-PS station with service rate proportional to its CPU allocation,
+// load is balanced across replicas proportionally to allocation, and a
+// request's end-to-end response time is the sum of its residence times at
+// every tier it visits plus Dom-0 residence on each visited host.
+//
+// Overload does not produce infinities: utilizations are softly capped and
+// an overload penalty grows linearly in the excess demand, mimicking the
+// bounded response times a closed population of clients produces on a
+// saturated testbed. Results flag saturation explicitly.
+package lqn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/mistralcloud/mistral/internal/app"
+	"github.com/mistralcloud/mistral/internal/cluster"
+)
+
+// Options tunes the solver. The zero value selects the defaults below.
+type Options struct {
+	// Dom0CPUShare is the fraction of host CPU reserved for Dom-0
+	// (default 0.20, matching the paper's 80% VM cap on 100% hosts).
+	Dom0CPUShare float64
+	// MaxRho is the utilization soft cap used in residence-time formulas
+	// (default 0.97).
+	MaxRho float64
+	// OverloadPenaltySec is the response-time penalty per unit of demand
+	// exceeding the soft cap (default 4 s), keeping overload finite and
+	// monotone, as a closed client population does in practice.
+	OverloadPenaltySec float64
+	// BaseHostUtil is the utilization floor of a powered-on host from OS
+	// housekeeping (default 0.02; set negative for an explicit zero).
+	BaseHostUtil float64
+	// CrossZoneLatencyMS is the round-trip penalty added per tier hop that
+	// crosses data-center zones (default 40 ms; the §VI WAN extension).
+	CrossZoneLatencyMS float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Dom0CPUShare <= 0 {
+		o.Dom0CPUShare = 0.20
+	}
+	if o.MaxRho <= 0 || o.MaxRho >= 1 {
+		o.MaxRho = 0.97
+	}
+	if o.OverloadPenaltySec <= 0 {
+		o.OverloadPenaltySec = 4.0
+	}
+	switch {
+	case o.BaseHostUtil == 0:
+		o.BaseHostUtil = 0.02
+	case o.BaseHostUtil < 0:
+		o.BaseHostUtil = 0
+	}
+	if o.CrossZoneLatencyMS == 0 {
+		o.CrossZoneLatencyMS = 40
+	} else if o.CrossZoneLatencyMS < 0 {
+		o.CrossZoneLatencyMS = 0
+	}
+	return o
+}
+
+// Model evaluates the layered queuing network for a fixed set of
+// applications. Construct with NewModel; safe for concurrent use because
+// Evaluate does not mutate shared state.
+type Model struct {
+	apps map[string]*app.Spec
+	cat  *cluster.Catalog
+	opts Options
+}
+
+// NewModel builds a model over the given applications and catalog.
+func NewModel(cat *cluster.Catalog, apps []*app.Spec, opts Options) (*Model, error) {
+	m := &Model{
+		apps: make(map[string]*app.Spec, len(apps)),
+		cat:  cat,
+		opts: opts.withDefaults(),
+	}
+	for _, a := range apps {
+		if err := a.Validate(); err != nil {
+			return nil, fmt.Errorf("lqn: %w", err)
+		}
+		if _, dup := m.apps[a.Name]; dup {
+			return nil, fmt.Errorf("lqn: duplicate application %q", a.Name)
+		}
+		m.apps[a.Name] = a
+	}
+	return m, nil
+}
+
+// Apps returns the specs the model was built with, keyed by name.
+func (m *Model) Apps() map[string]*app.Spec { return m.apps }
+
+// Catalog returns the catalog the model was built with.
+func (m *Model) Catalog() *cluster.Catalog { return m.cat }
+
+// AppResult is the model's prediction for one application.
+type AppResult struct {
+	// MeanRTSec is the mix-weighted mean end-to-end response time in
+	// seconds.
+	MeanRTSec float64
+	// TxnRTSec maps transaction name to its mean response time in seconds.
+	TxnRTSec map[string]float64
+	// Saturated reports that at least one tier exceeded the utilization
+	// soft cap (demand beyond capacity).
+	Saturated bool
+	// TierUtil maps tier name to the utilization of its replicas (demand
+	// over allocated capacity, may exceed 1 when saturated).
+	TierUtil map[string]float64
+}
+
+// HostResult is the model's prediction for one host.
+type HostResult struct {
+	// CPUUtil is the total physical CPU utilization in [0,1], including
+	// Dom-0 and the housekeeping floor. It drives the power model.
+	CPUUtil float64
+	// Dom0Util is the utilization of the Dom-0 share in [0,...], >1 when
+	// the hypervisor domain itself saturates (e.g. during migrations).
+	Dom0Util float64
+}
+
+// Result is a full model evaluation.
+type Result struct {
+	Apps  map[string]AppResult
+	Hosts map[string]HostResult
+	// VMUtil maps VM to the utilization of its own allocation in [0,...].
+	VMUtil map[cluster.VMID]float64
+}
+
+// MeanRTSec returns the predicted mean response time for an application, or
+// +Inf if the app is unknown.
+func (r *Result) MeanRTSec(appName string) float64 {
+	if a, ok := r.Apps[appName]; ok {
+		return a.MeanRTSec
+	}
+	return math.Inf(1)
+}
+
+// replicaState captures one active replica's allocation for a tier.
+type replicaState struct {
+	vm   cluster.VMID
+	host string
+	frac float64 // CPU allocation as fraction of reference capacity
+}
+
+// Evaluate predicts performance for configuration cfg under the workload
+// (requests/sec per application). dom0Background adds extra utilization (in
+// fraction of the Dom-0 share) to specific hosts, modeling transient load
+// such as live migrations. Unknown applications in load are an error;
+// applications without load default to zero rate.
+func (m *Model) Evaluate(cfg cluster.Config, load map[string]float64, dom0Background map[string]float64) (*Result, error) {
+	for name := range load {
+		if _, ok := m.apps[name]; !ok {
+			return nil, fmt.Errorf("lqn: workload references unknown application %q", name)
+		}
+	}
+
+	res := &Result{
+		Apps:   make(map[string]AppResult, len(m.apps)),
+		Hosts:  make(map[string]HostResult, len(m.cat.HostNames())),
+		VMUtil: make(map[cluster.VMID]float64),
+	}
+
+	// Pass 0: hosts whose allocations are oversubscribed scale every VM's
+	// effective rate proportionally, as Xen's credit scheduler would. This
+	// keeps intermediate configurations (legal inputs during optimization)
+	// from evaluating better than any physically feasible configuration.
+	hostScale := make(map[string]float64)
+	{
+		hostAlloc := make(map[string]float64)
+		for _, id := range cfg.ActiveVMs() {
+			p, _ := cfg.PlacementOf(id)
+			hostAlloc[p.Host] += p.CPUPct
+		}
+		for h, alloc := range hostAlloc {
+			spec, ok := m.cat.Host(h)
+			if !ok {
+				continue
+			}
+			if alloc > spec.UsableCPUPct {
+				hostScale[h] = spec.UsableCPUPct / alloc
+			}
+		}
+	}
+
+	// Pass 1: per-tier replica states, utilizations, Dom-0 demand per host.
+	type tierState struct {
+		replicas []replicaState
+		sumFrac  float64
+		demandMS float64 // mix-weighted demand per request
+		rho      float64 // per-replica utilization (equal under weighted LB)
+	}
+	states := make(map[string]map[string]*tierState, len(m.apps)) // app -> tier
+	dom0DemandCPU := make(map[string]float64)                     // host -> absolute CPU fraction demanded by Dom-0 work
+	hostVMUtil := make(map[string]float64)                        // host -> absolute CPU fraction used by VMs
+
+	for name, spec := range m.apps {
+		lambda := load[name]
+		tiers := make(map[string]*tierState, len(spec.Tiers))
+		states[name] = tiers
+		for _, t := range spec.Tiers {
+			ts := &tierState{demandMS: spec.MeanDemandMS(t.Name)}
+			for r := 0; r < t.MaxReplicas; r++ {
+				id := spec.VMIDFor(t.Name, r)
+				if p, ok := cfg.PlacementOf(id); ok {
+					// DVFS scales the host's compute: a VM's effective rate
+					// is its allocation times the frequency fraction.
+					frac := p.CPUPct / 100 * cfg.HostFreq(p.Host)
+					if scale, over := hostScale[p.Host]; over {
+						frac *= scale
+					}
+					ts.replicas = append(ts.replicas, replicaState{vm: id, host: p.Host, frac: frac})
+					ts.sumFrac += frac
+				}
+			}
+			tiers[t.Name] = ts
+			if lambda <= 0 || ts.demandMS <= 0 {
+				continue
+			}
+			if ts.sumFrac <= 0 {
+				// No active replica for a tier with demand: the app cannot
+				// serve requests; handled in pass 2 as saturation.
+				continue
+			}
+			// Weighted load balancing yields equal per-replica utilization:
+			// rho_i = (lambda*f_i/sumF)*D/f_i = lambda*D/sumF.
+			ts.rho = lambda * (ts.demandMS / 1000) / ts.sumFrac
+			for _, rep := range ts.replicas {
+				lambdaI := lambda * rep.frac / ts.sumFrac
+				used := lambdaI * (ts.demandMS / 1000) // absolute CPU fraction
+				if used > rep.frac {
+					used = rep.frac // work-conserving cap at the allocation
+				}
+				hostVMUtil[rep.host] += used
+				res.VMUtil[rep.vm] = ts.rho
+				// Dom-0 demand: one visit per tier per request.
+				dom0DemandCPU[rep.host] += lambdaI * (spec.Dom0OverheadMS / 1000)
+			}
+		}
+	}
+
+	// Pass 2: Dom-0 utilizations per host (shared by all apps on the host).
+	// The Dom-0 share slows with the host's DVFS frequency too.
+	dom0Util := make(map[string]float64)
+	for _, h := range m.cat.HostNames() {
+		if !cfg.HostOn(h) {
+			continue
+		}
+		share := m.opts.Dom0CPUShare * cfg.HostFreq(h)
+		util := dom0DemandCPU[h]/share + dom0Background[h]
+		dom0Util[h] = util
+	}
+
+	// Pass 3: per-application response times.
+	for name, spec := range m.apps {
+		lambda := load[name]
+		tiers := states[name]
+		ar := AppResult{
+			TxnRTSec: make(map[string]float64, len(spec.Txns)),
+			TierUtil: make(map[string]float64, len(spec.Tiers)),
+		}
+		probs := spec.MixProbabilities()
+
+		// Residence multiplier per tier replica: 1/(1-rho) with soft cap,
+		// plus Dom-0 residence on the replica's host.
+		type repFactor struct {
+			weight   float64 // fraction of tier load on this replica
+			frac     float64
+			stretch  float64 // 1/(1-rho_eff)
+			dom0Add  float64 // seconds per visit added by Dom-0
+			overload float64 // extra seconds per request from overload
+		}
+		factors := make(map[string][]repFactor, len(spec.Tiers))
+		for _, t := range spec.Tiers {
+			ts := tiers[t.Name]
+			ar.TierUtil[t.Name] = ts.rho
+			if lambda <= 0 || ts.demandMS <= 0 {
+				continue
+			}
+			if ts.sumFrac <= 0 {
+				ar.Saturated = true
+				// Unserved tier: charge the full overload penalty.
+				factors[t.Name] = []repFactor{{weight: 1, frac: 1, stretch: 1, overload: m.opts.OverloadPenaltySec}}
+				continue
+			}
+			var fs []repFactor
+			for _, rep := range ts.replicas {
+				rho := ts.rho
+				var overload float64
+				if rho > m.opts.MaxRho {
+					ar.Saturated = true
+					overload = (rho - m.opts.MaxRho) * m.opts.OverloadPenaltySec
+					rho = m.opts.MaxRho
+				}
+				d0 := dom0Util[rep.host]
+				d0rho := d0
+				if d0rho > m.opts.MaxRho {
+					overload += (d0rho - m.opts.MaxRho) * m.opts.OverloadPenaltySec
+					d0rho = m.opts.MaxRho
+					ar.Saturated = true
+				}
+				dom0Visit := (spec.Dom0OverheadMS / 1000) / m.opts.Dom0CPUShare / (1 - d0rho)
+				fs = append(fs, repFactor{
+					weight:   rep.frac / ts.sumFrac,
+					frac:     rep.frac,
+					stretch:  1 / (1 - rho),
+					dom0Add:  dom0Visit,
+					overload: overload,
+				})
+			}
+			factors[t.Name] = fs
+		}
+
+		// WAN penalty: the expected number of tier hops crossing zones,
+		// with replicas weighted by their share of tier load.
+		var crossZoneSec float64
+		if m.opts.CrossZoneLatencyMS > 0 && lambda > 0 {
+			for i := 0; i+1 < len(spec.Tiers); i++ {
+				up := tiers[spec.Tiers[i].Name]
+				down := tiers[spec.Tiers[i+1].Name]
+				if up.sumFrac <= 0 || down.sumFrac <= 0 {
+					continue
+				}
+				var p float64
+				for _, ra := range up.replicas {
+					for _, rb := range down.replicas {
+						if m.cat.ZoneOf(ra.host) != m.cat.ZoneOf(rb.host) {
+							p += (ra.frac / up.sumFrac) * (rb.frac / down.sumFrac)
+						}
+					}
+				}
+				crossZoneSec += p * m.opts.CrossZoneLatencyMS / 1000
+			}
+		}
+
+		var meanRT float64
+		for i, txn := range spec.Txns {
+			rt := txn.LatencyMS/1000 + crossZoneSec // CPU-free I/O and WAN waits
+			for _, t := range spec.Tiers {
+				demand := txn.DemandMS[t.Name] / 1000
+				fs := factors[t.Name]
+				if len(fs) == 0 {
+					continue
+				}
+				for _, f := range fs {
+					if f.frac <= 0 {
+						continue
+					}
+					perVisit := (demand/f.frac)*f.stretch + f.dom0Add + f.overload
+					rt += f.weight * perVisit
+				}
+			}
+			ar.TxnRTSec[txn.Name] = rt
+			meanRT += probs[i] * rt
+		}
+		ar.MeanRTSec = meanRT
+		res.Apps[name] = ar
+	}
+
+	// Pass 4: host utilizations for the power model, as the busy fraction
+	// of the host's current (DVFS-scaled) capacity.
+	for _, h := range m.cat.HostNames() {
+		if !cfg.HostOn(h) {
+			res.Hosts[h] = HostResult{}
+			continue
+		}
+		freq := cfg.HostFreq(h)
+		util := m.opts.BaseHostUtil + (hostVMUtil[h]+math.Min(dom0Util[h], 1)*m.opts.Dom0CPUShare*freq)/freq
+		if util > 1 {
+			util = 1
+		}
+		res.Hosts[h] = HostResult{CPUUtil: util, Dom0Util: dom0Util[h]}
+	}
+	return res, nil
+}

@@ -1,0 +1,153 @@
+// Package predict implements the workload predictor of §III-D: an
+// auto-regressive moving-average (ARMA) estimator of the next stability
+// interval — how long the workload will stay inside its current workload
+// band — with an adaptive mixing weight β driven by recent estimation
+// error.
+//
+// On each completed stability interval measurement CWᵐⱼ the estimator
+// produces
+//
+//	CWᵉⱼ₊₁ = (1−β)·CWᵐⱼ + β·(1/k)·Σᵢ₌₁..k CWᵐⱼ₋ᵢ
+//
+// where β is derived from the error history: with
+//
+//	εⱼ = (1−γ)·|CWᵉⱼ − CWᵐⱼ| + γ·(1/k)·Σᵢ₌₁..k εⱼ₋ᵢ
+//
+// the weight is β = 1 − εⱼ / maxᵢ₌₀..k εⱼ₋ᵢ. When the current estimate
+// tracks measurements closely, β is small and the estimator trusts the
+// latest measurement; when the estimate has been erratic, β grows and the
+// estimator leans on history. The paper uses k = 3 and γ = 0.5.
+package predict
+
+import (
+	"time"
+
+	"github.com/mistralcloud/mistral/internal/stats"
+)
+
+// Defaults from §III-D.
+const (
+	DefaultHistory = 3
+	DefaultGamma   = 0.5
+)
+
+// Estimator predicts stability intervals. Construct with NewEstimator.
+// It is not safe for concurrent use.
+type Estimator struct {
+	k     int
+	gamma float64
+
+	measured []float64 // most recent k measurements, newest last (seconds)
+	errors   []float64 // most recent k+1 error values, newest last
+	estimate float64   // current prediction for the next interval (seconds)
+	beta     float64   // β used for the current prediction
+	seeded   bool
+}
+
+// NewEstimator returns an estimator with history window k and error blend
+// γ; non-positive arguments select the paper's defaults (k=3, γ=0.5).
+// initial seeds the first prediction before any measurement is observed.
+func NewEstimator(k int, gamma float64, initial time.Duration) *Estimator {
+	if k <= 0 {
+		k = DefaultHistory
+	}
+	if gamma <= 0 || gamma >= 1 {
+		gamma = DefaultGamma
+	}
+	return &Estimator{
+		k:        k,
+		gamma:    gamma,
+		estimate: initial.Seconds(),
+	}
+}
+
+// Predict returns the current estimate of the next stability interval.
+func (e *Estimator) Predict() time.Duration {
+	return time.Duration(e.estimate * float64(time.Second))
+}
+
+// LastBeta returns the β used to produce the current prediction; zero until
+// enough history exists.
+func (e *Estimator) LastBeta() float64 { return e.beta }
+
+// Observe feeds a completed stability interval measurement and updates the
+// prediction for the next one. It returns the new prediction.
+func (e *Estimator) Observe(measured time.Duration) time.Duration {
+	m := measured.Seconds()
+	if m < 0 {
+		m = 0
+	}
+
+	// Error of the prediction that was in force for this interval.
+	var histErr float64
+	if len(e.errors) > 0 {
+		histErr = stats.Mean(lastN(e.errors, e.k))
+	}
+	var cur float64
+	if e.seeded {
+		cur = abs(e.estimate - m)
+	}
+	errJ := (1-e.gamma)*cur + e.gamma*histErr
+
+	// β = 1 − εⱼ / max(εⱼ, εⱼ₋₁, ..., εⱼ₋ₖ); a zero maximum (perfect
+	// tracking) yields β = 0, trusting the newest measurement entirely.
+	maxErr := errJ
+	for _, v := range lastN(e.errors, e.k) {
+		if v > maxErr {
+			maxErr = v
+		}
+	}
+	b := 0.0
+	if maxErr > 0 {
+		b = 1 - errJ/maxErr
+	}
+	e.beta = b
+
+	// History average over the k measurements before this one.
+	histMean := m
+	if hist := lastN(e.measured, e.k); len(hist) > 0 {
+		histMean = stats.Mean(hist)
+	}
+
+	e.estimate = (1-b)*m + b*histMean
+	e.seeded = true
+
+	e.errors = appendBounded(e.errors, errJ, e.k+1)
+	e.measured = appendBounded(e.measured, m, e.k)
+	return e.Predict()
+}
+
+// Replay feeds a whole sequence of measured intervals and returns the
+// prediction that was in force when each measurement arrived (aligned with
+// the input). It supports offline accuracy evaluation à la Figure 6.
+func Replay(e *Estimator, measured []time.Duration) []time.Duration {
+	out := make([]time.Duration, len(measured))
+	for i, m := range measured {
+		out[i] = e.Predict()
+		e.Observe(m)
+	}
+	return out
+}
+
+func lastN(xs []float64, n int) []float64 {
+	if len(xs) <= n {
+		return xs
+	}
+	return xs[len(xs)-n:]
+}
+
+func appendBounded(xs []float64, v float64, bound int) []float64 {
+	xs = append(xs, v)
+	if len(xs) > bound {
+		copy(xs, xs[len(xs)-bound:])
+		xs = xs[:bound]
+	}
+	return xs
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

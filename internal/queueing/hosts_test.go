@@ -1,0 +1,118 @@
+package queueing
+
+import (
+	"testing"
+	"time"
+
+	"github.com/mistralcloud/mistral/internal/app"
+	"github.com/mistralcloud/mistral/internal/cluster"
+)
+
+func hostOpsSystem(t *testing.T) *System {
+	t.Helper()
+	a := app.RUBiS("a")
+	cat, err := app.BuildCatalog([]cluster.HostSpec{
+		cluster.DefaultHostSpec("h0"), cluster.DefaultHostSpec("h1"), cluster.DefaultHostSpec("h2"),
+	}, []*app.Spec{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cluster.NewConfig()
+	cfg.SetHostOn("h0", true)
+	cfg.SetHostOn("h1", true)
+	cfg.Place("a-web-0", "h0", 30)
+	cfg.Place("a-app-0", "h0", 30)
+	cfg.Place("a-db-0", "h1", 30)
+	sys, err := New(cat, []*app.Spec{a}, cfg, Options{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestAddRemoveHost(t *testing.T) {
+	sys := hostOpsSystem(t)
+
+	if err := sys.AddHost("h2"); err != nil {
+		t.Fatalf("AddHost: %v", err)
+	}
+	if err := sys.AddHost("h2"); err == nil {
+		t.Error("double AddHost accepted")
+	}
+	if err := sys.AddHost("ghost"); err == nil {
+		t.Error("unknown host accepted")
+	}
+
+	// A VM can now be placed on the new host and serve traffic.
+	if err := sys.AddVM("a-db-1", "h2", 40); err != nil {
+		t.Fatalf("AddVM on new host: %v", err)
+	}
+	if err := sys.SetRate("a", 30); err != nil {
+		t.Fatal(err)
+	}
+	sys.ResetWindow()
+	if err := sys.Run(120 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	w := sys.Snapshot()
+	if w.Apps["a"].Completed == 0 {
+		t.Fatal("no completions")
+	}
+	if w.HostUtil["h2"] <= 0 {
+		t.Error("new host shows no utilization despite hosting a db replica")
+	}
+
+	// Removing a host with a VM fails; after evicting the VM it succeeds.
+	if err := sys.RemoveHost("h2"); err == nil {
+		t.Error("RemoveHost with resident VM accepted")
+	}
+	if err := sys.RemoveVM("a-db-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RemoveHost("h2"); err != nil {
+		t.Fatalf("RemoveHost after eviction: %v", err)
+	}
+	if err := sys.RemoveHost("h2"); err == nil {
+		t.Error("double RemoveHost accepted")
+	}
+}
+
+func TestAddVMValidation(t *testing.T) {
+	sys := hostOpsSystem(t)
+	if err := sys.AddVM("a-web-0", "h0", 30); err == nil {
+		t.Error("adding an already-active VM accepted")
+	}
+	if err := sys.AddVM("a-db-1", "h2", 30); err == nil {
+		t.Error("adding to inactive host accepted")
+	}
+	if err := sys.RemoveVM("ghost"); err == nil {
+		t.Error("removing unknown VM accepted")
+	}
+}
+
+func TestSetHostFreqValidation(t *testing.T) {
+	sys := hostOpsSystem(t)
+	allocs := map[cluster.VMID]float64{"a-web-0": 30, "a-app-0": 30}
+	if err := sys.SetHostFreq("h0", 0.6, allocs); err != nil {
+		t.Fatalf("SetHostFreq: %v", err)
+	}
+	if got := sys.vmStations["a-web-0"].Rate(); got != 0.18 {
+		t.Errorf("web rate after downclock = %v, want 0.18", got)
+	}
+	if err := sys.SetHostFreq("ghost", 0.6, nil); err == nil {
+		t.Error("unknown host accepted")
+	}
+	if err := sys.SetHostFreq("h0", 0, nil); err == nil {
+		t.Error("zero frequency accepted")
+	}
+	if err := sys.SetHostFreq("h0", 1.5, nil); err == nil {
+		t.Error("super-nominal frequency accepted")
+	}
+	// Restoring nominal restores full rates.
+	if err := sys.SetHostFreq("h0", 1.0, allocs); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.vmStations["a-app-0"].Rate(); got != 0.30 {
+		t.Errorf("app rate after restore = %v, want 0.30", got)
+	}
+}

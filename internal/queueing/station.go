@@ -1,0 +1,187 @@
+// Package queueing is a request-level discrete-event simulator of
+// consolidated multi-tier applications. It plays the role of the paper's
+// physical testbed: an independent source of "measured" response times,
+// utilizations, and (via the power model) watts against which the LQN
+// predictions are validated (Fig. 5), transient migration costs observed
+// (Fig. 1), and the offline cost-measurement campaign run (Fig. 7).
+//
+// Each VM is a processor-sharing CPU station whose service rate is its CPU
+// allocation; each host has a Dom-0 station handling per-visit
+// virtualization overhead and transient background work such as live
+// migrations. Requests arrive in Poisson streams per application, sample a
+// transaction type from the mix, and traverse web → app → db sequentially,
+// passing through Dom-0 on every tier visit.
+package queueing
+
+import (
+	"time"
+
+	"github.com/mistralcloud/mistral/internal/sim"
+	"github.com/mistralcloud/mistral/internal/stats"
+)
+
+// psJob is one job in service at a processor-sharing station.
+type psJob struct {
+	remaining float64 // CPU-seconds at reference speed still needed
+	done      func()
+}
+
+// Station is a processor-sharing CPU station: with n jobs present and
+// service rate r (CPU fraction of reference speed), every job progresses at
+// r/n. The station is work-conserving: whenever jobs are present it
+// consumes exactly its full rate.
+type Station struct {
+	eng  *sim.Engine
+	rate float64
+	jobs []*psJob
+
+	next       sim.Handle
+	hasNext    bool
+	lastUpdate time.Duration
+
+	// usage accumulates the CPU actually consumed (rate × busy time).
+	usage stats.TimeWeighted
+}
+
+// NewStation creates a station with the given service rate (CPU fraction,
+// e.g. 0.4 for a 40% allocation).
+func NewStation(eng *sim.Engine, rate float64) *Station {
+	s := &Station{eng: eng, rate: rate, lastUpdate: eng.Now()}
+	s.usage.Set(eng.Now(), 0)
+	return s
+}
+
+// advance applies service progress accrued since the last update.
+func (s *Station) advance() {
+	now := s.eng.Now()
+	if now > s.lastUpdate && len(s.jobs) > 0 && s.rate > 0 {
+		progress := (now - s.lastUpdate).Seconds() * s.rate / float64(len(s.jobs))
+		for _, j := range s.jobs {
+			j.remaining -= progress
+		}
+	}
+	s.lastUpdate = now
+}
+
+// reschedule cancels any pending completion and schedules the next one.
+func (s *Station) reschedule() {
+	if s.hasNext {
+		s.eng.Cancel(s.next)
+		s.hasNext = false
+	}
+	if len(s.jobs) == 0 || s.rate <= 0 {
+		return
+	}
+	minRem := s.jobs[0].remaining
+	for _, j := range s.jobs[1:] {
+		if j.remaining < minRem {
+			minRem = j.remaining
+		}
+	}
+	if minRem < 0 {
+		minRem = 0
+	}
+	delay := time.Duration(minRem * float64(len(s.jobs)) / s.rate * float64(time.Second))
+	if delay <= 0 {
+		// Sub-nanosecond residual work: advance the clock by one tick so
+		// the completion event always makes progress.
+		delay = time.Nanosecond
+	}
+	s.next = s.eng.Schedule(delay, s.complete)
+	s.hasNext = true
+}
+
+// complete fires when the job with least remaining demand finishes.
+func (s *Station) complete() {
+	s.hasNext = false
+	s.advance()
+	// A job is finished when its residual work would complete within the
+	// engine's 1 ns clock resolution; plain epsilon alone can strand a
+	// floating-point residue that reschedules a zero-delay event forever.
+	eps := 1e-12
+	if n := len(s.jobs); n > 0 && s.rate > 0 {
+		if res := 1e-9 * s.rate / float64(n); res > eps {
+			eps = res
+		}
+	}
+	// Collect all jobs that finished (ties complete together).
+	var finished []*psJob
+	kept := s.jobs[:0]
+	for _, j := range s.jobs {
+		if j.remaining <= eps {
+			finished = append(finished, j)
+		} else {
+			kept = append(kept, j)
+		}
+	}
+	s.jobs = kept
+	s.noteUsage()
+	s.reschedule()
+	for _, j := range finished {
+		if j.done != nil {
+			j.done()
+		}
+	}
+}
+
+// noteUsage records the station's instantaneous CPU consumption.
+func (s *Station) noteUsage() {
+	used := 0.0
+	if len(s.jobs) > 0 {
+		used = s.rate
+	}
+	s.usage.Set(s.eng.Now(), used)
+}
+
+// Submit enqueues a job with the given CPU demand (seconds at reference
+// speed); done runs at completion. Zero or negative demand completes at the
+// current instant (scheduled, preserving event ordering).
+func (s *Station) Submit(demand float64, done func()) {
+	if demand <= 0 {
+		s.eng.Schedule(0, func() {
+			if done != nil {
+				done()
+			}
+		})
+		return
+	}
+	s.advance()
+	s.jobs = append(s.jobs, &psJob{remaining: demand, done: done})
+	s.noteUsage()
+	s.reschedule()
+}
+
+// SetRate changes the service rate, e.g. after a CPU capacity action or
+// while Dom-0 is burdened by a migration.
+func (s *Station) SetRate(rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	s.advance()
+	s.rate = rate
+	s.noteUsage()
+	s.reschedule()
+}
+
+// Rate returns the current service rate.
+func (s *Station) Rate() float64 { return s.rate }
+
+// Len returns the number of jobs in service.
+func (s *Station) Len() int { return len(s.jobs) }
+
+// MeanUsageSince flushes usage accounting to now and returns the mean CPU
+// consumption since the accumulator was last reset.
+func (s *Station) MeanUsageSince() float64 {
+	s.usage.Flush(s.eng.Now())
+	return s.usage.Mean()
+}
+
+// ResetUsage restarts usage accounting at the current instant, preserving
+// the station's present consumption level.
+func (s *Station) ResetUsage() {
+	used := 0.0
+	if len(s.jobs) > 0 {
+		used = s.rate
+	}
+	s.usage.Reset(s.eng.Now(), used)
+}

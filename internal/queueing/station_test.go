@@ -1,0 +1,159 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/mistralcloud/mistral/internal/sim"
+	"github.com/mistralcloud/mistral/internal/stats"
+)
+
+func TestStationSingleJob(t *testing.T) {
+	eng := sim.NewEngine()
+	st := NewStation(eng, 0.5)
+	var doneAt time.Duration
+	st.Submit(1.0, func() { doneAt = eng.Now() }) // 1 CPU-sec at rate 0.5 -> 2 s
+	if err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(doneAt.Seconds()-2.0) > 1e-9 {
+		t.Errorf("completion at %v, want 2s", doneAt)
+	}
+}
+
+func TestStationProcessorSharingTwoJobs(t *testing.T) {
+	eng := sim.NewEngine()
+	st := NewStation(eng, 1.0)
+	var first, second time.Duration
+	st.Submit(1.0, func() { first = eng.Now() })
+	st.Submit(2.0, func() { second = eng.Now() })
+	if err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// Both share: job1 finishes at t=2 (each gets 0.5/s until then),
+	// job2 then runs alone with 1.0 remaining -> t=3.
+	if math.Abs(first.Seconds()-2.0) > 1e-9 {
+		t.Errorf("first done at %v, want 2s", first)
+	}
+	if math.Abs(second.Seconds()-3.0) > 1e-9 {
+		t.Errorf("second done at %v, want 3s", second)
+	}
+}
+
+func TestStationLateArrivalShares(t *testing.T) {
+	eng := sim.NewEngine()
+	st := NewStation(eng, 1.0)
+	var first, second time.Duration
+	st.Submit(1.0, func() { first = eng.Now() })
+	eng.Schedule(500*time.Millisecond, func() {
+		st.Submit(0.25, func() { second = eng.Now() })
+	})
+	if err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// t=0..0.5: job1 alone, 0.5 remaining. Then sharing at 0.5/s each:
+	// job2 (0.25) finishes at t=1.0; job1 has 0.25 left, alone -> t=1.25.
+	if math.Abs(second.Seconds()-1.0) > 1e-9 {
+		t.Errorf("second done at %v, want 1s", second)
+	}
+	if math.Abs(first.Seconds()-1.25) > 1e-9 {
+		t.Errorf("first done at %v, want 1.25s", first)
+	}
+}
+
+func TestStationRateChangeMidService(t *testing.T) {
+	eng := sim.NewEngine()
+	st := NewStation(eng, 1.0)
+	var doneAt time.Duration
+	st.Submit(1.0, func() { doneAt = eng.Now() })
+	eng.Schedule(500*time.Millisecond, func() { st.SetRate(0.25) })
+	if err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// 0.5 done in first 0.5s; remaining 0.5 at rate 0.25 -> 2s more.
+	if math.Abs(doneAt.Seconds()-2.5) > 1e-9 {
+		t.Errorf("done at %v, want 2.5s", doneAt)
+	}
+}
+
+func TestStationZeroRateFreezes(t *testing.T) {
+	eng := sim.NewEngine()
+	st := NewStation(eng, 1.0)
+	var doneAt time.Duration
+	st.Submit(1.0, func() { doneAt = eng.Now() })
+	eng.Schedule(200*time.Millisecond, func() { st.SetRate(0) })
+	eng.Schedule(1200*time.Millisecond, func() { st.SetRate(1.0) })
+	if err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// 0.2 done, frozen 1s, then 0.8 remaining at 1/s -> done at 2.0s.
+	if math.Abs(doneAt.Seconds()-2.0) > 1e-9 {
+		t.Errorf("done at %v, want 2.0s", doneAt)
+	}
+	if st.Rate() != 1.0 {
+		t.Errorf("rate = %v", st.Rate())
+	}
+}
+
+func TestStationZeroDemandCompletesImmediately(t *testing.T) {
+	eng := sim.NewEngine()
+	st := NewStation(eng, 1.0)
+	done := false
+	st.Submit(0, func() { done = true })
+	if err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !done || eng.Now() != 0 {
+		t.Errorf("zero-demand job: done=%v at %v", done, eng.Now())
+	}
+}
+
+func TestStationUsageAccounting(t *testing.T) {
+	eng := sim.NewEngine()
+	st := NewStation(eng, 0.5)
+	st.Submit(0.5, nil) // busy 1s at rate 0.5
+	if err := eng.Run(4 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Busy 1s of 4s at 0.5 -> mean usage 0.125.
+	if got := st.MeanUsageSince(); math.Abs(got-0.125) > 1e-9 {
+		t.Errorf("mean usage = %v, want 0.125", got)
+	}
+	st.ResetUsage()
+	if err := eng.Run(8 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.MeanUsageSince(); got != 0 {
+		t.Errorf("mean usage after reset = %v, want 0", got)
+	}
+}
+
+// M/G/1-PS is insensitive to the service distribution: mean RT = S/(1-rho).
+func TestStationMG1PSMeanResponseTime(t *testing.T) {
+	eng := sim.NewEngine()
+	st := NewStation(eng, 1.0)
+	rng := sim.NewRNG(7, 7)
+	const (
+		lambda = 0.6
+		meanS  = 1.0
+	)
+	var w stats.Welford
+	var arrive func()
+	arrive = func() {
+		start := eng.Now()
+		st.Submit(rng.LogNormal(meanS, 0.8), func() {
+			w.Add((eng.Now() - start).Seconds())
+		})
+		eng.Schedule(time.Duration(rng.Exp(1/lambda)*float64(time.Second)), arrive)
+	}
+	eng.Schedule(0, arrive)
+	if err := eng.Run(200000 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	want := meanS / (1 - lambda*meanS) // 2.5
+	got := w.Mean()
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("M/G/1-PS mean RT = %v, want %v ±5%%", got, want)
+	}
+}

@@ -1,0 +1,206 @@
+// Package scenario drives the paper's evaluation loop: it replays workload
+// traces against a virtual testbed under the control of a strategy
+// (Mistral or one of the baselines), measuring per-monitoring-window
+// response times, power, accrued utility, and adaptation activity — the raw
+// material of Figures 8–10 and Table I.
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/mistralcloud/mistral/internal/cluster"
+	"github.com/mistralcloud/mistral/internal/testbed"
+	"github.com/mistralcloud/mistral/internal/utility"
+	"github.com/mistralcloud/mistral/internal/workload"
+)
+
+// Decision is what a strategy returns for one control opportunity.
+type Decision struct {
+	// Invoked reports whether the strategy actually ran its decision
+	// procedure this window.
+	Invoked bool
+	// Plan is the action sequence to execute (may be empty).
+	Plan []cluster.Action
+	// SearchTime is the decision procedure's (simulated) duration.
+	SearchTime time.Duration
+	// SearchCost is the dollar cost of the decision itself (controller
+	// host power over SearchTime); charged against the window's utility.
+	SearchCost float64
+}
+
+// Decider is a control strategy. Implementations: the Mistral hierarchy and
+// the Perf-Pwr / Perf-Cost / Pwr-Cost baselines of §V-C.
+type Decider interface {
+	// Name labels the strategy in results.
+	Name() string
+	// Decide is called once per monitoring interval when the testbed is
+	// not executing a previous plan.
+	Decide(now time.Duration, cfg cluster.Config, rates map[string]float64) (Decision, error)
+	// RecordWindow feeds back each completed window's realized utility
+	// (dollars) and its performance/power accrual rates (dollars/second).
+	RecordWindow(utilityDollars, perfRate, pwrRate float64)
+}
+
+// RunConfig configures a scenario replay.
+type RunConfig struct {
+	// Traces drive each application's request rate.
+	Traces workload.Set
+	// Duration bounds the replay; zero uses the longest trace duration.
+	Duration time.Duration
+	// Interval is the unit monitoring interval M (default 2 minutes).
+	Interval time.Duration
+	// Utility computes window utilities (required).
+	Utility *utility.Params
+}
+
+func (c RunConfig) withDefaults() (RunConfig, error) {
+	if len(c.Traces) == 0 {
+		return c, fmt.Errorf("scenario: no traces")
+	}
+	if c.Utility == nil {
+		return c, fmt.Errorf("scenario: utility params required")
+	}
+	if c.Interval <= 0 {
+		c.Interval = 2 * time.Minute
+	}
+	if c.Duration <= 0 {
+		for _, tr := range c.Traces {
+			if d := tr.Duration(); d > c.Duration {
+				c.Duration = d
+			}
+		}
+	}
+	return c, nil
+}
+
+// WindowLog is one monitoring window's record.
+type WindowLog struct {
+	// Time is the window end, offset from scenario start.
+	Time time.Duration
+	// Rates are the offered request rates during the window.
+	Rates map[string]float64
+	// RTSec are measured mean response times per application.
+	RTSec map[string]float64
+	// Watts is the measured mean system power.
+	Watts float64
+	// Utility is the window's accrued utility in dollars, including the
+	// decision cost.
+	Utility float64
+	// CumUtility is the running total.
+	CumUtility float64
+	// Actions counts adaptation actions started this window.
+	Actions int
+	// Invoked reports whether the strategy's decision procedure ran.
+	Invoked bool
+	// SearchTime is the decision procedure's (simulated) duration.
+	SearchTime time.Duration
+	// ActiveHosts is the number of powered-on hosts at the window's end.
+	ActiveHosts int
+}
+
+// Result is a completed scenario replay.
+type Result struct {
+	Strategy string
+	Windows  []WindowLog
+	// CumUtility is the total accrued utility (Fig. 9's endpoint).
+	CumUtility float64
+	// TotalActions counts all adaptation actions executed.
+	TotalActions int
+	// Invocations counts decision-procedure runs.
+	Invocations int
+	// MeanSearchTime averages SearchTime over invocations.
+	MeanSearchTime time.Duration
+	// TargetViolations counts app-windows whose measured RT missed the
+	// target.
+	TargetViolations int
+	// ViolationsByApp breaks TargetViolations down per application.
+	ViolationsByApp map[string]int
+	// EnergyKWh is the total electrical energy drawn over the replay.
+	EnergyKWh float64
+	// HostHours integrates powered-on hosts over time.
+	HostHours float64
+}
+
+// MeanWatts is the time-averaged power draw over the replay.
+func (r *Result) MeanWatts() float64 {
+	if len(r.Windows) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, w := range r.Windows {
+		sum += w.Watts
+	}
+	return sum / float64(len(r.Windows))
+}
+
+// Run replays the traces on the testbed under the decider's control.
+func Run(tb *testbed.Testbed, d Decider, cfg RunConfig) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Strategy: d.Name(), ViolationsByApp: make(map[string]int)}
+	var totalSearch time.Duration
+
+	for t := time.Duration(0); t < cfg.Duration; t += cfg.Interval {
+		rates := cfg.Traces.At(t)
+		if err := tb.SetRates(rates); err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+
+		log := WindowLog{Time: t + cfg.Interval, Rates: rates}
+
+		// Invoke the strategy unless the testbed is still executing a
+		// previously chosen plan.
+		if !tb.Busy() {
+			dec, err := d.Decide(t, tb.Config(), rates)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: %s at %v: %w", d.Name(), t, err)
+			}
+			if dec.Invoked {
+				res.Invocations++
+				totalSearch += dec.SearchTime
+				log.Invoked = true
+				log.SearchTime = dec.SearchTime
+			}
+			if len(dec.Plan) > 0 {
+				if _, err := tb.Execute(dec.Plan); err != nil {
+					return nil, fmt.Errorf("scenario: %s executing plan at %v: %w", d.Name(), t, err)
+				}
+				log.Actions = len(dec.Plan)
+				res.TotalActions += len(dec.Plan)
+			}
+			log.Utility -= dec.SearchCost
+		}
+
+		w, err := tb.MeasureWindow(t + cfg.Interval)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		log.RTSec = w.RTSec
+		log.Watts = w.Watts
+
+		perfRate := cfg.Utility.PerfRateAll(rates, w.RTSec)
+		pwrRate := cfg.Utility.PowerRate(w.Watts)
+		log.Utility += cfg.Interval.Seconds() * (perfRate + pwrRate)
+		res.CumUtility += log.Utility
+		log.CumUtility = res.CumUtility
+		d.RecordWindow(log.Utility, perfRate, pwrRate)
+
+		for name, a := range cfg.Utility.Apps {
+			if rates[name] > 0 && w.RTSec[name] > a.TargetRT.Seconds() {
+				res.TargetViolations++
+				res.ViolationsByApp[name]++
+			}
+		}
+		log.ActiveHosts = tb.Config().NumActiveHosts()
+		res.EnergyKWh += w.Watts * cfg.Interval.Hours() / 1000
+		res.HostHours += float64(log.ActiveHosts) * cfg.Interval.Hours()
+		res.Windows = append(res.Windows, log)
+	}
+	if res.Invocations > 0 {
+		res.MeanSearchTime = totalSearch / time.Duration(res.Invocations)
+	}
+	return res, nil
+}

@@ -1,0 +1,211 @@
+package scenario
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/mistralcloud/mistral/internal/app"
+	"github.com/mistralcloud/mistral/internal/cluster"
+	"github.com/mistralcloud/mistral/internal/lqn"
+	"github.com/mistralcloud/mistral/internal/testbed"
+	"github.com/mistralcloud/mistral/internal/utility"
+	"github.com/mistralcloud/mistral/internal/workload"
+)
+
+// scripted is a Decider replaying a fixed list of decisions.
+type scripted struct {
+	name      string
+	decisions []Decision
+	errAt     int // 1-based call index that errors; 0 = never
+	calls     int
+	windows   []float64 // recorded window utilities
+}
+
+func (s *scripted) Name() string { return s.name }
+
+func (s *scripted) Decide(now time.Duration, cfg cluster.Config, rates map[string]float64) (Decision, error) {
+	s.calls++
+	if s.errAt > 0 && s.calls == s.errAt {
+		return Decision{}, errors.New("scripted failure")
+	}
+	if len(s.decisions) == 0 {
+		return Decision{}, nil
+	}
+	d := s.decisions[0]
+	s.decisions = s.decisions[1:]
+	return d, nil
+}
+
+func (s *scripted) RecordWindow(u, perfRate, pwrRate float64) { s.windows = append(s.windows, u) }
+
+func setup(t *testing.T) (*testbed.Testbed, *utility.Params, workload.Set, *cluster.Catalog) {
+	t.Helper()
+	apps := []*app.Spec{app.RUBiS("rubis1")}
+	hosts := []cluster.HostSpec{cluster.DefaultHostSpec("h0"), cluster.DefaultHostSpec("h1")}
+	cat, err := app.BuildCatalog(hosts, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := app.DefaultConfig(cat, apps, 2, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lqn.CalibrateDemands(cat, apps, cfg, map[string]float64{"rubis1": 50}, "rubis1"); err != nil {
+		t.Fatal(err)
+	}
+	traces := workload.Set{"rubis1": &workload.Trace{
+		Step: time.Minute,
+		Rates: func() []float64 {
+			r := make([]float64, 31)
+			for i := range r {
+				r[i] = 30
+			}
+			return r
+		}(),
+	}}
+	tb, err := testbed.New(cat, apps, cfg, traces.At(0), nil, testbed.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, utility.PaperParams([]string{"rubis1"}), traces, cat
+}
+
+func TestRunBasicLoop(t *testing.T) {
+	tb, util, traces, _ := setup(t)
+	d := &scripted{name: "noop"}
+	res, err := Run(tb, d, RunConfig{Traces: traces, Duration: 30 * time.Minute, Utility: util})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "noop" {
+		t.Errorf("strategy = %q", res.Strategy)
+	}
+	if len(res.Windows) != 15 {
+		t.Fatalf("windows = %d, want 15", len(res.Windows))
+	}
+	if d.calls != 15 {
+		t.Errorf("Decide called %d times, want 15", d.calls)
+	}
+	if len(d.windows) != 15 {
+		t.Errorf("RecordWindow called %d times", len(d.windows))
+	}
+	// Steady 30 req/s on a healthy config: positive utility every window.
+	for _, w := range res.Windows {
+		if w.Utility <= 0 {
+			t.Errorf("window %v utility = %v, want positive", w.Time, w.Utility)
+		}
+		if w.Invoked {
+			t.Error("no-op decisions must not count as invocations")
+		}
+	}
+	if res.TotalActions != 0 || res.Invocations != 0 {
+		t.Errorf("actions/invocations = %d/%d, want 0/0", res.TotalActions, res.Invocations)
+	}
+}
+
+func TestRunExecutesPlansAndSkipsWhileBusy(t *testing.T) {
+	tb, util, traces, _ := setup(t)
+	// One migration (≈30-80s) in the first window; the second Decide call
+	// must be skipped while the plan executes.
+	d := &scripted{
+		name: "mover",
+		decisions: []Decision{{
+			Invoked:    true,
+			Plan:       []cluster.Action{{Kind: cluster.ActionIncreaseCPU, VM: "rubis1-web-0"}},
+			SearchTime: 3 * time.Second,
+			SearchCost: 0.05,
+		}},
+	}
+	res, err := Run(tb, d, RunConfig{Traces: traces, Duration: 10 * time.Minute, Utility: util})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalActions != 1 {
+		t.Errorf("actions = %d, want 1", res.TotalActions)
+	}
+	if res.Invocations != 1 {
+		t.Errorf("invocations = %d, want 1", res.Invocations)
+	}
+	if res.MeanSearchTime != 3*time.Second {
+		t.Errorf("mean search = %v", res.MeanSearchTime)
+	}
+	// The search cost is charged against the first window.
+	first := res.Windows[0]
+	second := res.Windows[1]
+	if first.Utility >= second.Utility {
+		t.Errorf("first window (charged search cost) %v not below second %v", first.Utility, second.Utility)
+	}
+}
+
+func TestRunPropagatesDeciderErrors(t *testing.T) {
+	tb, util, traces, _ := setup(t)
+	d := &scripted{name: "bad", errAt: 3}
+	_, err := Run(tb, d, RunConfig{Traces: traces, Duration: 30 * time.Minute, Utility: util})
+	if err == nil {
+		t.Fatal("decider error not propagated")
+	}
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	tb, util, traces, _ := setup(t)
+	if _, err := Run(tb, &scripted{name: "x"}, RunConfig{Utility: util}); err == nil {
+		t.Error("missing traces accepted")
+	}
+	if _, err := Run(tb, &scripted{name: "x"}, RunConfig{Traces: traces}); err == nil {
+		t.Error("missing utility accepted")
+	}
+}
+
+func TestRunDefaultsDurationToTraceLength(t *testing.T) {
+	tb, util, traces, _ := setup(t)
+	res, err := Run(tb, &scripted{name: "x"}, RunConfig{Traces: traces, Utility: util})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 30-minute trace at 2-minute intervals.
+	if len(res.Windows) != 15 {
+		t.Errorf("windows = %d, want 15", len(res.Windows))
+	}
+}
+
+func TestRunCountsViolations(t *testing.T) {
+	tb, util, traces, _ := setup(t)
+	// An impossible target forces every window into violation.
+	util.Apps["rubis1"] = utility.AppParams{TargetRT: time.Millisecond}
+	res, err := Run(tb, &scripted{name: "x"}, RunConfig{Traces: traces, Duration: 10 * time.Minute, Utility: util})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TargetViolations != len(res.Windows) {
+		t.Errorf("violations = %d, want %d", res.TargetViolations, len(res.Windows))
+	}
+	if res.ViolationsByApp["rubis1"] != res.TargetViolations {
+		t.Errorf("per-app violations = %v", res.ViolationsByApp)
+	}
+}
+
+func TestRunEnergyAndHostAccounting(t *testing.T) {
+	tb, util, traces, _ := setup(t)
+	res, err := Run(tb, &scripted{name: "x"}, RunConfig{Traces: traces, Duration: 30 * time.Minute, Utility: util})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two hosts for half an hour.
+	if res.HostHours < 0.99 || res.HostHours > 1.01 {
+		t.Errorf("host-hours = %v, want ~1.0", res.HostHours)
+	}
+	// Energy consistent with the mean power over the half hour.
+	wantKWh := res.MeanWatts() * 0.5 / 1000
+	if diff := res.EnergyKWh - wantKWh; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("energy = %v kWh, want %v", res.EnergyKWh, wantKWh)
+	}
+	for _, w := range res.Windows {
+		if w.ActiveHosts != 2 {
+			t.Errorf("active hosts = %d, want 2", w.ActiveHosts)
+		}
+	}
+	if res.MeanWatts() <= 0 {
+		t.Error("no mean watts")
+	}
+}

@@ -1,0 +1,28 @@
+// Package sim provides a deterministic discrete-event simulation kernel used
+// by the request-level queueing simulator and the virtual testbed.
+//
+// The kernel is deliberately small: a virtual clock, a priority queue of
+// timestamped events, and seeded random-number streams. All higher-level
+// behaviour (queueing stations, adaptation transients, monitoring windows)
+// is layered on top in other packages.
+package sim
+
+import "time"
+
+// Clock exposes the current virtual time of a simulation. It is implemented
+// by *Engine and by testing fakes.
+type Clock interface {
+	// Now returns the current virtual time measured from the start of the
+	// simulation.
+	Now() time.Duration
+}
+
+// FixedClock is a Clock that always reports the same instant. It is useful
+// in unit tests and in components that are configured once and never advance
+// time themselves.
+type FixedClock time.Duration
+
+// Now implements Clock.
+func (c FixedClock) Now() time.Duration { return time.Duration(c) }
+
+var _ Clock = FixedClock(0)

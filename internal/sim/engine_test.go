@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(3*time.Second, func() { order = append(order, 3) })
+	e.Schedule(1*time.Second, func() { order = append(order, 1) })
+	e.Schedule(2*time.Second, func() { order = append(order, 2) })
+	if err := e.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("Now() = %v, want 3s", e.Now())
+	}
+}
+
+func TestEngineSameInstantFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	e.Schedule(time.Second, func() {
+		fired = append(fired, e.Now())
+		e.Schedule(time.Second, func() {
+			fired = append(fired, e.Now())
+		})
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(fired) != 2 || fired[0] != time.Second || fired[1] != 2*time.Second {
+		t.Errorf("fired = %v, want [1s 2s]", fired)
+	}
+}
+
+func TestEngineHorizonStopsAndAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(10*time.Second, func() { ran = true })
+	if err := e.Run(5 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ran {
+		t.Error("event beyond horizon executed")
+	}
+	if e.Now() != 5*time.Second {
+		t.Errorf("Now() = %v, want 5s", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending() = %d, want 1", e.Pending())
+	}
+	// Resuming past the event must run it.
+	if err := e.Run(20 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !ran {
+		t.Error("event not executed after resuming")
+	}
+	if e.Now() != 20*time.Second {
+		t.Errorf("Now() = %v, want 20s", e.Now())
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		e.Schedule(time.Duration(i)*time.Second, func() {
+			count++
+			if count == 2 {
+				e.Stop()
+			}
+		})
+	}
+	err := e.Run(0)
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("Run err = %v, want ErrStopped", err)
+	}
+	if count != 2 {
+		t.Errorf("count = %d, want 2", count)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	h := e.Schedule(time.Second, func() { ran = true })
+	if !e.Cancel(h) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if e.Cancel(h) {
+		t.Error("Cancel returned true for already-cancelled event")
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ran {
+		t.Error("cancelled event executed")
+	}
+}
+
+func TestEngineCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	var handles []Handle
+	for i := 0; i < 20; i++ {
+		i := i
+		handles = append(handles, e.Schedule(time.Duration(i)*time.Second, func() {
+			fired = append(fired, i)
+		}))
+	}
+	// Cancel every third event.
+	for i := 0; i < 20; i += 3 {
+		if !e.Cancel(handles[i]) {
+			t.Fatalf("Cancel(%d) failed", i)
+		}
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, v := range fired {
+		if v%3 == 0 {
+			t.Errorf("cancelled event %d executed", v)
+		}
+	}
+	if len(fired) != 20-7 {
+		t.Errorf("fired %d events, want 13", len(fired))
+	}
+}
+
+func TestEngineNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(time.Second, func() {
+		e.Schedule(-5*time.Second, func() {
+			if e.Now() != time.Second {
+				t.Errorf("negative-delay event at %v, want 1s", e.Now())
+			}
+		})
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestEngineScheduleAt(t *testing.T) {
+	e := NewEngine()
+	var at time.Duration
+	e.ScheduleAt(7*time.Second, func() { at = e.Now() })
+	if err := e.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != 7*time.Second {
+		t.Errorf("event at %v, want 7s", at)
+	}
+}
+
+func TestEngineScheduleNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Schedule(nil) did not panic")
+		}
+	}()
+	NewEngine().Schedule(time.Second, nil)
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order
+// and the processed count matches.
+func TestEngineOrderProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		e := NewEngine()
+		var times []time.Duration
+		for _, d := range delays {
+			e.Schedule(time.Duration(d)*time.Millisecond, func() {
+				times = append(times, e.Now())
+			})
+		}
+		if err := e.Run(0); err != nil {
+			return false
+		}
+		if len(times) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return e.Processed() == uint64(len(delays))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFixedClock(t *testing.T) {
+	c := FixedClock(42 * time.Second)
+	if c.Now() != 42*time.Second {
+		t.Errorf("Now() = %v, want 42s", c.Now())
+	}
+}

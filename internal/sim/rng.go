@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// RNG is a deterministic random stream with the distributions the simulators
+// need. Distinct subsystems should use distinct streams (derived via Split)
+// so that adding draws in one subsystem does not perturb another.
+type RNG struct {
+	src *rand.Rand
+}
+
+// NewRNG returns a stream seeded from the two words. The same seed pair
+// always yields the same sequence.
+func NewRNG(seed1, seed2 uint64) *RNG {
+	return &RNG{src: rand.New(rand.NewPCG(seed1, seed2))}
+}
+
+// Split derives an independent stream from this one. The derived stream is a
+// pure function of the parent's current state, preserving determinism.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.src.Uint64(), r.src.Uint64())
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (r *RNG) Float64() float64 { return r.src.Float64() }
+
+// Uint64 returns a uniform 64-bit draw (useful for deriving seeds).
+func (r *RNG) Uint64() uint64 { return r.src.Uint64() }
+
+// IntN returns a uniform draw in [0, n). It panics if n <= 0.
+func (r *RNG) IntN(n int) int { return r.src.IntN(n) }
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int { return r.src.Perm(n) }
+
+// Exp returns an exponentially distributed draw with the given mean.
+// A non-positive mean yields zero.
+func (r *RNG) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return r.src.ExpFloat64() * mean
+}
+
+// Normal returns a normal draw with the given mean and standard deviation.
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	return r.src.NormFloat64()*stddev + mean
+}
+
+// LogNormal returns a log-normal draw parameterised by the mean and
+// coefficient of variation of the resulting distribution (not of the
+// underlying normal). This matches how service-time variability is usually
+// specified in performance models.
+func (r *RNG) LogNormal(mean, cv float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	if cv <= 0 {
+		return mean
+	}
+	sigma2 := math.Log(1 + cv*cv)
+	mu := math.Log(mean) - sigma2/2
+	return math.Exp(r.src.NormFloat64()*math.Sqrt(sigma2) + mu)
+}
+
+// Jitter returns value perturbed by a multiplicative normal factor with the
+// given relative standard deviation, clamped to stay positive.
+func (r *RNG) Jitter(value, relStddev float64) float64 {
+	if relStddev <= 0 {
+		return value
+	}
+	f := 1 + r.src.NormFloat64()*relStddev
+	if f < 0.01 {
+		f = 0.01
+	}
+	return value * f
+}

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(1, 2)
+	b := NewRNG(1, 2)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(7, 9)
+	child := parent.Split()
+	// Drawing from the child must not change the parent's future relative
+	// to a parent that split but never used the child.
+	parent2 := NewRNG(7, 9)
+	_ = parent2.Split()
+	for i := 0; i < 50; i++ {
+		child.Float64()
+	}
+	for i := 0; i < 50; i++ {
+		if parent.Float64() != parent2.Float64() {
+			t.Fatal("child draws perturbed parent stream")
+		}
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(3, 4)
+	const n = 200000
+	const mean = 0.25
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exp(mean)
+	}
+	got := sum / n
+	if math.Abs(got-mean)/mean > 0.02 {
+		t.Errorf("Exp mean = %v, want ~%v", got, mean)
+	}
+	if r.Exp(0) != 0 || r.Exp(-1) != 0 {
+		t.Error("Exp with non-positive mean should be 0")
+	}
+}
+
+func TestRNGLogNormalMoments(t *testing.T) {
+	r := NewRNG(5, 6)
+	const n = 200000
+	const mean, cv = 2.0, 0.5
+	var w Welford
+	for i := 0; i < n; i++ {
+		w.add(r.LogNormal(mean, cv))
+	}
+	if math.Abs(w.mean-mean)/mean > 0.03 {
+		t.Errorf("LogNormal mean = %v, want ~%v", w.mean, mean)
+	}
+	gotCV := math.Sqrt(w.m2/float64(n-1)) / w.mean
+	if math.Abs(gotCV-cv)/cv > 0.05 {
+		t.Errorf("LogNormal cv = %v, want ~%v", gotCV, cv)
+	}
+	if r.LogNormal(0, 1) != 0 {
+		t.Error("LogNormal with zero mean should be 0")
+	}
+	if got := r.LogNormal(3, 0); got != 3 {
+		t.Errorf("LogNormal with zero cv = %v, want deterministic mean", got)
+	}
+}
+
+// Minimal local Welford so this test does not import internal/stats (keeps
+// the dependency direction sim <- stats out of the test).
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+func (w *Welford) add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+func TestRNGJitterPositive(t *testing.T) {
+	r := NewRNG(11, 13)
+	for i := 0; i < 10000; i++ {
+		if v := r.Jitter(1.0, 0.5); v <= 0 {
+			t.Fatalf("Jitter produced non-positive value %v", v)
+		}
+	}
+	if r.Jitter(5, 0) != 5 {
+		t.Error("Jitter with zero stddev must be identity")
+	}
+}
+
+func TestRNGNormal(t *testing.T) {
+	r := NewRNG(17, 19)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Normal(10, 2)
+	}
+	got := sum / n
+	if math.Abs(got-10) > 0.05 {
+		t.Errorf("Normal mean = %v, want ~10", got)
+	}
+}
+
+func TestRNGPermAndIntN(t *testing.T) {
+	r := NewRNG(23, 29)
+	p := r.Perm(10)
+	seen := make(map[int]bool)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+	for i := 0; i < 1000; i++ {
+		if v := r.IntN(7); v < 0 || v >= 7 {
+			t.Fatalf("IntN out of range: %d", v)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"github.com/mistralcloud/mistral/internal/app"
+	"github.com/mistralcloud/mistral/internal/cluster"
+	"github.com/mistralcloud/mistral/internal/lqn"
+)
+
+// zonedSetup builds a 2-app environment across two zones with DVFS-capable
+// hosts.
+func zonedSetup(t *testing.T) (*cluster.Catalog, []*app.Spec, cluster.Config) {
+	t.Helper()
+	apps := []*app.Spec{app.RUBiS("rubis1"), app.RUBiS("rubis2")}
+	hosts := make([]cluster.HostSpec, 4)
+	for i := range hosts {
+		hosts[i] = cluster.DefaultHostSpec("h" + string(rune('0'+i)))
+		hosts[i].DVFSLevels = []float64{0.6, 0.8}
+		if i < 2 {
+			hosts[i].Zone = "east"
+		} else {
+			hosts[i].Zone = "west"
+		}
+	}
+	cat, err := app.BuildCatalog(hosts, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cluster.NewConfig()
+	for _, h := range cat.HostNames() {
+		cfg.SetHostOn(h, true)
+	}
+	// rubis1 in east, rubis2 in west.
+	cfg.Place("rubis1-web-0", "h0", 30)
+	cfg.Place("rubis1-app-0", "h0", 40)
+	cfg.Place("rubis1-db-0", "h1", 40)
+	cfg.Place("rubis2-web-0", "h2", 30)
+	cfg.Place("rubis2-app-0", "h2", 40)
+	cfg.Place("rubis2-db-0", "h3", 40)
+	if !cfg.IsCandidate(cat) {
+		t.Fatalf("setup config invalid: %v", cfg.Validate(cat))
+	}
+	load := map[string]float64{"rubis1": 50, "rubis2": 50}
+	if _, err := lqn.CalibrateDemands(cat, apps, cfg, load, "rubis1"); err != nil {
+		t.Fatal(err)
+	}
+	return cat, apps, cfg
+}
+
+func TestAnalyticWANMigration(t *testing.T) {
+	cat, apps, cfg := zonedSetup(t)
+	rates := map[string]float64{"rubis1": 40, "rubis2": 40}
+	tb, err := New(cat, apps, cfg, rates, nil, noiseless(ModeAnalytic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0, err := tb.MeasureWindow(2 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dur, err := tb.Execute([]cluster.Action{{Kind: cluster.ActionWANMigrate, VM: "rubis1-db-0", Host: "h3"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dur < 5*time.Minute {
+		t.Errorf("WAN migration duration = %v, want minutes-scale", dur)
+	}
+	// Window during the WAN copy: elevated RT and watts.
+	w1, err := tb.MeasureWindow(6 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.RTSec["rubis1"] <= w0.RTSec["rubis1"] {
+		t.Errorf("WAN migration did not raise RT: %v -> %v", w0.RTSec["rubis1"], w1.RTSec["rubis1"])
+	}
+	if w1.Watts <= w0.Watts {
+		t.Errorf("WAN migration did not raise watts: %v -> %v", w0.Watts, w1.Watts)
+	}
+	// Let it complete; the VM is in the other zone and the app now pays
+	// cross-zone latency permanently.
+	for tb.Busy() {
+		if _, err := tb.MeasureWindow(tb.Now() + 2*time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p, _ := tb.Config().PlacementOf("rubis1-db-0"); p.Host != "h3" {
+		t.Errorf("VM on %s after WAN migration, want h3", p.Host)
+	}
+	wEnd, err := tb.MeasureWindow(tb.Now() + 2*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap := wEnd.RTSec["rubis1"] - w0.RTSec["rubis1"]; gap < 0.020 {
+		t.Errorf("cross-zone placement RT gap = %v, want ≥ 20ms (WAN hop)", gap)
+	}
+}
+
+func TestAnalyticDVFSAction(t *testing.T) {
+	cat, apps, cfg := zonedSetup(t)
+	rates := map[string]float64{"rubis1": 15, "rubis2": 15}
+	tb, err := New(cat, apps, cfg, rates, nil, noiseless(ModeAnalytic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0, err := tb.MeasureWindow(2 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Downclock every host.
+	var plan []cluster.Action
+	for _, h := range cat.HostNames() {
+		plan = append(plan, cluster.Action{Kind: cluster.ActionSetDVFS, Host: h, Freq: 0.6})
+	}
+	if _, err := tb.Execute(plan); err != nil {
+		t.Fatal(err)
+	}
+	// DVFS actions are sub-second: the next window runs downclocked.
+	w1, err := tb.MeasureWindow(4 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.Watts >= w0.Watts {
+		t.Errorf("downclocking did not save power: %v -> %v", w0.Watts, w1.Watts)
+	}
+	if w1.RTSec["rubis1"] <= w0.RTSec["rubis1"] {
+		t.Errorf("downclocking did not slow service: %v -> %v", w0.RTSec["rubis1"], w1.RTSec["rubis1"])
+	}
+	for _, h := range cat.HostNames() {
+		if got := tb.Config().HostFreq(h); got != 0.6 {
+			t.Errorf("host %s freq = %v, want 0.6", h, got)
+		}
+	}
+}
+
+func TestRequestLevelDVFSAction(t *testing.T) {
+	cat, apps, cfg := zonedSetup(t)
+	rates := map[string]float64{"rubis1": 30, "rubis2": 30}
+	tb, err := New(cat, apps, cfg, rates, nil, noiseless(ModeRequestLevel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.MeasureWindow(time.Minute); err != nil { // warm-up
+		t.Fatal(err)
+	}
+	w0, err := tb.MeasureWindow(3 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plan []cluster.Action
+	for _, h := range cat.HostNames() {
+		plan = append(plan, cluster.Action{Kind: cluster.ActionSetDVFS, Host: h, Freq: 0.6})
+	}
+	if _, err := tb.Execute(plan); err != nil {
+		t.Fatal(err)
+	}
+	w1, err := tb.MeasureWindow(6 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.RTSec["rubis1"] <= w0.RTSec["rubis1"] {
+		t.Errorf("request-level downclock did not slow service: %v -> %v", w0.RTSec["rubis1"], w1.RTSec["rubis1"])
+	}
+}

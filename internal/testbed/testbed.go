@@ -1,0 +1,617 @@
+// Package testbed is the virtual counterpart of the paper's physical
+// testbed: it executes adaptation-action plans against a configuration on a
+// virtual clock, charges their measured durations and transient
+// response-time/power deltas, and produces per-window "measured" metrics
+// (mean response time per application, mean system watts, per-host CPU
+// utilization).
+//
+// Two fidelity modes are offered:
+//
+//   - ModeAnalytic (default): steady-state behaviour comes from the LQN
+//     model evaluated with ground-truth parameters plus calibrated
+//     measurement noise, and action transients come from the cost tables.
+//     This mode is fast enough to replay the full 6.5 h scenarios of the
+//     evaluation hundreds of times.
+//
+//   - ModeRequestLevel: a request-level discrete-event simulation
+//     (package queueing) serves every request; migrations inject Dom-0
+//     background load and a stop-and-copy pause so transient costs are
+//     emergent rather than table-driven. Used for model validation
+//     (Fig. 5), migration-cost measurement (Fig. 1), and the offline
+//     cost-measurement campaign (Fig. 7).
+package testbed
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/mistralcloud/mistral/internal/app"
+	"github.com/mistralcloud/mistral/internal/cluster"
+	"github.com/mistralcloud/mistral/internal/cost"
+	"github.com/mistralcloud/mistral/internal/lqn"
+	"github.com/mistralcloud/mistral/internal/power"
+	"github.com/mistralcloud/mistral/internal/queueing"
+	"github.com/mistralcloud/mistral/internal/sim"
+	"github.com/mistralcloud/mistral/internal/stats"
+)
+
+// Mode selects the testbed fidelity.
+type Mode int
+
+// Fidelity modes.
+const (
+	ModeAnalytic Mode = iota + 1
+	ModeRequestLevel
+)
+
+// Options configures a Testbed.
+type Options struct {
+	// Mode defaults to ModeAnalytic.
+	Mode Mode
+	// Seed drives measurement noise and the request-level simulator.
+	Seed uint64
+	// RTNoise is the relative stddev of per-window response-time
+	// measurement noise in analytic mode (default 0.03; negative for 0).
+	RTNoise float64
+	// WattsNoise is the relative stddev of per-window power measurement
+	// noise in analytic mode (default 0.015; negative for 0).
+	WattsNoise float64
+	// MigrationDom0Load is the fraction of the Dom-0 share consumed on the
+	// source and destination hosts while a live migration copies pages in
+	// request-level mode (default 0.6).
+	MigrationDom0Load float64
+	// MigrationVMSlowdown is the fraction of the migrating VM's CPU lost to
+	// shadow page-table maintenance and page dirtying while the migration
+	// runs in request-level mode (default 0.15).
+	MigrationVMSlowdown float64
+	// MigrationDowntime is the stop-and-copy pause at the end of a live
+	// migration in request-level mode (default 300 ms).
+	MigrationDowntime time.Duration
+	// MigrationNetWatts is the per-involved-host power draw of the NIC,
+	// chipset, and memory subsystem while migration traffic flows — power
+	// that CPU utilization alone does not capture (default 8 W).
+	MigrationNetWatts float64
+	// LQN configures the analytic model.
+	LQN lqn.Options
+	// ClosedLoop drives request-level traffic with the paper's client
+	// emulator model — a fixed population of sessions (8 per req/s of
+	// offered rate) with exponential think times — instead of an open
+	// Poisson stream. Closed loops bound queue growth under transient
+	// overload exactly as real user populations do.
+	ClosedLoop bool
+	// ClosedLoopThink is the mean think time of emulated sessions
+	// (default 7.6 s, which makes 8 sessions offer ≈1 req/s at the 400 ms
+	// operating point).
+	ClosedLoopThink time.Duration
+	// Queue configures the request-level simulator.
+	Queue queueing.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.Mode == 0 {
+		o.Mode = ModeAnalytic
+	}
+	switch {
+	case o.RTNoise == 0:
+		o.RTNoise = 0.03
+	case o.RTNoise < 0:
+		o.RTNoise = 0
+	}
+	switch {
+	case o.WattsNoise == 0:
+		o.WattsNoise = 0.015
+	case o.WattsNoise < 0:
+		o.WattsNoise = 0
+	}
+	if o.MigrationDom0Load <= 0 {
+		o.MigrationDom0Load = 0.6
+	}
+	if o.MigrationVMSlowdown <= 0 {
+		o.MigrationVMSlowdown = 0.15
+	}
+	if o.MigrationDowntime <= 0 {
+		o.MigrationDowntime = 300 * time.Millisecond
+	}
+	if o.MigrationNetWatts <= 0 {
+		o.MigrationNetWatts = 8
+	}
+	if o.ClosedLoopThink <= 0 {
+		o.ClosedLoopThink = 7600 * time.Millisecond
+	}
+	return o
+}
+
+// phase is one scheduled action execution on the timeline.
+type phase struct {
+	start, end   time.Duration
+	action       cluster.Action
+	pred         cost.Prediction
+	cfgAfter     cluster.Config
+	applyAtStart bool // stop-host applies its config when the phase begins
+	applied      bool
+}
+
+// Testbed executes plans and measures the resulting system.
+type Testbed struct {
+	opts    Options
+	cat     *cluster.Catalog
+	apps    []*app.Spec
+	model   *lqn.Model
+	costMgr *cost.Manager
+	noise   *sim.RNG
+
+	now      time.Duration
+	cfg      cluster.Config // configuration currently in effect
+	cfgFinal cluster.Config // configuration after all scheduled phases
+	rates    map[string]float64
+	phases   []phase
+
+	qsys *queueing.System
+}
+
+// New builds a testbed in the given initial configuration and workload.
+func New(cat *cluster.Catalog, apps []*app.Spec, initial cluster.Config, rates map[string]float64, costTable *cost.Table, opts Options) (*Testbed, error) {
+	opts = opts.withDefaults()
+	if vs := initial.Validate(cat); len(vs) > 0 {
+		return nil, fmt.Errorf("testbed: initial config invalid: %v", vs[0])
+	}
+	model, err := lqn.NewModel(cat, apps, opts.LQN)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: %w", err)
+	}
+	if costTable == nil {
+		costTable = cost.PaperTable()
+	}
+	costMgr, err := cost.NewManager(cat, costTable, 8)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: %w", err)
+	}
+	tb := &Testbed{
+		opts:     opts,
+		cat:      cat,
+		apps:     apps,
+		model:    model,
+		costMgr:  costMgr,
+		noise:    sim.NewRNG(opts.Seed, 0x7e57bed),
+		cfg:      initial.Clone(),
+		cfgFinal: initial.Clone(),
+		rates:    make(map[string]float64, len(rates)),
+	}
+	for k, v := range rates {
+		tb.rates[k] = v
+	}
+	if opts.Mode == ModeRequestLevel {
+		q := opts.Queue
+		if q.Seed == 0 {
+			q.Seed = opts.Seed + 1
+		}
+		tb.qsys, err = queueing.New(cat, apps, initial, q)
+		if err != nil {
+			return nil, fmt.Errorf("testbed: %w", err)
+		}
+		for name, r := range tb.rates {
+			if err := tb.applyRate(name, r); err != nil {
+				return nil, fmt.Errorf("testbed: %w", err)
+			}
+		}
+	}
+	return tb, nil
+}
+
+// applyRate propagates one application's offered rate to the request-level
+// simulator, as a Poisson stream or a closed session population.
+func (tb *Testbed) applyRate(name string, r float64) error {
+	if tb.opts.ClosedLoop {
+		sessions := int(r*8 + 0.5)
+		return tb.qsys.SetSessions(name, sessions, tb.opts.ClosedLoopThink)
+	}
+	return tb.qsys.SetRate(name, r)
+}
+
+// Now returns the virtual clock.
+func (tb *Testbed) Now() time.Duration { return tb.now }
+
+// Config returns the configuration currently in effect (transitions apply
+// as phases complete). The returned value is a clone.
+func (tb *Testbed) Config() cluster.Config { return tb.cfg.Clone() }
+
+// FinalConfig returns the configuration the system will reach once all
+// scheduled phases complete. The returned value is a clone.
+func (tb *Testbed) FinalConfig() cluster.Config { return tb.cfgFinal.Clone() }
+
+// Rates returns the current per-application request rates (a copy).
+func (tb *Testbed) Rates() map[string]float64 {
+	out := make(map[string]float64, len(tb.rates))
+	for k, v := range tb.rates {
+		out[k] = v
+	}
+	return out
+}
+
+// Catalog exposes the managed catalog.
+func (tb *Testbed) Catalog() *cluster.Catalog { return tb.cat }
+
+// Apps exposes the application specs.
+func (tb *Testbed) Apps() []*app.Spec { return tb.apps }
+
+// CostManager exposes the cost manager (shared with controllers that want
+// the same tables the testbed charges).
+func (tb *Testbed) CostManager() *cost.Manager { return tb.costMgr }
+
+// SetRates changes the offered request rates from the current instant.
+func (tb *Testbed) SetRates(rates map[string]float64) error {
+	for k, v := range rates {
+		tb.rates[k] = v
+		if tb.qsys != nil {
+			if err := tb.applyRate(k, v); err != nil {
+				return fmt.Errorf("testbed: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// BusyUntil returns the completion time of the last scheduled phase, or the
+// current time when idle.
+func (tb *Testbed) BusyUntil() time.Duration {
+	if len(tb.phases) == 0 {
+		return tb.now
+	}
+	return tb.phases[len(tb.phases)-1].end
+}
+
+// Busy reports whether actions are still executing or scheduled.
+func (tb *Testbed) Busy() bool { return tb.BusyUntil() > tb.now }
+
+// Execute schedules a plan of adaptation actions to run sequentially
+// starting when all previously scheduled work completes. It returns the
+// total duration of the plan. The plan is validated against the final
+// scheduled configuration; an invalid step rejects the whole plan.
+func (tb *Testbed) Execute(plan []cluster.Action) (time.Duration, error) {
+	startAt := tb.BusyUntil()
+	cur := tb.cfgFinal.Clone()
+	var newPhases []phase
+	var total time.Duration
+	at := startAt
+	for i, a := range plan {
+		next, filled, err := cluster.Apply(tb.cat, cur, a)
+		if err != nil {
+			return 0, fmt.Errorf("testbed: plan step %d: %w", i, err)
+		}
+		if tb.opts.Mode == ModeRequestLevel {
+			switch filled.Kind {
+			case cluster.ActionStartHost, cluster.ActionStopHost:
+				return 0, fmt.Errorf("testbed: plan step %d: host power cycling is not supported in request-level mode", i)
+			}
+		}
+		pred := tb.costMgr.Predict(cur, filled, tb.rates)
+		ph := phase{
+			start:        at,
+			end:          at + pred.Duration,
+			action:       filled,
+			pred:         pred,
+			cfgAfter:     next,
+			applyAtStart: filled.Kind == cluster.ActionStopHost,
+		}
+		newPhases = append(newPhases, ph)
+		at = ph.end
+		total += pred.Duration
+		cur = next
+	}
+	tb.phases = append(tb.phases, newPhases...)
+	tb.cfgFinal = cur
+	if tb.qsys != nil {
+		tb.injectPhases(newPhases)
+	}
+	return total, nil
+}
+
+// injectPhases schedules the request-level side effects of newly planned
+// phases on the simulation engine.
+func (tb *Testbed) injectPhases(phases []phase) {
+	eng := tb.qsys.Engine()
+	for i := range phases {
+		ph := phases[i]
+		switch ph.action.Kind {
+		case cluster.ActionIncreaseCPU, cluster.ActionDecreaseCPU:
+			eng.ScheduleAt(ph.end, func() {
+				if p, ok := ph.cfgAfter.PlacementOf(ph.action.VM); ok {
+					_ = tb.qsys.SetVMRate(ph.action.VM, p.CPUPct)
+				}
+			})
+		case cluster.ActionMigrate:
+			load := tb.opts.MigrationDom0Load
+			cpuPct := ph.action.CPUPct
+			eng.ScheduleAt(ph.start, func() {
+				_ = tb.qsys.SetDom0Background(ph.action.FromHost, load)
+				_ = tb.qsys.SetDom0Background(ph.action.Host, load)
+				// The migrating VM loses part of its CPU to shadow paging.
+				_ = tb.qsys.SetVMRate(ph.action.VM, cpuPct*(1-tb.opts.MigrationVMSlowdown))
+			})
+			// Stop-and-copy: the VM is frozen for the final downtime, then
+			// resumes at full allocation on the destination (the explicit
+			// rate-set at ph.end below, which runs after this freeze).
+			eng.ScheduleAt(ph.end-tb.opts.MigrationDowntime, func() {
+				_ = tb.qsys.SetVMRate(ph.action.VM, 0)
+			})
+			eng.ScheduleAt(ph.end, func() {
+				_ = tb.qsys.SetDom0Background(ph.action.FromHost, 0)
+				_ = tb.qsys.SetDom0Background(ph.action.Host, 0)
+				_ = tb.qsys.MoveVM(ph.action.VM, ph.action.Host)
+				_ = tb.qsys.SetVMRate(ph.action.VM, cpuPct)
+			})
+		case cluster.ActionAddReplica:
+			load := tb.opts.MigrationDom0Load * 0.8
+			eng.ScheduleAt(ph.start, func() {
+				_ = tb.qsys.SetDom0Background(ph.action.Host, load)
+			})
+			eng.ScheduleAt(ph.end, func() {
+				_ = tb.qsys.SetDom0Background(ph.action.Host, 0)
+				if p, ok := ph.cfgAfter.PlacementOf(ph.action.VM); ok {
+					_ = tb.qsys.AddVM(ph.action.VM, p.Host, p.CPUPct)
+				}
+			})
+		case cluster.ActionWANMigrate:
+			// Sustained but lighter background copy over the WAN link, a
+			// longer stop-and-copy pause, and the same endpoint slowdown.
+			load := tb.opts.MigrationDom0Load * 0.5
+			cpuPct := ph.action.CPUPct
+			downtime := 4 * tb.opts.MigrationDowntime
+			eng.ScheduleAt(ph.start, func() {
+				_ = tb.qsys.SetDom0Background(ph.action.FromHost, load)
+				_ = tb.qsys.SetDom0Background(ph.action.Host, load)
+				_ = tb.qsys.SetVMRate(ph.action.VM, cpuPct*(1-tb.opts.MigrationVMSlowdown))
+			})
+			eng.ScheduleAt(ph.end-downtime, func() {
+				_ = tb.qsys.SetVMRate(ph.action.VM, 0)
+			})
+			eng.ScheduleAt(ph.end, func() {
+				_ = tb.qsys.SetDom0Background(ph.action.FromHost, 0)
+				_ = tb.qsys.SetDom0Background(ph.action.Host, 0)
+				_ = tb.qsys.MoveVM(ph.action.VM, ph.action.Host)
+				_ = tb.qsys.SetVMRate(ph.action.VM, cpuPct)
+			})
+		case cluster.ActionSetDVFS:
+			eng.ScheduleAt(ph.end, func() {
+				allocs := make(map[cluster.VMID]float64)
+				for _, id := range ph.cfgAfter.VMsOnHost(ph.action.Host) {
+					if p, ok := ph.cfgAfter.PlacementOf(id); ok {
+						allocs[id] = p.CPUPct
+					}
+				}
+				_ = tb.qsys.SetHostFreq(ph.action.Host, ph.action.Freq, allocs)
+			})
+		case cluster.ActionRemoveReplica:
+			load := tb.opts.MigrationDom0Load * 0.6
+			eng.ScheduleAt(ph.start, func() {
+				_ = tb.qsys.SetDom0Background(ph.action.FromHost, load)
+				_ = tb.qsys.RemoveVM(ph.action.VM)
+			})
+			eng.ScheduleAt(ph.end, func() {
+				_ = tb.qsys.SetDom0Background(ph.action.FromHost, 0)
+			})
+		}
+	}
+}
+
+// advanceTo moves the clock forward, applying phase transitions.
+func (tb *Testbed) advanceTo(t time.Duration) error {
+	if t < tb.now {
+		return fmt.Errorf("testbed: cannot advance backwards from %v to %v", tb.now, t)
+	}
+	for i := range tb.phases {
+		ph := &tb.phases[i]
+		if ph.applied {
+			continue
+		}
+		boundary := ph.end
+		if ph.applyAtStart {
+			boundary = ph.start
+		}
+		if boundary <= t {
+			tb.cfg = ph.cfgAfter.Clone()
+			ph.applied = true
+		}
+	}
+	// Drop fully elapsed phases.
+	kept := tb.phases[:0]
+	for _, ph := range tb.phases {
+		if ph.end > t {
+			kept = append(kept, ph)
+		}
+	}
+	tb.phases = kept
+	tb.now = t
+	if tb.qsys != nil {
+		if err := tb.qsys.Run(t); err != nil {
+			return fmt.Errorf("testbed: %w", err)
+		}
+	}
+	return nil
+}
+
+// Window is one measurement window's aggregated "measured" metrics.
+type Window struct {
+	From, To time.Duration
+	// RTSec is the time-weighted mean response time per application. Apps
+	// with zero offered load report zero.
+	RTSec map[string]float64
+	// Watts is the time-weighted mean system power draw.
+	Watts float64
+	// HostUtil is the time-weighted mean CPU utilization per powered host.
+	HostUtil map[string]float64
+	// Completed counts completed requests per app (request-level mode).
+	Completed map[string]uint64
+}
+
+// MeasureWindow advances the clock to 'to' and returns metrics aggregated
+// over (Now, to]. In analytic mode the window integrates the piecewise-
+// constant model exactly across phase boundaries; in request-level mode it
+// is measured from simulated requests.
+func (tb *Testbed) MeasureWindow(to time.Duration) (Window, error) {
+	if to <= tb.now {
+		return Window{}, fmt.Errorf("testbed: window end %v not after now %v", to, tb.now)
+	}
+	if tb.opts.Mode == ModeRequestLevel {
+		return tb.measureWindowRequestLevel(to)
+	}
+	return tb.measureWindowAnalytic(to)
+}
+
+func (tb *Testbed) measureWindowAnalytic(to time.Duration) (Window, error) {
+	from := tb.now
+	w := Window{
+		From:     from,
+		To:       to,
+		RTSec:    make(map[string]float64),
+		HostUtil: make(map[string]float64),
+	}
+
+	// Breakpoints: every phase start/end (and apply boundary) inside the
+	// window splits it into segments with constant behaviour.
+	cuts := []time.Duration{from, to}
+	for _, ph := range tb.phases {
+		for _, b := range []time.Duration{ph.start, ph.end} {
+			if b > from && b < to {
+				cuts = append(cuts, b)
+			}
+		}
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+
+	total := (to - from).Seconds()
+	for i := 0; i+1 < len(cuts); i++ {
+		segFrom, segTo := cuts[i], cuts[i+1]
+		if segTo <= segFrom {
+			continue
+		}
+		mid := segFrom + (segTo-segFrom)/2
+		cfg, deltaRT, deltaWatts := tb.stateAt(mid)
+		res, err := tb.model.Evaluate(cfg, tb.rates, nil)
+		if err != nil {
+			return Window{}, fmt.Errorf("testbed: %w", err)
+		}
+		weight := (segTo - segFrom).Seconds() / total
+		hostUtil := make(map[string]float64, len(res.Hosts))
+		for h, hr := range res.Hosts {
+			hostUtil[h] = hr.CPUUtil
+			w.HostUtil[h] += weight * hr.CPUUtil
+		}
+		watts := power.SystemWatts(tb.cat, cfg, hostUtil) + deltaWatts
+		w.Watts += weight * watts
+		for name := range tb.model.Apps() {
+			if tb.rates[name] <= 0 {
+				continue
+			}
+			rt := res.MeanRTSec(name) + deltaRT[name]
+			w.RTSec[name] += weight * rt
+		}
+	}
+
+	// Measurement noise, applied once per window. Apps are visited in
+	// sorted order so noise draws are reproducible across runs (map
+	// iteration order would otherwise shuffle them).
+	names := make([]string, 0, len(w.RTSec))
+	for name := range w.RTSec {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w.RTSec[name] = tb.noise.Jitter(w.RTSec[name], tb.opts.RTNoise)
+	}
+	w.Watts = tb.noise.Jitter(w.Watts, tb.opts.WattsNoise)
+
+	if err := tb.advanceTo(to); err != nil {
+		return Window{}, err
+	}
+	return w, nil
+}
+
+// stateAt returns the configuration in effect at time t plus the transient
+// deltas of phases active at t.
+func (tb *Testbed) stateAt(t time.Duration) (cluster.Config, map[string]float64, float64) {
+	cfg := tb.cfg
+	deltaRT := make(map[string]float64)
+	var deltaWatts float64
+	for _, ph := range tb.phases {
+		boundary := ph.end
+		if ph.applyAtStart {
+			boundary = ph.start
+		}
+		if boundary <= t {
+			cfg = ph.cfgAfter
+		}
+		if ph.start <= t && t < ph.end {
+			deltaWatts += ph.pred.DeltaWatts
+			for name, d := range ph.pred.DeltaRTSec {
+				deltaRT[name] += d
+			}
+		}
+	}
+	return cfg, deltaRT, deltaWatts
+}
+
+func (tb *Testbed) measureWindowRequestLevel(to time.Duration) (Window, error) {
+	from := tb.now
+	// Compute transient network power before advanceTo drops elapsed phases.
+	netWatts := tb.windowNetWatts(from, to)
+	tb.qsys.ResetWindow()
+	if err := tb.advanceTo(to); err != nil {
+		return Window{}, err
+	}
+	snap := tb.qsys.Snapshot()
+	w := Window{
+		From:      from,
+		To:        to,
+		RTSec:     make(map[string]float64, len(snap.Apps)),
+		HostUtil:  snap.HostUtil,
+		Completed: make(map[string]uint64, len(snap.Apps)),
+	}
+	for name, aw := range snap.Apps {
+		w.RTSec[name] = aw.MeanRTSec
+		w.Completed[name] = aw.Completed
+	}
+	// Watts from measured utilization plus the host-cycling transients that
+	// analytic phases would charge (none in request mode) — here the
+	// migration overhead is already inside HostUtil.
+	baseCfg, _, _ := tb.stateAt(to)
+	util := make(map[string]float64, len(snap.HostUtil))
+	for h, u := range snap.HostUtil {
+		util[h] = stats.Clamp(u+0.02, 0, 1) // housekeeping floor, as in the LQN
+	}
+	w.Watts = power.SystemWatts(tb.cat, baseCfg, util) + netWatts
+	return w, nil
+}
+
+// windowNetWatts returns the time-weighted NIC/chipset power of data-moving
+// phases (migration, replica add/remove) overlapping the window.
+func (tb *Testbed) windowNetWatts(from, to time.Duration) float64 {
+	window := (to - from).Seconds()
+	if window <= 0 {
+		return 0
+	}
+	var watts float64
+	for _, ph := range tb.phases {
+		var hosts float64
+		switch ph.action.Kind {
+		case cluster.ActionMigrate, cluster.ActionWANMigrate:
+			hosts = 2
+		case cluster.ActionAddReplica, cluster.ActionRemoveReplica:
+			hosts = 2 // target host plus the cold-store repository
+		default:
+			continue
+		}
+		lo, hi := ph.start, ph.end
+		if lo < from {
+			lo = from
+		}
+		if hi > to {
+			hi = to
+		}
+		if hi > lo {
+			watts += tb.opts.MigrationNetWatts * hosts * (hi - lo).Seconds() / window
+		}
+	}
+	return watts
+}

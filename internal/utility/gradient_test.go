@@ -1,0 +1,63 @@
+package utility
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestPenaltyGradientGradesMisses(t *testing.T) {
+	p := &Params{
+		MonitoringInterval:       2 * time.Minute,
+		PowerCostPerWattInterval: 0.01,
+		Apps: map[string]AppParams{
+			"a": {TargetRT: 400 * time.Millisecond, PenaltyGradient: 1.5},
+		},
+	}
+	m := p.MonitoringInterval.Seconds()
+	base := PaperPenalty(50) / m
+
+	// Barely missing: penalty close to the flat value.
+	slight := p.PerfRate("a", 50, 0.41)
+	if slight >= 0 {
+		t.Fatal("miss should be negative")
+	}
+	if math.Abs(slight-base)/math.Abs(base) > 0.05 {
+		t.Errorf("slight miss = %v, want near flat %v", slight, base)
+	}
+
+	// Missing badly: the penalty grows with the overshoot.
+	bad := p.PerfRate("a", 50, 1.2) // 3x the target -> over = 2
+	wantBad := base * (1 + 1.5*2)
+	if math.Abs(bad-wantBad) > 1e-12 {
+		t.Errorf("bad miss = %v, want %v", bad, wantBad)
+	}
+	if bad >= slight {
+		t.Error("worse RT should accrue a worse penalty")
+	}
+
+	// The gradient caps at 3x overshoot.
+	awful := p.PerfRate("a", 50, 100)
+	wantCap := base * (1 + 1.5*3)
+	if math.Abs(awful-wantCap) > 1e-12 {
+		t.Errorf("capped miss = %v, want %v", awful, wantCap)
+	}
+
+	// Meeting the target is unaffected by the gradient.
+	if got, want := p.PerfRate("a", 50, 0.3), PaperReward(50)/m; math.Abs(got-want) > 1e-12 {
+		t.Errorf("meet = %v, want %v", got, want)
+	}
+}
+
+func TestFlatPenaltyWhenGradientZero(t *testing.T) {
+	p := PaperParams([]string{"a"})
+	m := p.MonitoringInterval.Seconds()
+	near := p.PerfRate("a", 50, 0.41)
+	far := p.PerfRate("a", 50, 10)
+	if near != far {
+		t.Errorf("flat Eq. 1 penalty should not grade: %v vs %v", near, far)
+	}
+	if near != PaperPenalty(50)/m {
+		t.Errorf("penalty = %v, want %v", near, PaperPenalty(50)/m)
+	}
+}

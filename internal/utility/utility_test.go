@@ -1,0 +1,198 @@
+package utility
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func paperParams(t *testing.T) *Params {
+	t.Helper()
+	p := PaperParams([]string{"a", "b"})
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return p
+}
+
+func TestPaperRewardPenaltyShape(t *testing.T) {
+	// Fig. 3: reward increases 1.0 -> 3.5; penalty rises -3.5 -> -1.0.
+	if got := PaperReward(0); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("reward(0) = %v, want 1.0", got)
+	}
+	if got := PaperReward(100); math.Abs(got-3.5) > 1e-9 {
+		t.Errorf("reward(100) = %v, want 3.5", got)
+	}
+	if got := PaperPenalty(0); math.Abs(got+3.5) > 1e-9 {
+		t.Errorf("penalty(0) = %v, want -3.5", got)
+	}
+	if got := PaperPenalty(100); math.Abs(got+1.0) > 1e-9 {
+		t.Errorf("penalty(100) = %v, want -1.0", got)
+	}
+	// Monotone and clamped.
+	for w := 0.0; w < 100; w += 5 {
+		if PaperReward(w+5) < PaperReward(w) {
+			t.Fatalf("reward not increasing at %v", w)
+		}
+		if PaperPenalty(w+5) < PaperPenalty(w) {
+			t.Fatalf("penalty not increasing at %v", w)
+		}
+		if PaperPenalty(w) >= 0 {
+			t.Fatalf("penalty not negative at %v", w)
+		}
+	}
+	if PaperReward(-10) != PaperReward(0) || PaperReward(500) != PaperReward(100) {
+		t.Error("reward not clamped")
+	}
+	if PaperPenalty(-10) != PaperPenalty(0) || PaperPenalty(500) != PaperPenalty(100) {
+		t.Error("penalty not clamped")
+	}
+}
+
+func TestPerfRateEq1(t *testing.T) {
+	p := paperParams(t)
+	m := p.MonitoringInterval.Seconds()
+	// Meeting the target accrues reward/M.
+	if got, want := p.PerfRate("a", 50, 0.3), PaperReward(50)/m; math.Abs(got-want) > 1e-12 {
+		t.Errorf("meet rate = %v, want %v", got, want)
+	}
+	// Exactly at target counts as meeting (RT <= TRT).
+	if got, want := p.PerfRate("a", 50, 0.4), PaperReward(50)/m; math.Abs(got-want) > 1e-12 {
+		t.Errorf("at-target rate = %v, want reward %v", got, want)
+	}
+	// Missing accrues penalty/M (negative).
+	if got, want := p.PerfRate("a", 50, 0.41), PaperPenalty(50)/m; math.Abs(got-want) > 1e-12 {
+		t.Errorf("miss rate = %v, want %v", got, want)
+	}
+	// Unknown app accrues nothing.
+	if got := p.PerfRate("ghost", 50, 0.1); got != 0 {
+		t.Errorf("unknown app rate = %v, want 0", got)
+	}
+}
+
+func TestPerfRateAllSums(t *testing.T) {
+	p := paperParams(t)
+	rates := map[string]float64{"a": 50, "b": 80}
+	rts := map[string]float64{"a": 0.2, "b": 0.9}
+	got := p.PerfRateAll(rates, rts)
+	want := p.PerfRate("a", 50, 0.2) + p.PerfRate("b", 80, 0.9)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("PerfRateAll = %v, want %v", got, want)
+	}
+}
+
+func TestPowerRateEq2(t *testing.T) {
+	p := paperParams(t)
+	// 100 W at $0.01/W-interval over 120 s -> -$1.00 per interval
+	// -> rate -1/120 $/s.
+	got := p.PowerRate(100)
+	want := -100 * 0.01 / 120
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("PowerRate = %v, want %v", got, want)
+	}
+	if p.PowerRate(-5) != 0 {
+		t.Error("negative watts should clamp to zero")
+	}
+	if p.PowerRate(100) >= 0 {
+		t.Error("power utility must be negative")
+	}
+}
+
+func TestOverallEq3(t *testing.T) {
+	p := paperParams(t)
+	rates := map[string]float64{"a": 50, "b": 50}
+	goodRT := map[string]float64{"a": 0.2, "b": 0.2}
+	badRT := map[string]float64{"a": 2.0, "b": 2.0}
+	cw := 10 * time.Minute
+
+	// No actions: pure steady accrual for the whole window.
+	steady := p.Overall(rates, nil, 200, goodRT, cw)
+	want := cw.Seconds() * p.NetRate(rates, goodRT, 200)
+	if math.Abs(steady-want) > 1e-9 {
+		t.Errorf("steady overall = %v, want %v", steady, want)
+	}
+
+	// One action degrading RT and raising power for 60s.
+	phases := []Phase{{Duration: time.Minute, Watts: 260, RTSec: badRT}}
+	with := p.Overall(rates, phases, 200, goodRT, cw)
+	if with >= steady {
+		t.Errorf("adaptation cost did not lower utility: %v >= %v", with, steady)
+	}
+	wantWith := time.Minute.Seconds()*(p.PowerRate(260)+p.PerfRateAll(rates, badRT)) +
+		(cw-time.Minute).Seconds()*p.NetRate(rates, goodRT, 200)
+	if math.Abs(with-wantWith) > 1e-9 {
+		t.Errorf("overall with action = %v, want %v", with, wantWith)
+	}
+}
+
+func TestOverallClampsWhenActionsExceedWindow(t *testing.T) {
+	p := paperParams(t)
+	rates := map[string]float64{"a": 50, "b": 50}
+	rt := map[string]float64{"a": 0.2, "b": 0.2}
+	phases := []Phase{{Duration: time.Hour, Watts: 300, RTSec: rt}}
+	got := p.Overall(rates, phases, 100, rt, time.Minute)
+	want := time.Hour.Seconds() * (p.PowerRate(300) + p.PerfRateAll(rates, rt))
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("clamped overall = %v, want %v (no steady term)", got, want)
+	}
+	// Negative phase durations are ignored.
+	neg := p.Overall(rates, []Phase{{Duration: -time.Minute, Watts: 300, RTSec: rt}}, 100, rt, time.Minute)
+	pure := p.Overall(rates, nil, 100, rt, time.Minute)
+	if math.Abs(neg-pure) > 1e-9 {
+		t.Errorf("negative-duration phase changed utility: %v vs %v", neg, pure)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"bad interval", func(p *Params) { p.MonitoringInterval = 0 }},
+		{"negative cost", func(p *Params) { p.PowerCostPerWattInterval = -1 }},
+		{"no apps", func(p *Params) { p.Apps = nil }},
+		{"bad target", func(p *Params) { p.Apps["a"] = AppParams{} }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := PaperParams([]string{"a"})
+			c.mutate(p)
+			if err := p.Validate(); err == nil {
+				t.Error("invalid params accepted")
+			}
+		})
+	}
+}
+
+func TestDefaultsWhenCurvesNil(t *testing.T) {
+	p := &Params{
+		MonitoringInterval:       2 * time.Minute,
+		PowerCostPerWattInterval: 0.01,
+		Apps:                     map[string]AppParams{"a": {TargetRT: 400 * time.Millisecond}},
+	}
+	if got, want := p.PerfRate("a", 40, 0.1), PaperReward(40)/120; math.Abs(got-want) > 1e-12 {
+		t.Errorf("nil reward curve: rate = %v, want %v", got, want)
+	}
+	if got, want := p.PerfRate("a", 40, 1.0), PaperPenalty(40)/120; math.Abs(got-want) > 1e-12 {
+		t.Errorf("nil penalty curve: rate = %v, want %v", got, want)
+	}
+}
+
+// Property: Overall is monotone in response-time quality — meeting targets
+// never yields less utility than missing them, all else equal.
+func TestOverallMonotoneInRTProperty(t *testing.T) {
+	p := paperParams(t)
+	prop := func(rate8 uint8, watts16 uint16, cwMin uint8) bool {
+		rate := float64(rate8) / 255 * 100
+		watts := float64(watts16 % 500)
+		cw := time.Duration(cwMin%60+1) * time.Minute
+		rates := map[string]float64{"a": rate, "b": rate}
+		good := map[string]float64{"a": 0.1, "b": 0.1}
+		bad := map[string]float64{"a": 1.0, "b": 1.0}
+		return p.Overall(rates, nil, watts, good, cw) >= p.Overall(rates, nil, watts, bad, cw)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

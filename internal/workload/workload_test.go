@@ -1,0 +1,257 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTraceRateAtInterpolates(t *testing.T) {
+	tr := &Trace{Step: time.Minute, Rates: []float64{0, 10, 20}}
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{-time.Minute, 0},
+		{0, 0},
+		{30 * time.Second, 5},
+		{time.Minute, 10},
+		{90 * time.Second, 15},
+		{2 * time.Minute, 20},
+		{time.Hour, 20},
+	}
+	for _, c := range cases {
+		if got := tr.RateAt(c.at); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("RateAt(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+	empty := &Trace{Step: time.Minute}
+	if empty.RateAt(0) != 0 || empty.Duration() != 0 {
+		t.Error("empty trace should report zeros")
+	}
+}
+
+func TestTraceDuration(t *testing.T) {
+	tr := &Trace{Step: time.Minute, Rates: make([]float64, 391)}
+	if got := tr.Duration(); got != 390*time.Minute {
+		t.Errorf("Duration = %v, want 390m", got)
+	}
+}
+
+func TestRescale(t *testing.T) {
+	tr := &Trace{Step: time.Minute, Rates: []float64{5, 10, 15}}
+	tr.Rescale(0, 100)
+	want := []float64{0, 50, 100}
+	for i := range want {
+		if math.Abs(tr.Rates[i]-want[i]) > 1e-9 {
+			t.Errorf("Rates[%d] = %v, want %v", i, tr.Rates[i], want[i])
+		}
+	}
+	flat := &Trace{Step: time.Minute, Rates: []float64{7, 7}}
+	flat.Rescale(3, 9)
+	if flat.Rates[0] != 3 || flat.Rates[1] != 3 {
+		t.Errorf("flat rescale = %v, want all lo", flat.Rates)
+	}
+}
+
+func TestWorldCupShape(t *testing.T) {
+	tr := WorldCup(42, 0)
+	if got := tr.Duration(); got != ScenarioDuration {
+		t.Fatalf("duration = %v, want %v", got, ScenarioDuration)
+	}
+	var mn, mx float64 = math.Inf(1), math.Inf(-1)
+	for _, r := range tr.Rates {
+		mn = math.Min(mn, r)
+		mx = math.Max(mx, r)
+	}
+	if mn < 0 || mn > 1e-9 {
+		t.Errorf("min rate = %v, want 0 after rescale", mn)
+	}
+	if math.Abs(mx-100) > 1e-9 {
+		t.Errorf("max rate = %v, want 100", mx)
+	}
+	// The flash crowd must fall inside the validation interval 16:52–17:14
+	// and be a strong local peak relative to its neighborhood.
+	peak := tr.RateAt(Offset(17, 0))
+	before := tr.RateAt(Offset(16, 20))
+	after := tr.RateAt(Offset(17, 45))
+	if peak < before+20 || peak < after+20 {
+		t.Errorf("no flash crowd near 17:00: before=%v peak=%v after=%v", before, peak, after)
+	}
+	// Deterministic for the same seed, different across seeds/variants.
+	same := WorldCup(42, 0)
+	for i := range tr.Rates {
+		if tr.Rates[i] != same.Rates[i] {
+			t.Fatal("WorldCup not deterministic")
+		}
+	}
+	other := WorldCup(42, 1)
+	diff := 0
+	for i := range tr.Rates {
+		if tr.Rates[i] != other.Rates[i] {
+			diff++
+		}
+	}
+	if diff < len(tr.Rates)/2 {
+		t.Error("variants barely differ")
+	}
+}
+
+func TestHPShapeIsSmoother(t *testing.T) {
+	wc := WorldCup(42, 0)
+	hp := HP(42, 0)
+	variation := func(tr *Trace) float64 {
+		var sum float64
+		for i := 1; i < len(tr.Rates); i++ {
+			sum += math.Abs(tr.Rates[i] - tr.Rates[i-1])
+		}
+		return sum
+	}
+	if variation(hp) >= variation(wc) {
+		t.Errorf("HP total variation %v not below WorldCup %v", variation(hp), variation(wc))
+	}
+	if got := hp.Duration(); got != ScenarioDuration {
+		t.Errorf("duration = %v", got)
+	}
+}
+
+func TestClockAndOffsetRoundTrip(t *testing.T) {
+	if got := Clock(0); got != "15:00" {
+		t.Errorf("Clock(0) = %q, want 15:00", got)
+	}
+	if got := Clock(Offset(16, 52)); got != "16:52" {
+		t.Errorf("Clock(Offset(16:52)) = %q", got)
+	}
+	if got := Clock(ScenarioDuration); got != "21:30" {
+		t.Errorf("Clock(end) = %q, want 21:30", got)
+	}
+}
+
+func TestSessionsRoundTrip(t *testing.T) {
+	if got := Sessions(100); got != 800 {
+		t.Errorf("Sessions(100) = %v, want 800", got)
+	}
+	if got := RateForSessions(800); got != 100 {
+		t.Errorf("RateForSessions(800) = %v, want 100", got)
+	}
+}
+
+func TestPaperWorkloads(t *testing.T) {
+	names := []string{"rubis1", "rubis2", "rubis3", "rubis4"}
+	set := PaperWorkloads(7, names)
+	if len(set) != 4 {
+		t.Fatalf("set size = %d", len(set))
+	}
+	for _, n := range names {
+		if set[n] == nil {
+			t.Fatalf("missing trace for %s", n)
+		}
+	}
+	w := set.At(Offset(17, 0))
+	if len(w) != 4 {
+		t.Fatalf("At() size = %d", len(w))
+	}
+	// World Cup instances should be in a flash crowd at 17:00; HP not.
+	if w["rubis1"] < w["rubis3"] {
+		t.Logf("note: rubis1=%v rubis3=%v", w["rubis1"], w["rubis3"])
+	}
+	two := PaperWorkloads(7, names[:2])
+	if len(two) != 2 {
+		t.Errorf("2-app set size = %d", len(two))
+	}
+}
+
+func TestBandContains(t *testing.T) {
+	b := Band{Center: 50, Width: 8}
+	for _, c := range []struct {
+		rate float64
+		want bool
+	}{{50, true}, {54, true}, {46, true}, {54.1, false}, {45.9, false}} {
+		if got := b.Contains(c.rate); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.rate, got, c.want)
+		}
+	}
+	zero := Band{Center: 50, Width: 0}
+	if !zero.Contains(50) {
+		t.Error("zero-width band must contain its center")
+	}
+	if zero.Contains(50.5) {
+		t.Error("zero-width band must not contain other values")
+	}
+}
+
+func TestNewBandsAndAnyOutside(t *testing.T) {
+	rates := map[string]float64{"a": 10, "b": 20}
+	bands := NewBands(rates, 8)
+	if AnyOutside(bands, rates) {
+		t.Error("fresh bands should contain their centers")
+	}
+	if !AnyOutside(bands, map[string]float64{"a": 15, "b": 20}) {
+		t.Error("escaped rate not detected")
+	}
+	if !AnyOutside(bands, map[string]float64{"c": 1}) {
+		t.Error("unknown app should count as outside")
+	}
+}
+
+func TestStabilityIntervals(t *testing.T) {
+	// Step trace: 10 for 5 min, then 50 for 5 min, then 10 again.
+	rates := make([]float64, 16)
+	for i := range rates {
+		switch {
+		case i < 5:
+			rates[i] = 10
+		case i < 10:
+			rates[i] = 50
+		default:
+			rates[i] = 10
+		}
+	}
+	tr := &Trace{Step: time.Minute, Rates: rates}
+	ivs := StabilityIntervals(tr, 8, time.Minute)
+	if len(ivs) < 3 {
+		t.Fatalf("intervals = %v, want at least 3", ivs)
+	}
+	var total time.Duration
+	for _, iv := range ivs {
+		if iv <= 0 {
+			t.Errorf("non-positive interval %v", iv)
+		}
+		total += iv
+	}
+	if total != tr.Duration() {
+		t.Errorf("intervals sum to %v, want %v", total, tr.Duration())
+	}
+	if got := StabilityIntervals(tr, 8, 0); got != nil {
+		t.Error("zero step should yield nil")
+	}
+}
+
+// Property: stability intervals always partition the trace duration,
+// regardless of band width.
+func TestStabilityIntervalsProperty(t *testing.T) {
+	tr := WorldCup(9, 0)
+	prop := func(w8 uint8) bool {
+		width := float64(w8) / 4
+		ivs := StabilityIntervals(tr, width, time.Minute)
+		var total time.Duration
+		for _, iv := range ivs {
+			if iv <= 0 {
+				return false
+			}
+			total += iv
+		}
+		return total == tr.Duration()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanRate(t *testing.T) {
+	tr := &Trace{Step: time.Minute, Rates: []float64{0, 10, 20}}
+	if got := tr.MeanRate(); math.Abs(got-10) > 1e-9 {
+		t.Errorf("MeanRate = %v, want 10", got)
+	}
+}

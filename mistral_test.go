@@ -1,0 +1,123 @@
+package mistral_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/mistralcloud/mistral"
+)
+
+func TestNewSystemDefaults(t *testing.T) {
+	sys, err := mistral.NewSystem(mistral.SystemOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sys.Apps()); got != 2 {
+		t.Errorf("apps = %d, want 2", got)
+	}
+	if got := len(sys.Catalog().HostNames()); got != 4 {
+		t.Errorf("hosts = %d, want 4", got)
+	}
+	if !sys.InitialConfig().IsCandidate(sys.Catalog()) {
+		t.Error("initial config invalid")
+	}
+	if sys.Workloads() == nil {
+		t.Error("no workloads")
+	}
+	if sys.Utility().MonitoringInterval != 2*time.Minute {
+		t.Errorf("monitoring interval = %v", sys.Utility().MonitoringInterval)
+	}
+}
+
+func TestNewSystemCustomApps(t *testing.T) {
+	a := mistral.RUBiS("shop")
+	sys, err := mistral.NewSystem(mistral.SystemOptions{
+		Apps:  []*mistral.AppSpec{a},
+		Hosts: []mistral.HostSpec{mistral.DefaultHostSpec("alpha"), mistral.DefaultHostSpec("beta")},
+		Seed:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Catalog().HostNames(); len(got) != 2 || got[0] != "alpha" {
+		t.Errorf("hosts = %v", got)
+	}
+	if _, ok := sys.Utility().Apps["shop"]; !ok {
+		t.Error("custom app missing from utility params")
+	}
+}
+
+func TestSystemIdealConfiguration(t *testing.T) {
+	sys, err := mistral.NewSystem(mistral.SystemOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := sys.IdealConfiguration(map[string]float64{"rubis1": 5, "rubis2": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := sys.IdealConfiguration(map[string]float64{"rubis1": 90, "rubis2": 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.Config.NumActiveHosts() > high.Config.NumActiveHosts() {
+		t.Errorf("low-load ideal uses %d hosts, high-load %d",
+			low.Config.NumActiveHosts(), high.Config.NumActiveHosts())
+	}
+}
+
+func TestSystemReplayQuickstart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario replay")
+	}
+	sys, err := mistral.NewSystem(mistral.SystemOptions{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := sys.NewMistral(mistral.ControllerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.ReplayFor(ctrl, nil, 30*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Windows) != 15 {
+		t.Errorf("windows = %d, want 15", len(res.Windows))
+	}
+	if res.Strategy != "Mistral" {
+		t.Errorf("strategy = %q", res.Strategy)
+	}
+}
+
+func TestSystemBaselines(t *testing.T) {
+	sys, err := mistral.NewSystem(mistral.SystemOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mk := range []func() (mistral.Decider, error){
+		sys.NewPerfPwrBaseline, sys.NewPerfCostBaseline, sys.NewPwrCostBaseline,
+	} {
+		d, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Name() == "" {
+			t.Error("baseline with empty name")
+		}
+	}
+}
+
+func TestPaperHelpers(t *testing.T) {
+	if got := mistral.PaperCostTable(); len(got.Keys()) == 0 {
+		t.Error("empty cost table")
+	}
+	util := mistral.PaperUtility([]string{"x"})
+	if err := util.Validate(); err != nil {
+		t.Errorf("paper utility invalid: %v", err)
+	}
+	set := mistral.PaperWorkloads(1, []string{"a", "b"})
+	if len(set) != 2 {
+		t.Errorf("workload set = %d", len(set))
+	}
+}
