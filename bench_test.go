@@ -14,9 +14,36 @@ import (
 
 	"github.com/mistralcloud/mistral"
 	"github.com/mistralcloud/mistral/internal/experiments"
+	"github.com/mistralcloud/mistral/internal/obs"
 )
 
 const benchSeed = 42
+
+// benchRegistry installs a process-default metrics registry for the
+// benchmark's duration and returns it, so searches and evaluators
+// constructed inside the experiment record into it.
+func benchRegistry(b *testing.B) *obs.Registry {
+	b.Helper()
+	reg := obs.NewRegistry()
+	obs.SetDefault(&obs.Observer{Metrics: reg})
+	b.Cleanup(func() { obs.SetDefault(nil) })
+	return reg
+}
+
+// reportSearchMetrics derives expansions/s and the evaluator cache hit rate
+// from the registry accumulated over the benchmark run.
+func reportSearchMetrics(b *testing.B, reg *obs.Registry) {
+	b.Helper()
+	exp := float64(reg.CounterValue("search_expansions_total"))
+	if h := reg.Histogram("search_time_ms", nil).Snapshot(); h.Sum > 0 {
+		b.ReportMetric(exp/(h.Sum/1000), "expansions/s")
+	}
+	hits := float64(reg.CounterValue("eval_cache_hits_total"))
+	misses := float64(reg.CounterValue("eval_cache_misses_total"))
+	if hits+misses > 0 {
+		b.ReportMetric(100*hits/(hits+misses), "cache_hit_%")
+	}
+}
 
 // BenchmarkFig1MigrationCost regenerates Fig. 1: power and response-time
 // transients of a single live migration at 100/400/800 concurrent
@@ -153,6 +180,7 @@ func BenchmarkFig9CumulativeUtility(b *testing.B) {
 // own power and duration, naive vs Self-Aware (paper: ≈24 s vs ≈5.5 s,
 // utilities 135.3 vs 152.3).
 func BenchmarkFig10SearchCost(b *testing.B) {
+	reg := benchRegistry(b)
 	for i := 0; i < b.N; i++ {
 		r, err := mistral.RunFig10(benchSeed)
 		if err != nil {
@@ -164,11 +192,13 @@ func BenchmarkFig10SearchCost(b *testing.B) {
 		b.ReportMetric(r.SelfAware.CumUtility, "aware_$")
 		b.ReportMetric(r.Naive.CumUtility, "naive_$")
 	}
+	reportSearchMetrics(b, reg)
 }
 
 // BenchmarkTable1Scalability regenerates Table I over 2/3/4 applications
 // on the full 6.5 h day (the naive searches are capped for tractability).
 func BenchmarkTable1Scalability(b *testing.B) {
+	reg := benchRegistry(b)
 	for i := 0; i < b.N; i++ {
 		r, err := mistral.RunTable1(benchSeed, experiments.Table1Options{})
 		if err != nil {
@@ -181,6 +211,7 @@ func BenchmarkTable1Scalability(b *testing.B) {
 		b.ReportMetric(first.NaiveMean.Seconds(), "naive_s_2app")
 		b.ReportMetric(last.NaiveMean.Seconds(), "naive_s_4app")
 	}
+	reportSearchMetrics(b, reg)
 }
 
 // Ablation benches beyond the paper (see DESIGN.md §6).

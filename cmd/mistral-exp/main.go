@@ -6,6 +6,7 @@
 //
 //	mistral-exp [-run all|fig1|...|table1|ablations]
 //	            [-seed N] [-csv] [-outdir DIR] [-quick]
+//	            [-trace FILE] [-metrics FILE] [-log-level LEVEL] [-pprof ADDR]
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 
 	"github.com/mistralcloud/mistral"
 	"github.com/mistralcloud/mistral/internal/experiments"
+	"github.com/mistralcloud/mistral/internal/obs"
 )
 
 func main() {
@@ -54,15 +56,31 @@ func (e *emitter) emit(name string, tables []experiments.Table) error {
 	return nil
 }
 
-func run() error {
+func run() (err error) {
 	var (
-		which  = flag.String("run", "all", "which experiment: all, fig1, fig3, fig4, fig5, fig6, fig7, fig7m, fig89, fig10, table1, ablations")
-		seed   = flag.Uint64("seed", 42, "random seed")
-		asCSV  = flag.Bool("csv", false, "emit CSV instead of ASCII tables")
-		outdir = flag.String("outdir", "", "write outputs to this directory instead of stdout")
-		quick  = flag.Bool("quick", false, "cheaper variants of the slow experiments (shorter replays, fewer trials)")
+		which       = flag.String("run", "all", "which experiment: all, fig1, fig3, fig4, fig5, fig6, fig7, fig7m, fig89, fig10, table1, ablations")
+		seed        = flag.Uint64("seed", 42, "random seed")
+		asCSV       = flag.Bool("csv", false, "emit CSV instead of ASCII tables")
+		outdir      = flag.String("outdir", "", "write outputs to this directory instead of stdout")
+		quick       = flag.Bool("quick", false, "cheaper variants of the slow experiments (shorter replays, fewer trials)")
+		tracePath   = flag.String("trace", "", "write span trace to FILE (.json = Chrome trace_event for Perfetto, else JSONL)")
+		metricsPath = flag.String("metrics", "", `write metrics registry dump to FILE at exit ("-" = stderr)`)
+		logLevel    = flag.String("log-level", "", "structured logging to stderr: debug, info, warn, error")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and expvar (/debug/vars) on ADDR, e.g. localhost:6060")
 	)
 	flag.Parse()
+
+	ob, closeObs, err := obs.CLI{TracePath: *tracePath, MetricsPath: *metricsPath, LogLevel: *logLevel, PprofAddr: *pprofAddr}.Build()
+	if err != nil {
+		return err
+	}
+	obs.SetDefault(ob)
+	defer func() {
+		if cerr := closeObs(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+
 	e := &emitter{csv: *asCSV, outdir: *outdir}
 	if *outdir != "" {
 		if err := os.MkdirAll(*outdir, 0o755); err != nil {

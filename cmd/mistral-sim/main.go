@@ -5,6 +5,7 @@
 //
 //	mistral-sim [-strategy mistral|naive|perf-pwr|perf-cost|pwr-cost]
 //	            [-apps N] [-duration 6h30m] [-seed N] [-zones N] [-dvfs] [-csv]
+//	            [-trace FILE] [-metrics FILE] [-log-level LEVEL] [-pprof ADDR]
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 
 	"github.com/mistralcloud/mistral"
 	"github.com/mistralcloud/mistral/internal/experiments"
+	"github.com/mistralcloud/mistral/internal/obs"
 	"github.com/mistralcloud/mistral/internal/scenario"
 	"github.com/mistralcloud/mistral/internal/strategy"
 )
@@ -28,7 +30,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	var (
 		strategyName = flag.String("strategy", "mistral", "control strategy: mistral, naive, perf-pwr, perf-cost, pwr-cost")
 		numApps      = flag.Int("apps", 2, "number of RUBiS applications (1-4)")
@@ -37,8 +39,23 @@ func run() error {
 		zones        = flag.Int("zones", 1, "number of data centers (>1 enables the WAN extension; mistral/naive only)")
 		dvfs         = flag.Bool("dvfs", false, "equip hosts with 60/80% DVFS levels (the §VI extension)")
 		asCSV        = flag.Bool("csv", false, "emit CSV instead of aligned columns")
+		tracePath    = flag.String("trace", "", "write span trace to FILE (.json = Chrome trace_event for Perfetto, else JSONL)")
+		metricsPath  = flag.String("metrics", "", `write metrics registry dump to FILE at exit ("-" = stderr)`)
+		logLevel     = flag.String("log-level", "", "structured logging to stderr: debug, info, warn, error")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof and expvar (/debug/vars) on ADDR, e.g. localhost:6060")
 	)
 	flag.Parse()
+
+	ob, closeObs, err := obs.CLI{TracePath: *tracePath, MetricsPath: *metricsPath, LogLevel: *logLevel, PprofAddr: *pprofAddr}.Build()
+	if err != nil {
+		return err
+	}
+	obs.SetDefault(ob)
+	defer func() {
+		if cerr := closeObs(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 
 	labOpts := experiments.LabOptions{NumApps: *numApps, Seed: *seed, Zones: *zones}
 	if *dvfs {

@@ -2,12 +2,15 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
 	"time"
 
 	"github.com/mistralcloud/mistral/internal/cluster"
+	"github.com/mistralcloud/mistral/internal/obs"
 )
 
 // SearchOptions tunes the adaptation search of §IV-B.
@@ -115,6 +118,17 @@ type SearchResult struct {
 	Pruned bool
 	// Truncated reports the expansion cap was hit (best-so-far returned).
 	Truncated bool
+
+	// Fields below exist so observability spans can be populated without
+	// re-deriving search state.
+
+	// PeakFrontier is the largest open-set size reached.
+	PeakFrontier int
+	// RootDistance is ConfigDistance from the starting configuration to
+	// the ideal one (0 when they are equal).
+	RootDistance float64
+	// PrunedChildren counts children discarded by Self-Aware pruning.
+	PrunedChildren int
 }
 
 // vertex is a node in the search graph.
@@ -145,18 +159,42 @@ func (h *vertexHeap) Pop() any {
 	return v
 }
 
-// debugSearch enables temporary expansion tracing.
-var debugSearch = false
-
 // Searcher runs adaptation searches against an evaluator.
 type Searcher struct {
 	eval *Evaluator
 	opts SearchOptions
+
+	// Observability sinks, resolved at construction (see obs.SetDefault)
+	// and rebindable with SetObserver. All are nil-safe no-ops when
+	// observability is disabled.
+	log         *slog.Logger
+	cInvoked    *obs.Counter
+	cExpanded   *obs.Counter
+	cGenerated  *obs.Counter
+	cPruned     *obs.Counter
+	cTruncated  *obs.Counter
+	hExpansions *obs.Histogram
+	hSearchMS   *obs.Histogram
 }
 
 // NewSearcher builds a searcher.
 func NewSearcher(eval *Evaluator, opts SearchOptions) *Searcher {
-	return &Searcher{eval: eval, opts: opts.withDefaults()}
+	s := &Searcher{eval: eval, opts: opts.withDefaults()}
+	s.SetObserver(obs.Default())
+	return s
+}
+
+// SetObserver rebinds the searcher's observability sinks (construction
+// resolves the process default); pass nil to disable.
+func (s *Searcher) SetObserver(o *obs.Observer) {
+	s.log = o.Logger()
+	s.cInvoked = o.Counter("search_invocations_total")
+	s.cExpanded = o.Counter("search_expansions_total")
+	s.cGenerated = o.Counter("search_generated_total")
+	s.cPruned = o.Counter("search_pruned_children_total")
+	s.cTruncated = o.Counter("search_truncated_total")
+	s.hExpansions = o.Histogram("search_expansions", []float64{10, 50, 100, 250, 500, 1000, 2500})
+	s.hSearchMS = o.Histogram("search_time_ms", []float64{1, 5, 10, 50, 100, 500, 1000, 5000})
 }
 
 // Search finds the action sequence maximizing Eq. 3 from configuration cfg
@@ -164,6 +202,30 @@ func NewSearcher(eval *Evaluator, opts SearchOptions) *Searcher {
 // admissible cost-to-go), and action space. expected carries UH for the
 // Self-Aware trigger; it is ignored by the naive search.
 func (s *Searcher) Search(cfg cluster.Config, rates map[string]float64, cw time.Duration, ideal Ideal, expected ExpectedUtility, space cluster.ActionSpace) (SearchResult, error) {
+	res, err := s.search(cfg, rates, cw, ideal, expected, space)
+	if err == nil {
+		s.record(res)
+	}
+	return res, err
+}
+
+// record flushes one completed search into the metrics registry.
+func (s *Searcher) record(res SearchResult) {
+	if s.cInvoked == nil {
+		return
+	}
+	s.cInvoked.Inc()
+	s.cExpanded.Add(int64(res.Expanded))
+	s.cGenerated.Add(int64(res.Generated))
+	s.cPruned.Add(int64(res.PrunedChildren))
+	if res.Truncated {
+		s.cTruncated.Inc()
+	}
+	s.hExpansions.Observe(float64(res.Expanded))
+	s.hSearchMS.Observe(float64(res.SearchTime) / float64(time.Millisecond))
+}
+
+func (s *Searcher) search(cfg cluster.Config, rates map[string]float64, cw time.Duration, ideal Ideal, expected ExpectedUtility, space cluster.ActionSpace) (SearchResult, error) {
 	opts := s.opts
 	cwSec := cw.Seconds()
 	if cwSec <= 0 {
@@ -221,8 +283,9 @@ func (s *Searcher) Search(cfg cluster.Config, rates map[string]float64, cw time.
 	heap.Push(open, root)
 	bestByKey := map[string]float64{root.key: root.utility}
 
-	res := SearchResult{}
+	res := SearchResult{RootDistance: rootDist, PeakFrontier: 1}
 	var bestCandidate *vertex
+	dbg := s.log.Enabled(context.Background(), slog.LevelDebug)
 
 	// Self-awareness state (Algorithm 1). The cost of searching has two
 	// parts: the power the controller host burns (UpwrT) and the utility
@@ -292,9 +355,15 @@ func (s *Searcher) Search(cfg cluster.Config, rates map[string]float64, cw time.
 			return res, nil
 		}
 		res.Expanded++
-		if debugSearch && res.Expanded%50 == 1 {
-			fmt.Printf("POP #%d u=%.3f depth=%d dur=%v dist=%.3f accr=%.2f open=%d\n",
-				res.Expanded, vmax.utility, len(vmax.plan), vmax.dur, ConfigDistance(vmax.cfg, ideal.Config), vmax.accrued, open.Len())
+		if dbg && res.Expanded%50 == 1 {
+			s.log.Debug("search pop",
+				"expanded", res.Expanded,
+				"utility", vmax.utility,
+				"depth", len(vmax.plan),
+				"plan_dur", vmax.dur,
+				"distance", ConfigDistance(vmax.cfg, ideal.Config),
+				"accrued", vmax.accrued,
+				"frontier", open.Len())
 		}
 
 		parentSteady, err := s.eval.Steady(vmax.cfg, rates)
@@ -351,7 +420,9 @@ func (s *Searcher) Search(cfg cluster.Config, rates map[string]float64, cw time.
 		ut += t.Seconds() * forgoneRate
 		uh -= t.Seconds() * expectedRate
 		if opts.SelfAware && ((ut+upwrT) >= uh || elapsed >= delayThreshold) {
+			before := len(children)
 			children = pruneByDistance(children, ideal.Config, opts.PruneFraction, opts.PruneMinKeep)
+			res.PrunedChildren += before - len(children)
 			res.Pruned = true
 		}
 
@@ -368,6 +439,9 @@ func (s *Searcher) Search(cfg cluster.Config, rates map[string]float64, cw time.
 			}
 			bestByKey[child.key] = child.utility
 			heap.Push(open, child)
+		}
+		if open.Len() > res.PeakFrontier {
+			res.PeakFrontier = open.Len()
 		}
 	}
 

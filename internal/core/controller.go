@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"github.com/mistralcloud/mistral/internal/cluster"
+	"github.com/mistralcloud/mistral/internal/obs"
 	"github.com/mistralcloud/mistral/internal/predict"
 	"github.com/mistralcloud/mistral/internal/workload"
 )
@@ -58,6 +61,9 @@ type ControllerOptions struct {
 	// UtilityHistory is how many recent window utilities feed the
 	// pessimistic expected utility UH (default 3).
 	UtilityHistory int
+	// Obs overrides the process-default observer (obs.SetDefault) for this
+	// controller and its searcher; nil resolves the default.
+	Obs *obs.Observer
 }
 
 func (o ControllerOptions) withDefaults() ControllerOptions {
@@ -102,6 +108,10 @@ type Controller struct {
 	bandsSet  bool
 	bandStart time.Duration
 	history   []windowRecord
+
+	obsv     *obs.Observer
+	log      *slog.Logger
+	cDecides *obs.Counter
 }
 
 // NewController builds a controller over an evaluator.
@@ -110,12 +120,23 @@ func NewController(eval *Evaluator, opts ControllerOptions) (*Controller, error)
 		return nil, fmt.Errorf("core: controller needs an evaluator")
 	}
 	opts = opts.withDefaults()
-	return &Controller{
+	c := &Controller{
 		opts:     opts,
 		eval:     eval,
 		searcher: NewSearcher(eval, opts.Search),
 		est:      predict.NewEstimator(0, 0, opts.InitialCW),
-	}, nil
+	}
+	o := obs.Resolve(opts.Obs)
+	c.obsv = o
+	c.log = o.Logger()
+	c.cDecides = o.Counter("controller_decisions_total")
+	c.searcher.SetObserver(o)
+	if opts.Obs != nil {
+		// An explicit observer also rebinds the shared evaluator, which
+		// otherwise keeps whatever default it resolved at construction.
+		eval.SetObserver(o)
+	}
+	return c, nil
 }
 
 // Name returns the controller's label.
@@ -139,6 +160,10 @@ type Decision struct {
 	Ideal Ideal
 	// Search carries the search statistics (time, self-cost, pruning).
 	Search SearchResult
+	// CurrentNetRate is the steady net utility rate ($/s) of the
+	// configuration the controller decided from, kept so observability
+	// spans can be populated without re-deriving state.
+	CurrentNetRate float64
 }
 
 // ShouldRun reports whether the current rates escape the controller's
@@ -204,7 +229,8 @@ func (c *Controller) Decide(now time.Duration, cfg cluster.Config, rates map[str
 	if cw < c.opts.MinCW {
 		cw = c.opts.MinCW
 	}
-	if cur, err := c.eval.Steady(cfg, rates); err == nil {
+	cur, curErr := c.eval.Steady(cfg, rates)
+	if curErr == nil {
 		for name, a := range c.eval.Utility().Apps {
 			if rates[name] > 0 && cur.RTSec[name] > a.TargetRT.Seconds() && cw < c.opts.CrisisCW {
 				cw = c.opts.CrisisCW
@@ -217,6 +243,8 @@ func (c *Controller) Decide(now time.Duration, cfg cluster.Config, rates map[str
 	c.bandStart = now
 
 	c.eval.ResetCache()
+	tr := c.obsv.Tracer()
+	psp := tr.Start("perfpwr", now, obs.Attr{Key: "controller", Value: c.opts.Name})
 	var ideal Ideal
 	var err error
 	switch c.opts.Scope {
@@ -232,21 +260,40 @@ func (c *Controller) Decide(now time.Duration, cfg cluster.Config, rates map[str
 		ideal, err = PerfPwr(c.eval, rates, popts)
 	}
 	if err != nil {
+		psp.End(now)
 		return Decision{}, fmt.Errorf("core: %s: %w", c.opts.Name, err)
 	}
+	psp.End(now, obs.Attr{Key: "ideal_net_rate", Value: ideal.Steady.NetRate()})
 
 	space := c.opts.Space
 	if c.opts.AppHostPools != nil {
 		space.AppPools = c.opts.AppHostPools
 	}
+	ssp := tr.Start("search", now,
+		obs.Attr{Key: "controller", Value: c.opts.Name},
+		obs.Attr{Key: "cw_s", Value: cw.Seconds()})
 	sr, err := c.searcher.Search(cfg, rates, cw, ideal, c.expected(cw), space)
 	if err != nil {
+		ssp.End(now)
 		return Decision{}, fmt.Errorf("core: %s: %w", c.opts.Name, err)
 	}
-	if debugSearch {
-		cur, _ := c.eval.Steady(cfg, rates)
-		fmt.Printf("DECIDE %s t=%v cw=%v curNet=%.4f idealNet=%.4f plan=%d exp=%d st=%v\n",
-			c.opts.Name, now, cw, cur.NetRate(), ideal.Steady.NetRate(), len(sr.Plan), sr.Expanded, sr.SearchTime)
+	ssp.End(now+sr.SearchTime,
+		obs.Attr{Key: "expanded", Value: sr.Expanded},
+		obs.Attr{Key: "generated", Value: sr.Generated},
+		obs.Attr{Key: "pruned_children", Value: sr.PrunedChildren},
+		obs.Attr{Key: "plan_len", Value: len(sr.Plan)},
+		obs.Attr{Key: "utility", Value: sr.Utility})
+	c.cDecides.Inc()
+	if c.log.Enabled(context.Background(), slog.LevelDebug) {
+		c.log.Debug("decide",
+			"controller", c.opts.Name,
+			"t", now,
+			"cw", cw,
+			"cur_net_rate", cur.NetRate(),
+			"ideal_net_rate", ideal.Steady.NetRate(),
+			"plan_len", len(sr.Plan),
+			"expanded", sr.Expanded,
+			"search_time", sr.SearchTime)
 	}
 	return Decision{
 		Invoked:          true,
@@ -255,5 +302,6 @@ func (c *Controller) Decide(now time.Duration, cfg cluster.Config, rates map[str
 		MeasuredInterval: measured,
 		Ideal:            ideal,
 		Search:           sr,
+		CurrentNetRate:   cur.NetRate(),
 	}, nil
 }

@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 	"sort"
 	"strconv"
 	"strings"
@@ -17,6 +18,7 @@ import (
 	"github.com/mistralcloud/mistral/internal/cluster"
 	"github.com/mistralcloud/mistral/internal/cost"
 	"github.com/mistralcloud/mistral/internal/lqn"
+	"github.com/mistralcloud/mistral/internal/obs"
 	"github.com/mistralcloud/mistral/internal/power"
 	"github.com/mistralcloud/mistral/internal/utility"
 )
@@ -60,6 +62,16 @@ type Evaluator struct {
 	cache     map[string]Steady
 	cacheHits int
 	evals     int
+
+	// Observability sinks, resolved at construction (see obs.SetDefault)
+	// and rebindable with SetObserver. Cache statistics are fed into the
+	// registry on each ResetCache rather than per lookup, so the memoized
+	// hot path stays untouched.
+	log     *slog.Logger
+	cHits   *obs.Counter
+	cMisses *obs.Counter
+	cSolves *obs.Counter
+	gSize   *obs.Gauge
 }
 
 // NewEvaluator builds an evaluator.
@@ -75,14 +87,46 @@ func NewEvaluator(cat *cluster.Catalog, model *lqn.Model, util *utility.Params, 
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	return &Evaluator{
+	e := &Evaluator{
 		cat:      cat,
 		model:    model,
 		util:     util,
 		costs:    costs,
 		appNames: names,
 		cache:    make(map[string]Steady),
-	}, nil
+	}
+	e.SetObserver(obs.Default())
+	return e, nil
+}
+
+// SetObserver rebinds the evaluator's observability sinks (construction
+// resolves the process default); pass nil to disable.
+func (e *Evaluator) SetObserver(o *obs.Observer) {
+	e.log = o.Logger()
+	e.cHits = o.Counter("eval_cache_hits_total")
+	e.cMisses = o.Counter("eval_cache_misses_total")
+	e.cSolves = o.Counter("lqn_solves_total")
+	e.gSize = o.Gauge("eval_cache_entries")
+}
+
+// CacheStats is the evaluator's memoization activity since the last
+// ResetCache. Misses equal the number of distinct steady evaluations
+// performed (each one is an LQN solve); Entries is the live cache size.
+type CacheStats struct {
+	Hits, Misses, Entries int
+}
+
+// HitRate is the fraction of lookups served from the cache.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// CacheStats reports cache activity since the last ResetCache.
+func (e *Evaluator) CacheStats() CacheStats {
+	return CacheStats{Hits: e.cacheHits, Misses: e.evals, Entries: len(e.cache)}
 }
 
 // Catalog returns the catalog.
@@ -95,8 +139,13 @@ func (e *Evaluator) Utility() *utility.Params { return e.util }
 func (e *Evaluator) Costs() *cost.Manager { return e.costs }
 
 // ResetCache drops memoized steady evaluations; call it when the workload
-// changes.
+// changes. The generation's cache statistics are flushed into the metrics
+// registry here, keeping the per-lookup path free of instrumentation.
 func (e *Evaluator) ResetCache() {
+	e.cHits.Add(int64(e.cacheHits))
+	e.cMisses.Add(int64(e.evals))
+	e.cSolves.Add(int64(e.evals))
+	e.gSize.Set(float64(len(e.cache)))
 	e.cache = make(map[string]Steady)
 	e.cacheHits = 0
 	e.evals = 0

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
 	"time"
@@ -227,8 +229,12 @@ func sweepHostCounts(e *Evaluator, rates map[string]float64, scope packScope, ho
 			if err != nil {
 				return Ideal{}, err
 			}
-			if debugSearch {
-				fmt.Printf("SWEEP n=%d noAff=%v net=%.5f cfg=%s\n", n, v.noAffinity, steady.NetRate(), cfg)
+			if e.log.Enabled(context.Background(), slog.LevelDebug) {
+				e.log.Debug("perfpwr sweep",
+					"hosts", n,
+					"no_affinity", v.noAffinity,
+					"net_rate", steady.NetRate(),
+					"config", fmt.Sprint(cfg))
 			}
 			if best == nil || steady.NetRate() > best.Steady.NetRate() {
 				best = &Ideal{Config: cfg, Steady: steady}

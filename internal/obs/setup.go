@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+	"strings"
+)
+
+// CLI carries the observability flags shared by the cmd/ binaries.
+type CLI struct {
+	// TracePath receives the span trace; a ".json" suffix selects Chrome
+	// trace_event format (open in Perfetto), anything else JSONL.
+	TracePath string
+	// MetricsPath receives the end-of-run metrics registry dump as
+	// indented JSON ("-" for stderr).
+	MetricsPath string
+	// LogLevel enables structured logging to stderr at debug, info,
+	// warn, or error.
+	LogLevel string
+	// PprofAddr serves net/http/pprof and expvar (/debug/vars) on this
+	// address, e.g. "localhost:6060".
+	PprofAddr string
+}
+
+// Build assembles an Observer from the CLI knobs plus a close function
+// that flushes the trace and writes the metrics dump. When every knob is
+// empty it returns (nil, no-op, nil): observability fully disabled.
+func (c CLI) Build() (*Observer, func() error, error) {
+	nop := func() error { return nil }
+	if c.TracePath == "" && c.MetricsPath == "" && c.LogLevel == "" && c.PprofAddr == "" {
+		return nil, nop, nil
+	}
+	o := &Observer{Metrics: NewRegistry()}
+	o.Metrics.Publish("mistral")
+
+	var traceFile *os.File
+	if c.TracePath != "" {
+		f, err := os.Create(c.TracePath)
+		if err != nil {
+			return nil, nop, fmt.Errorf("obs: %w", err)
+		}
+		traceFile = f
+		format := FormatJSONL
+		if strings.HasSuffix(c.TracePath, ".json") {
+			format = FormatChrome
+		}
+		o.Trace = NewTracer(f, format)
+	}
+	if c.LogLevel != "" {
+		var lvl slog.Level
+		if err := lvl.UnmarshalText([]byte(c.LogLevel)); err != nil {
+			if traceFile != nil {
+				traceFile.Close()
+			}
+			return nil, nop, fmt.Errorf("obs: bad log level %q: %w", c.LogLevel, err)
+		}
+		o.Log = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+	}
+	if c.PprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(c.PprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "obs: pprof server: %v\n", err)
+			}
+		}()
+	}
+
+	closer := func() error {
+		var first error
+		if o.Trace != nil {
+			if err := o.Trace.Close(); err != nil {
+				first = err
+			}
+			if err := traceFile.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		if c.MetricsPath != "" {
+			w := io.Writer(os.Stderr)
+			if c.MetricsPath != "-" {
+				f, err := os.Create(c.MetricsPath)
+				if err != nil {
+					if first == nil {
+						first = err
+					}
+					return first
+				}
+				defer f.Close()
+				w = f
+			}
+			if err := o.Metrics.WriteJSON(w); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	return o, closer, nil
+}

@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Format selects the tracer's on-disk encoding.
+type Format int
+
+const (
+	// FormatJSONL streams one JSON span record per line as each span
+	// ends. Crash-safe and greppable; the primary format.
+	FormatJSONL Format = iota
+	// FormatChrome buffers events and writes a single Chrome
+	// trace_event JSON object on Close, loadable in Perfetto
+	// (ui.perfetto.dev) or chrome://tracing. Timestamps are virtual
+	// (simulation-clock) microseconds; each span's wall-clock duration
+	// rides along in args.
+	FormatChrome
+)
+
+// Attr is one key/value span attribute.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// spanRecord is the JSONL encoding of one completed span. Virtual
+// (simulation-clock) start/end are microseconds; WallUS is how long the
+// instrumented code ran on the wall clock.
+type spanRecord struct {
+	Name     string         `json:"name"`
+	ID       uint64         `json:"id"`
+	Parent   uint64         `json:"parent,omitempty"`
+	VStartUS int64          `json:"v_start_us"`
+	VEndUS   int64          `json:"v_end_us"`
+	WallUS   int64          `json:"wall_us"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+}
+
+// chromeEvent is one trace_event record ("X" = complete event). The tid
+// encodes span depth so sibling spans that overlap on the virtual clock
+// (parallel 1st-level searches, plans running while the search is
+// charged) render on separate tracks; args carry the true parent id.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Tracer writes hierarchical spans keyed to both the simulation clock
+// (Start/End take virtual timestamps) and the wall clock (the tracer
+// measures how long the instrumented code really ran). Parentage is
+// implicit: a span started while another is open becomes its child, so
+// single-threaded control loops need no context threading. A mutex
+// guards the stack for safety, but interleaving Start/End across
+// goroutines scrambles parentage — use one tracer per logical timeline.
+//
+// A nil *Tracer is a valid disabled tracer: Start returns a nil *Span
+// and every method returns immediately.
+type Tracer struct {
+	mu     sync.Mutex
+	w      io.Writer
+	format Format
+	nextID uint64
+	stack  []uint64
+	events []chromeEvent
+	spans  int
+	err    error
+}
+
+// NewTracer builds a tracer over w. For FormatChrome the document is
+// buffered and written by Close; FormatJSONL streams as spans end. The
+// tracer never closes w.
+func NewTracer(w io.Writer, format Format) *Tracer {
+	return &Tracer{w: w, format: format}
+}
+
+// Span is one open span; End completes it. A nil *Span is a valid
+// disabled span.
+type Span struct {
+	tr     *Tracer
+	id     uint64
+	parent uint64
+	depth  int
+	name   string
+	vstart time.Duration
+	wstart time.Time
+	attrs  []Attr
+}
+
+// Start opens a span at virtual time vnow, parented to the innermost
+// open span.
+func (t *Tracer) Start(name string, vnow time.Duration, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	var parent uint64
+	if n := len(t.stack); n > 0 {
+		parent = t.stack[n-1]
+	}
+	t.stack = append(t.stack, id)
+	depth := len(t.stack)
+	t.mu.Unlock()
+	return &Span{tr: t, id: id, parent: parent, depth: depth, name: name, vstart: vnow, wstart: time.Now(), attrs: attrs}
+}
+
+// End completes the span at virtual time vend, merging any extra
+// attributes, and pops it (plus any descendants leaked open) off the
+// tracer's stack.
+func (s *Span) End(vend time.Duration, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	wall := time.Since(s.wstart)
+	t := s.tr
+	t.mu.Lock()
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		if t.stack[i] == s.id {
+			t.stack = t.stack[:i]
+			break
+		}
+	}
+	all := s.attrs
+	if len(attrs) > 0 {
+		all = append(append([]Attr(nil), s.attrs...), attrs...)
+	}
+	t.emitLocked(s.name, s.id, s.parent, s.depth, s.vstart, vend, wall, all)
+	t.mu.Unlock()
+}
+
+// Event records an already-completed span — both virtual endpoints
+// known up front, e.g. a scheduled testbed phase — parented to the
+// innermost open span, without opening anything.
+func (t *Tracer) Event(name string, vstart, vend time.Duration, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	var parent uint64
+	if n := len(t.stack); n > 0 {
+		parent = t.stack[n-1]
+	}
+	t.emitLocked(name, id, parent, len(t.stack)+1, vstart, vend, 0, attrs)
+	t.mu.Unlock()
+}
+
+func (t *Tracer) emitLocked(name string, id, parent uint64, depth int, vstart, vend, wall time.Duration, attrs []Attr) {
+	t.spans++
+	var am map[string]any
+	if len(attrs) > 0 {
+		am = make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			am[a.Key] = a.Value
+		}
+	}
+	if t.format == FormatChrome {
+		args := am
+		if args == nil {
+			args = make(map[string]any, 3)
+		}
+		args["id"] = id
+		if parent != 0 {
+			args["parent"] = parent
+		}
+		args["wall_us"] = wall.Microseconds()
+		t.events = append(t.events, chromeEvent{
+			Name: name, Ph: "X", PID: 1, TID: depth,
+			TS: float64(vstart.Microseconds()), Dur: float64((vend - vstart).Microseconds()),
+			Args: args,
+		})
+		return
+	}
+	b, err := json.Marshal(spanRecord{
+		Name: name, ID: id, Parent: parent,
+		VStartUS: vstart.Microseconds(), VEndUS: vend.Microseconds(),
+		WallUS: wall.Microseconds(), Attrs: am,
+	})
+	if err == nil {
+		_, err = t.w.Write(append(b, '\n'))
+	}
+	if err != nil && t.err == nil {
+		t.err = err
+	}
+}
+
+// Spans returns how many completed spans have been recorded.
+func (t *Tracer) Spans() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.spans
+}
+
+// Close flushes the buffered Chrome document (a no-op for JSONL) and
+// returns the first write error. The underlying writer is not closed.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.format == FormatChrome {
+		doc := struct {
+			TraceEvents     []chromeEvent `json:"traceEvents"`
+			DisplayTimeUnit string        `json:"displayTimeUnit"`
+		}{t.events, "ms"}
+		if doc.TraceEvents == nil {
+			doc.TraceEvents = []chromeEvent{}
+		}
+		b, err := json.Marshal(doc)
+		if err == nil {
+			_, err = t.w.Write(append(b, '\n'))
+		}
+		if err != nil && t.err == nil {
+			t.err = err
+		}
+		t.events = nil
+	}
+	return t.err
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestTracerJSONLNesting(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, FormatJSONL)
+	root := tr.Start("decide", 0, Attr{"strategy", "Mistral"})
+	pp := tr.Start("perfpwr", 0)
+	pp.End(0, Attr{"ideal_net_rate", 0.01})
+	search := tr.Start("search", 0)
+	search.End(5*time.Second, Attr{"expanded", 42})
+	tr.Event("action:migrate", 0, 30*time.Second, Attr{"vm", "web-0"})
+	root.End(30 * time.Second)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Spans() != 4 {
+		t.Fatalf("spans = %d, want 4", tr.Spans())
+	}
+
+	byName := map[string]spanRecord{}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var rec spanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", sc.Text(), err)
+		}
+		byName[rec.Name] = rec
+	}
+	dec := byName["decide"]
+	if dec.ID == 0 || dec.Parent != 0 {
+		t.Fatalf("decide span = %+v, want root", dec)
+	}
+	for _, name := range []string{"perfpwr", "search", "action:migrate"} {
+		if byName[name].Parent != dec.ID {
+			t.Errorf("%s parent = %d, want decide id %d", name, byName[name].Parent, dec.ID)
+		}
+	}
+	if got := byName["search"].VEndUS; got != 5_000_000 {
+		t.Errorf("search v_end_us = %d, want 5000000", got)
+	}
+	if byName["search"].Attrs["expanded"].(float64) != 42 {
+		t.Errorf("search attrs = %v", byName["search"].Attrs)
+	}
+}
+
+func TestTracerChromeFormat(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, FormatChrome)
+	root := tr.Start("decide", time.Minute)
+	s := tr.Start("search", time.Minute)
+	s.End(time.Minute + 2*time.Second)
+	tr.Event("action:increase-cpu", time.Minute, time.Minute+10*time.Second)
+	root.End(time.Minute + 10*time.Second)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("events = %d, want 3", len(doc.TraceEvents))
+	}
+	var decideID float64
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %s ph = %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.Name == "decide" {
+			decideID = ev.Args["id"].(float64)
+			if ev.TS != 60_000_000 || ev.Dur != 10_000_000 {
+				t.Errorf("decide ts/dur = %v/%v", ev.TS, ev.Dur)
+			}
+		}
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "decide" {
+			continue
+		}
+		if ev.Args["parent"].(float64) != decideID {
+			t.Errorf("%s parent = %v, want %v", ev.Name, ev.Args["parent"], decideID)
+		}
+		// Children must be temporally contained in the parent.
+		if ev.TS < 60_000_000 || ev.TS+ev.Dur > 70_000_000 {
+			t.Errorf("%s [%v, %v] escapes parent [6e7, 7e7]", ev.Name, ev.TS, ev.TS+ev.Dur)
+		}
+	}
+}
+
+func TestTracerEmptyChromeClose(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, FormatChrome)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty chrome trace invalid: %v", err)
+	}
+	if _, ok := doc["traceEvents"].([]any); !ok {
+		t.Fatalf("traceEvents missing or not an array: %v", doc)
+	}
+}
+
+func TestTracerOutOfOrderEnd(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, FormatJSONL)
+	a := tr.Start("a", 0)
+	b := tr.Start("b", 0)
+	a.End(time.Second) // ends before b: b is popped along with it
+	b.End(2 * time.Second)
+	c := tr.Start("c", 2*time.Second)
+	c.End(3 * time.Second)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var rec spanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Name == "c" && rec.Parent != 0 {
+			t.Errorf("c parent = %d, want 0 (stack should be clean)", rec.Parent)
+		}
+	}
+}

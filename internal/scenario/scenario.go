@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/mistralcloud/mistral/internal/cluster"
+	"github.com/mistralcloud/mistral/internal/obs"
 	"github.com/mistralcloud/mistral/internal/testbed"
 	"github.com/mistralcloud/mistral/internal/utility"
 	"github.com/mistralcloud/mistral/internal/workload"
@@ -52,6 +53,9 @@ type RunConfig struct {
 	Interval time.Duration
 	// Utility computes window utilities (required).
 	Utility *utility.Params
+	// Obs overrides the process-default observer (obs.SetDefault) for the
+	// replay loop's spans and window metrics; nil resolves the default.
+	Obs *obs.Observer
 }
 
 func (c RunConfig) withDefaults() (RunConfig, error) {
@@ -143,6 +147,18 @@ func Run(tb *testbed.Testbed, d Decider, cfg RunConfig) (*Result, error) {
 	res := &Result{Strategy: d.Name(), ViolationsByApp: make(map[string]int)}
 	var totalSearch time.Duration
 
+	// Observability: the replay loop owns the root "decide" span of each
+	// control opportunity, so controller-level children ("perfpwr",
+	// "search") and testbed "action:*" events nest under it. All sinks are
+	// nil-safe no-ops when observability is disabled.
+	o := obs.Resolve(cfg.Obs)
+	tr := o.Tracer()
+	olog := o.Logger()
+	cWindows := o.Counter("scenario_windows_total")
+	cViolations := o.Counter("scenario_target_violations_total")
+	hWindowUtil := o.Histogram("scenario_window_utility_dollars", []float64{-10, -1, -0.1, 0, 0.1, 1, 10})
+	gCumUtil := o.Gauge("scenario_cum_utility_dollars")
+
 	for t := time.Duration(0); t < cfg.Duration; t += cfg.Interval {
 		rates := cfg.Traces.At(t)
 		if err := tb.SetRates(rates); err != nil {
@@ -154,8 +170,10 @@ func Run(tb *testbed.Testbed, d Decider, cfg RunConfig) (*Result, error) {
 		// Invoke the strategy unless the testbed is still executing a
 		// previously chosen plan.
 		if !tb.Busy() {
+			sp := tr.Start("decide", t, obs.Attr{Key: "strategy", Value: d.Name()})
 			dec, err := d.Decide(t, tb.Config(), rates)
 			if err != nil {
+				sp.End(t)
 				return nil, fmt.Errorf("scenario: %s at %v: %w", d.Name(), t, err)
 			}
 			if dec.Invoked {
@@ -164,13 +182,27 @@ func Run(tb *testbed.Testbed, d Decider, cfg RunConfig) (*Result, error) {
 				log.Invoked = true
 				log.SearchTime = dec.SearchTime
 			}
+			var planDur time.Duration
 			if len(dec.Plan) > 0 {
-				if _, err := tb.Execute(dec.Plan); err != nil {
+				planDur, err = tb.Execute(dec.Plan)
+				if err != nil {
+					sp.End(t)
 					return nil, fmt.Errorf("scenario: %s executing plan at %v: %w", d.Name(), t, err)
 				}
 				log.Actions = len(dec.Plan)
 				res.TotalActions += len(dec.Plan)
 			}
+			// The root span covers the decision and the plan it launched:
+			// search time and execution overlap on the virtual clock, so
+			// the span ends when the longer of the two does.
+			end := t + dec.SearchTime
+			if pe := t + planDur; pe > end {
+				end = pe
+			}
+			sp.End(end,
+				obs.Attr{Key: "invoked", Value: dec.Invoked},
+				obs.Attr{Key: "actions", Value: len(dec.Plan)},
+				obs.Attr{Key: "search_cost", Value: dec.SearchCost})
 			log.Utility -= dec.SearchCost
 		}
 
@@ -188,12 +220,25 @@ func Run(tb *testbed.Testbed, d Decider, cfg RunConfig) (*Result, error) {
 		log.CumUtility = res.CumUtility
 		d.RecordWindow(log.Utility, perfRate, pwrRate)
 
+		violationsBefore := res.TargetViolations
 		for name, a := range cfg.Utility.Apps {
 			if rates[name] > 0 && w.RTSec[name] > a.TargetRT.Seconds() {
 				res.TargetViolations++
 				res.ViolationsByApp[name]++
 			}
 		}
+		cWindows.Inc()
+		cViolations.Add(int64(res.TargetViolations - violationsBefore))
+		hWindowUtil.Observe(log.Utility)
+		gCumUtil.Set(res.CumUtility)
+		olog.Info("window",
+			"strategy", d.Name(),
+			"t", log.Time,
+			"watts", w.Watts,
+			"utility", log.Utility,
+			"cum_utility", res.CumUtility,
+			"actions", log.Actions,
+			"invoked", log.Invoked)
 		log.ActiveHosts = tb.Config().NumActiveHosts()
 		res.EnergyKWh += w.Watts * cfg.Interval.Hours() / 1000
 		res.HostHours += float64(log.ActiveHosts) * cfg.Interval.Hours()

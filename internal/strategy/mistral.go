@@ -14,6 +14,7 @@ import (
 
 	"github.com/mistralcloud/mistral/internal/cluster"
 	"github.com/mistralcloud/mistral/internal/core"
+	"github.com/mistralcloud/mistral/internal/obs"
 	"github.com/mistralcloud/mistral/internal/scenario"
 )
 
@@ -41,6 +42,9 @@ type MistralConfig struct {
 	// CrisisCW overrides the 2nd-level controller's crisis control-window
 	// floor (default 12×M; see core.ControllerOptions.CrisisCW).
 	CrisisCW time.Duration
+	// Obs overrides the process-default observer (obs.SetDefault) for
+	// every controller in the hierarchy; nil resolves the default.
+	Obs *obs.Observer
 }
 
 // LevelStats aggregates search activity per hierarchy level (Table I).
@@ -109,6 +113,7 @@ func NewMistral(eval *core.Evaluator, cfg MistralConfig) (*Mistral, error) {
 		Search:             search,
 		MonitoringInterval: cfg.MonitoringInterval,
 		CrisisCW:           cfg.CrisisCW,
+		Obs:                cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -127,6 +132,7 @@ func NewMistral(eval *core.Evaluator, cfg MistralConfig) (*Mistral, error) {
 			// WAN migrations take tens of minutes: plan over hour-scale
 			// windows or they can never pay off.
 			MinCW: 30 * time.Minute,
+			Obs:   cfg.Obs,
 		})
 		if err != nil {
 			return nil, err
@@ -153,6 +159,7 @@ func NewMistral(eval *core.Evaluator, cfg MistralConfig) (*Mistral, error) {
 			},
 			Search:             search,
 			MonitoringInterval: cfg.MonitoringInterval,
+			Obs:                cfg.Obs,
 		})
 		if err != nil {
 			return nil, err

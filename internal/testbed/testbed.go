@@ -24,12 +24,14 @@ package testbed
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"github.com/mistralcloud/mistral/internal/app"
 	"github.com/mistralcloud/mistral/internal/cluster"
 	"github.com/mistralcloud/mistral/internal/cost"
 	"github.com/mistralcloud/mistral/internal/lqn"
+	"github.com/mistralcloud/mistral/internal/obs"
 	"github.com/mistralcloud/mistral/internal/power"
 	"github.com/mistralcloud/mistral/internal/queueing"
 	"github.com/mistralcloud/mistral/internal/sim"
@@ -86,6 +88,9 @@ type Options struct {
 	ClosedLoopThink time.Duration
 	// Queue configures the request-level simulator.
 	Queue queueing.Options
+	// Obs overrides the process-default observer (obs.SetDefault) for
+	// action-execution metrics and trace events; nil resolves the default.
+	Obs *obs.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -148,6 +153,11 @@ type Testbed struct {
 	phases   []phase
 
 	qsys *queueing.System
+
+	obsv     *obs.Observer
+	cActions *obs.Counter
+	hActionS *obs.Histogram
+	cByKind  map[cluster.ActionKind]*obs.Counter
 }
 
 // New builds a testbed in the given initial configuration and workload.
@@ -180,6 +190,13 @@ func New(cat *cluster.Catalog, apps []*app.Spec, initial cluster.Config, rates m
 	}
 	for k, v := range rates {
 		tb.rates[k] = v
+	}
+	o := obs.Resolve(opts.Obs)
+	tb.obsv = o
+	tb.cActions = o.Counter("actions_total")
+	tb.hActionS = o.Histogram("action_duration_s", []float64{1, 5, 15, 30, 60, 120, 300, 600})
+	if tb.cActions != nil {
+		tb.cByKind = make(map[cluster.ActionKind]*obs.Counter)
 	}
 	if opts.Mode == ModeRequestLevel {
 		q := opts.Queue
@@ -304,7 +321,31 @@ func (tb *Testbed) Execute(plan []cluster.Action) (time.Duration, error) {
 	if tb.qsys != nil {
 		tb.injectPhases(newPhases)
 	}
+	if tb.cActions != nil {
+		tb.recordPhases(newPhases)
+	}
 	return total, nil
+}
+
+// recordPhases emits metrics and trace events for newly scheduled phases.
+// Only called when observability is enabled (tb.cActions != nil), so the
+// disabled path stays allocation-free.
+func (tb *Testbed) recordPhases(phases []phase) {
+	tr := tb.obsv.Tracer()
+	for _, ph := range phases {
+		kind := ph.action.Kind
+		c := tb.cByKind[kind]
+		if c == nil {
+			c = tb.obsv.Counter("actions_" + strings.ReplaceAll(kind.String(), "-", "_") + "_total")
+			tb.cByKind[kind] = c
+		}
+		tb.cActions.Inc()
+		c.Inc()
+		tb.hActionS.Observe(ph.pred.Duration.Seconds())
+		tr.Event("action:"+kind.String(), ph.start, ph.end,
+			obs.Attr{Key: "vm", Value: ph.action.VM},
+			obs.Attr{Key: "host", Value: ph.action.Host})
+	}
 }
 
 // injectPhases schedules the request-level side effects of newly planned
