@@ -10,9 +10,13 @@
 package mistral_test
 
 import (
+	"fmt"
 	"testing"
+	"time"
 
 	"github.com/mistralcloud/mistral"
+	"github.com/mistralcloud/mistral/internal/cluster"
+	"github.com/mistralcloud/mistral/internal/core"
 	"github.com/mistralcloud/mistral/internal/experiments"
 	"github.com/mistralcloud/mistral/internal/obs"
 )
@@ -195,23 +199,76 @@ func BenchmarkFig10SearchCost(b *testing.B) {
 	reportSearchMetrics(b, reg)
 }
 
-// BenchmarkTable1Scalability regenerates Table I over 2/3/4 applications
-// on the full 6.5 h day (the naive searches are capped for tractability).
-func BenchmarkTable1Scalability(b *testing.B) {
-	reg := benchRegistry(b)
-	for i := 0; i < b.N; i++ {
-		r, err := mistral.RunTable1(benchSeed, experiments.Table1Options{})
-		if err != nil {
-			b.Fatal(err)
-		}
-		first := r.Scenarios[0]
-		last := r.Scenarios[len(r.Scenarios)-1]
-		b.ReportMetric(first.SelfAwareMean.Seconds(), "aware_s_2app")
-		b.ReportMetric(last.SelfAwareMean.Seconds(), "aware_s_4app")
-		b.ReportMetric(first.NaiveMean.Seconds(), "naive_s_2app")
-		b.ReportMetric(last.NaiveMean.Seconds(), "naive_s_4app")
+// BenchmarkSearchWorkers measures the adaptation search on the Table I
+// 4-application instance at several evaluation-concurrency settings. The
+// decisions are byte-identical at every setting (see the determinism
+// tests); only the wall clock moves — expansions/s is the real-time search
+// throughput, which the parallel child evaluation and frontier prewarm
+// should scale well past the serial baseline.
+func BenchmarkSearchWorkers(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			lab, err := experiments.NewLab(experiments.LabOptions{NumApps: 4, Seed: benchSeed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			eval, err := lab.NewEvaluator()
+			if err != nil {
+				b.Fatal(err)
+			}
+			rates := make(map[string]float64, len(lab.AppNames))
+			for _, n := range lab.AppNames {
+				rates[n] = 60 // high load: the ideal is far from the 40% default
+			}
+			ideal, err := core.PerfPwr(eval, rates, core.PerfPwrOptions{Workers: w})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := core.NewSearcher(eval, core.SearchOptions{SelfAware: true, MaxExpansions: 2500, Workers: w})
+			var expanded int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eval.ResetCache()
+				res, err := s.Search(lab.Initial, rates, 2*time.Hour, ideal, core.ExpectedUtility{}, cluster.ActionSpace{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				expanded += res.Expanded
+			}
+			b.StopTimer()
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(expanded)/sec, "expansions/s")
+			}
+		})
 	}
-	reportSearchMetrics(b, reg)
+}
+
+// BenchmarkTable1Scalability regenerates Table I over 2/3/4 applications
+// on the full 6.5 h day (the naive searches are capped for tractability),
+// once on the serial evaluation path and once on the default worker pool —
+// the reported table is identical; only wall-clock time differs.
+func BenchmarkTable1Scalability(b *testing.B) {
+	for _, leg := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(leg.name, func(b *testing.B) {
+			reg := benchRegistry(b)
+			for i := 0; i < b.N; i++ {
+				r, err := mistral.RunTable1(benchSeed, experiments.Table1Options{Workers: leg.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				first := r.Scenarios[0]
+				last := r.Scenarios[len(r.Scenarios)-1]
+				b.ReportMetric(first.SelfAwareMean.Seconds(), "aware_s_2app")
+				b.ReportMetric(last.SelfAwareMean.Seconds(), "aware_s_4app")
+				b.ReportMetric(first.NaiveMean.Seconds(), "naive_s_2app")
+				b.ReportMetric(last.NaiveMean.Seconds(), "naive_s_4app")
+			}
+			reportSearchMetrics(b, reg)
+		})
+	}
 }
 
 // Ablation benches beyond the paper (see DESIGN.md §6).

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	mistral-exp [-run all|fig1|...|table1|ablations]
-//	            [-seed N] [-csv] [-outdir DIR] [-quick]
+//	            [-seed N] [-csv] [-outdir DIR] [-quick] [-workers N]
 //	            [-trace FILE] [-metrics FILE] [-log-level LEVEL] [-pprof ADDR]
 package main
 
@@ -63,6 +63,7 @@ func run() (err error) {
 		asCSV       = flag.Bool("csv", false, "emit CSV instead of ASCII tables")
 		outdir      = flag.String("outdir", "", "write outputs to this directory instead of stdout")
 		quick       = flag.Bool("quick", false, "cheaper variants of the slow experiments (shorter replays, fewer trials)")
+		workers     = flag.Int("workers", 0, "evaluation concurrency for table1's hierarchies (0 = min(GOMAXPROCS, 8), 1 = serial; results are identical either way)")
 		tracePath   = flag.String("trace", "", "write span trace to FILE (.json = Chrome trace_event for Perfetto, else JSONL)")
 		metricsPath = flag.String("metrics", "", `write metrics registry dump to FILE at exit ("-" = stderr)`)
 		logLevel    = flag.String("log-level", "", "structured logging to stderr: debug, info, warn, error")
@@ -163,7 +164,7 @@ func run() (err error) {
 		}
 	}
 	if want("table1") {
-		opts := experiments.Table1Options{}
+		opts := experiments.Table1Options{Workers: *workers}
 		if *quick {
 			opts.Duration = 2 * time.Hour
 		}

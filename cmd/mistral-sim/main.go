@@ -4,7 +4,8 @@
 // Usage:
 //
 //	mistral-sim [-strategy mistral|naive|perf-pwr|perf-cost|pwr-cost]
-//	            [-apps N] [-duration 6h30m] [-seed N] [-zones N] [-dvfs] [-csv]
+//	            [-apps N] [-duration 6h30m] [-seed N] [-zones N] [-workers N]
+//	            [-dvfs] [-csv]
 //	            [-trace FILE] [-metrics FILE] [-log-level LEVEL] [-pprof ADDR]
 package main
 
@@ -37,6 +38,7 @@ func run() (err error) {
 		duration     = flag.Duration("duration", 0, "replay duration (0 = full 6.5h scenario)")
 		seed         = flag.Uint64("seed", 42, "random seed")
 		zones        = flag.Int("zones", 1, "number of data centers (>1 enables the WAN extension; mistral/naive only)")
+		workers      = flag.Int("workers", 0, "evaluation concurrency for mistral/naive: sweep arms, search children, and 1st-level controllers (0 = min(GOMAXPROCS, 8), 1 = serial; decisions are identical either way)")
 		dvfs         = flag.Bool("dvfs", false, "equip hosts with 60/80% DVFS levels (the §VI extension)")
 		asCSV        = flag.Bool("csv", false, "emit CSV instead of aligned columns")
 		tracePath    = flag.String("trace", "", "write span trace to FILE (.json = Chrome trace_event for Perfetto, else JSONL)")
@@ -80,6 +82,7 @@ func run() (err error) {
 			HostGroups:         lab.HostGroups(),
 			Naive:              strings.EqualFold(*strategyName, "naive"),
 			MonitoringInterval: lab.Util.MonitoringInterval,
+			Workers:            *workers,
 		})
 	case "perf-pwr":
 		decider = strategy.NewPerfPwr(eval)
@@ -99,6 +102,7 @@ func run() (err error) {
 		Duration: *duration,
 		Interval: lab.Util.MonitoringInterval,
 		Utility:  lab.Util,
+		Workers:  *workers,
 	})
 	if err != nil {
 		return err

@@ -167,13 +167,13 @@ func (c Config) VMsOnHost(host string) []VMID {
 	return ids
 }
 
-// AllocatedCPU returns the sum of CPU allocations on the host.
+// AllocatedCPU returns the sum of CPU allocations on the host, folded in
+// sorted VM order so the floating-point result is bit-identical across
+// runs (map iteration order would perturb its last bits).
 func (c Config) AllocatedCPU(host string) float64 {
 	var sum float64
-	for _, p := range c.placements {
-		if p.Host == host {
-			sum += p.CPUPct
-		}
+	for _, id := range c.VMsOnHost(host) {
+		sum += c.placements[id].CPUPct
 	}
 	return sum
 }

@@ -11,6 +11,7 @@ import (
 
 	"github.com/mistralcloud/mistral/internal/cluster"
 	"github.com/mistralcloud/mistral/internal/obs"
+	"github.com/mistralcloud/mistral/internal/par"
 )
 
 // SearchOptions tunes the adaptation search of §IV-B.
@@ -57,6 +58,14 @@ type SearchOptions struct {
 	// §IV-B describes; the margin bounds that tail for the naive search
 	// without affecting which plan wins by more than ε.
 	EpsilonMargin float64
+	// Workers bounds the goroutines evaluating an expansion's children
+	// concurrently (default min(GOMAXPROCS, 8); 1 reproduces the serial
+	// path exactly). Results are merged in enumeration order, so the plan,
+	// pruning, and self-aware accounting are identical at every setting —
+	// only wall-clock time changes. The simulated decision-making time
+	// (TimePerChild per child) deliberately ignores Workers: it models the
+	// paper's single controller host.
+	Workers int
 }
 
 func (o SearchOptions) withDefaults() SearchOptions {
@@ -89,6 +98,7 @@ func (o SearchOptions) withDefaults() SearchOptions {
 	case o.ShapingFraction > 1:
 		o.ShapingFraction = 1
 	}
+	o.Workers = par.Workers(o.Workers)
 	return o
 }
 
@@ -175,6 +185,8 @@ type Searcher struct {
 	cTruncated  *obs.Counter
 	hExpansions *obs.Histogram
 	hSearchMS   *obs.Histogram
+	hBatch      *obs.Histogram
+	gWorkers    *obs.Gauge
 }
 
 // NewSearcher builds a searcher.
@@ -195,6 +207,8 @@ func (s *Searcher) SetObserver(o *obs.Observer) {
 	s.cTruncated = o.Counter("search_truncated_total")
 	s.hExpansions = o.Histogram("search_expansions", []float64{10, 50, 100, 250, 500, 1000, 2500})
 	s.hSearchMS = o.Histogram("search_time_ms", []float64{1, 5, 10, 50, 100, 500, 1000, 5000})
+	s.hBatch = o.Histogram("search_batch_children", []float64{1, 2, 4, 8, 16, 32, 64, 128})
+	s.gWorkers = o.Gauge("search_workers")
 }
 
 // Search finds the action sequence maximizing Eq. 3 from configuration cfg
@@ -215,6 +229,7 @@ func (s *Searcher) record(res SearchResult) {
 		return
 	}
 	s.cInvoked.Inc()
+	s.gWorkers.Set(float64(s.opts.Workers))
 	s.cExpanded.Add(int64(res.Expanded))
 	s.cGenerated.Add(int64(res.Generated))
 	s.cPruned.Add(int64(res.PrunedChildren))
@@ -256,8 +271,10 @@ func (s *Searcher) search(cfg cluster.Config, rates map[string]float64, cw time.
 	// near-free actions. The same weighted Euclidean distance §IV-B defines
 	// for pruning is folded into the cost-to-go as a penalty scaled so that
 	// traversing the full distance from the current configuration to the
-	// ideal one forfeits half the potential gain. This grades the frontier
-	// toward c* at the price of ε-bounded (rather than exact) optimality.
+	// ideal one forfeits opts.ShapingFraction of the potential gain (0.8 by
+	// default — see SearchOptions.ShapingFraction). This grades the
+	// frontier toward c* at the price of ε-bounded (rather than exact)
+	// optimality.
 	curRate := 0.0
 	if st, err := s.eval.Steady(cfg, rates); err == nil {
 		curRate = st.NetRate()
@@ -372,7 +389,11 @@ func (s *Searcher) search(cfg cluster.Config, rates map[string]float64, cw time.
 		}
 
 		// Generate children: every feasible action plus "null" when the
-		// configuration is a candidate.
+		// configuration is a candidate. Child evaluation (Apply, transient
+		// cost, shaping) fans out over the worker pool into per-action
+		// slots and merges back in enumeration order, so the frontier —
+		// and with it the plan, pruning, and self-aware accounting — is
+		// byte-identical at every Workers setting.
 		actions := cluster.Enumerate(s.eval.cat, vmax.cfg, space)
 		var children []*vertex
 		if vmax.cfg.IsCandidate(s.eval.cat) {
@@ -387,10 +408,11 @@ func (s *Searcher) search(cfg cluster.Config, rates map[string]float64, cw time.
 			child.utility = vmax.accrued + remaining(vmax.dur)*parentSteady.NetRate()
 			children = append(children, child)
 		}
-		for _, a := range actions {
-			next, filled, err := cluster.Apply(s.eval.cat, vmax.cfg, a)
+		evaluated := make([]*vertex, len(actions))
+		par.For(len(actions), opts.Workers, func(i int) {
+			next, filled, err := cluster.Apply(s.eval.cat, vmax.cfg, actions[i])
 			if err != nil {
-				continue
+				return
 			}
 			ac := s.eval.Action(vmax.cfg, parentSteady, filled, rates)
 			// A plan must fit the control window: actions past its end
@@ -398,7 +420,7 @@ func (s *Searcher) search(cfg cluster.Config, rates map[string]float64, cw time.
 			// when the current configuration is bleeding, arbitrarily long
 			// plans would otherwise look free beyond the horizon.
 			if vmax.dur+ac.Duration > cw {
-				continue
+				return
 			}
 			child := &vertex{
 				cfg:     next,
@@ -408,9 +430,15 @@ func (s *Searcher) search(cfg cluster.Config, rates map[string]float64, cw time.
 			}
 			child.plan = append(append(make([]cluster.Action, 0, len(vmax.plan)+1), vmax.plan...), filled)
 			child.utility = shaped(child)
-			children = append(children, child)
+			evaluated[i] = child
+		})
+		for _, child := range evaluated {
+			if child != nil {
+				children = append(children, child)
+			}
 		}
 		res.Generated += len(children)
+		s.hBatch.Observe(float64(len(children)))
 
 		// Self-aware accounting: charge the time spent producing this
 		// expansion, then prune if the search has outspent its budget.
@@ -426,6 +454,7 @@ func (s *Searcher) search(cfg cluster.Config, rates map[string]float64, cw time.
 			res.Pruned = true
 		}
 
+		var warm []*vertex
 		for _, child := range children {
 			if child.finished {
 				if bestCandidate == nil || child.utility > bestCandidate.utility {
@@ -439,9 +468,22 @@ func (s *Searcher) search(cfg cluster.Config, rates map[string]float64, cw time.
 			}
 			bestByKey[child.key] = child.utility
 			heap.Push(open, child)
+			warm = append(warm, child)
 		}
 		if open.Len() > res.PeakFrontier {
 			res.PeakFrontier = open.Len()
+		}
+		// Pre-solve the steady states the coming expansions will look up,
+		// in parallel: the per-pop LQN solve is the search's serial
+		// bottleneck, and the memo cache turns these into hits. Results are
+		// pure and errors are dropped — a failing configuration fails
+		// identically when popped — so decisions do not depend on this
+		// (only wall-clock time and cache statistics do). Skipped at one
+		// worker, where it could only add work.
+		if opts.Workers > 1 && len(warm) > 1 {
+			par.For(len(warm), opts.Workers, func(i int) {
+				_, _ = s.eval.Steady(warm[i].cfg, rates)
+			})
 		}
 	}
 
@@ -549,6 +591,9 @@ func ConfigDistance(cfg, ideal cluster.Config) float64 {
 	// Host power-state mismatches: one power-cycling action each. Without
 	// this term, starting a host toward the ideal would look like zero
 	// progress and the search could never justify it.
+	// Mismatches are counted first and folded in once: adding the two
+	// weights in map-iteration order would perturb the distance's last
+	// bits from run to run, and the search compares distances exactly.
 	union := make(map[string]bool)
 	for _, h := range cfg.ActiveHosts() {
 		union[h] = true
@@ -556,13 +601,15 @@ func ConfigDistance(cfg, ideal cluster.Config) float64 {
 	for _, h := range ideal.ActiveHosts() {
 		union[h] = true
 	}
+	var powerMismatch, freqMismatch int
 	for h := range union {
 		if cfg.HostOn(h) != ideal.HostOn(h) {
-			dist += distHostWeight
+			powerMismatch++
 		}
 		if cfg.HostFreq(h) != ideal.HostFreq(h) {
-			dist += distFreqWeight
+			freqMismatch++
 		}
 	}
+	dist += float64(powerMismatch)*distHostWeight + float64(freqMismatch)*distFreqWeight
 	return dist
 }

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/mistralcloud/mistral/internal/cluster"
+)
+
+// TestEvaluatorConcurrentAccess hammers Steady, CacheStats, and ResetCache
+// from many goroutines under -race, pinning the Evaluator's thread-safety
+// contract: concurrent callers must neither race nor observe results that
+// differ from the serially computed ones, even while the cache is being
+// reset underneath them.
+func TestEvaluatorConcurrentAccess(t *testing.T) {
+	e := newEnv(t, 4, 2)
+	loads := []float64{10, 30, 50, 70}
+	inputs := make([]map[string]float64, len(loads))
+	want := make([]Steady, len(loads))
+	for i, r := range loads {
+		inputs[i] = rates(e, r)
+		s, err := e.eval.Steady(e.cfg, inputs[i])
+		if err != nil {
+			t.Fatalf("serial Steady(%v): %v", r, err)
+		}
+		want[i] = s
+	}
+
+	const goroutines = 16
+	const iters = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				i := (g + it) % len(inputs)
+				got, err := e.eval.Steady(e.cfg, inputs[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(got, want[i]) {
+					t.Errorf("concurrent Steady(%v) diverged from serial result", loads[i])
+					return
+				}
+				switch {
+				case g%4 == 0 && it%10 == 9:
+					e.eval.ResetCache()
+				case it%5 == 0:
+					_ = e.eval.CacheStats()
+					_ = e.eval.Evals()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent Steady: %v", err)
+	}
+}
+
+// TestEvaluatorSingleflight pins the dedup accounting: N goroutines racing
+// on the same fresh key must trigger exactly one model solve; everyone
+// else either joins the in-flight solve or hits the cache afterwards.
+func TestEvaluatorSingleflight(t *testing.T) {
+	e := newEnv(t, 4, 2)
+	w := rates(e, 50)
+	want, err := e.eval.Steady(e.cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.eval.ResetCache()
+
+	const goroutines = 16
+	start := make(chan struct{})
+	results := make([]Steady, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			results[g], errs[g] = e.eval.Steady(e.cfg, w)
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if !reflect.DeepEqual(results[g], want) {
+			t.Errorf("goroutine %d got a different steady state", g)
+		}
+	}
+	st := e.eval.CacheStats()
+	if st.Misses != 1 {
+		t.Errorf("Misses = %d, want 1 (singleflight must collapse concurrent solves)", st.Misses)
+	}
+	if st.Hits != goroutines-1 {
+		t.Errorf("Hits = %d, want %d", st.Hits, goroutines-1)
+	}
+	if st.Dedups > st.Hits {
+		t.Errorf("Dedups = %d exceeds Hits = %d", st.Dedups, st.Hits)
+	}
+	if st.Entries != 1 {
+		t.Errorf("Entries = %d, want 1", st.Entries)
+	}
+}
+
+// TestSearchWorkersDeterminism pins the central promise of the concurrent
+// evaluation plane: the full SearchResult — plan, utility, virtual search
+// time, cost, and every counter — is byte-identical whether children are
+// evaluated serially or on 8 workers.
+func TestSearchWorkersDeterminism(t *testing.T) {
+	e := newEnv(t, 4, 2)
+	for _, load := range []float64{10, 40, 70} {
+		w := rates(e, load)
+		e.eval.ResetCache()
+		ideal, err := PerfPwr(e.eval, w, PerfPwrOptions{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		idealPar, err := PerfPwr(e.eval, w, PerfPwrOptions{Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ideal, idealPar) {
+			t.Fatalf("load %v: PerfPwr diverges between Workers=1 and Workers=8", load)
+		}
+
+		run := func(workers int) SearchResult {
+			e.eval.ResetCache()
+			s := NewSearcher(e.eval, SearchOptions{SelfAware: true, MaxExpansions: 600, Workers: workers})
+			res, err := s.Search(e.cfg, w, time.Hour, ideal, ExpectedUtility{}, cluster.ActionSpace{})
+			if err != nil {
+				t.Fatalf("load %v workers %d: %v", load, workers, err)
+			}
+			return res
+		}
+		serial := run(1)
+		parallel := run(8)
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("load %v: SearchResult diverges between Workers=1 and Workers=8:\n serial: %+v\nparallel: %+v",
+				load, serial, parallel)
+		}
+	}
+}
+
+// TestControllerDecideWorkersDeterminism runs a full controller decision at
+// both ends of the Workers range and requires identical Decisions.
+func TestControllerDecideWorkersDeterminism(t *testing.T) {
+	decide := func(workers int) Decision {
+		e := newEnv(t, 4, 2)
+		ctrl, err := NewController(e.eval, ControllerOptions{
+			Name:    "L2",
+			Search:  SearchOptions{MaxExpansions: 400},
+			Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := ctrl.Decide(0, e.cfg, rates(e, 20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	serial := decide(1)
+	parallel := decide(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("Decision diverges between Workers=1 and Workers=8:\n serial: %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+// TestControllerDecideSurfacesEvalError pins the fix for the silently
+// swallowed current-steady error: a workload naming an unknown application
+// must fail the decision loudly, tagged with the controller's name.
+func TestControllerDecideSurfacesEvalError(t *testing.T) {
+	e := newEnv(t, 4, 1)
+	ctrl, err := NewController(e.eval, ControllerOptions{Name: "L2-err"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ctrl.Decide(0, e.cfg, map[string]float64{"ghost": 50})
+	if err == nil {
+		t.Fatal("Decide accepted a workload for an unknown application")
+	}
+	if !strings.Contains(err.Error(), "L2-err") {
+		t.Errorf("error %q does not name the controller", err)
+	}
+}

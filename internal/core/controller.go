@@ -61,6 +61,17 @@ type ControllerOptions struct {
 	// UtilityHistory is how many recent window utilities feed the
 	// pessimistic expected utility UH (default 3).
 	UtilityHistory int
+	// Workers bounds the controller's evaluation concurrency: the Perf-Pwr
+	// sweep arms and the search's per-expansion child evaluation (default
+	// min(GOMAXPROCS, 8); 1 reproduces the serial path). An explicit
+	// Search.Workers takes precedence for the search.
+	Workers int
+	// RetainCache skips the per-decision evaluator cache reset. Set it
+	// when a coordinator owning the shared evaluator resets the cache once
+	// per control opportunity instead — the Mistral hierarchy's parallel
+	// 1st level, where concurrent per-controller resets would thrash the
+	// shared cache mid-flight.
+	RetainCache bool
 	// Obs overrides the process-default observer (obs.SetDefault) for this
 	// controller and its searcher; nil resolves the default.
 	Obs *obs.Observer
@@ -84,6 +95,9 @@ func (o ControllerOptions) withDefaults() ControllerOptions {
 	}
 	if o.UtilityHistory <= 0 {
 		o.UtilityHistory = 3
+	}
+	if o.Search.Workers == 0 {
+		o.Search.Workers = o.Workers
 	}
 	return o
 }
@@ -229,31 +243,36 @@ func (c *Controller) Decide(now time.Duration, cfg cluster.Config, rates map[str
 	if cw < c.opts.MinCW {
 		cw = c.opts.MinCW
 	}
-	cur, curErr := c.eval.Steady(cfg, rates)
-	if curErr == nil {
-		for name, a := range c.eval.Utility().Apps {
-			if rates[name] > 0 && cur.RTSec[name] > a.TargetRT.Seconds() && cw < c.opts.CrisisCW {
-				cw = c.opts.CrisisCW
-				break
-			}
+	cur, err := c.eval.Steady(cfg, rates)
+	if err != nil {
+		// Without the current configuration's steady state the decision
+		// has no baseline: CurrentNetRate would silently report 0 and the
+		// crisis floor could not trigger. Fail loudly instead.
+		return Decision{}, fmt.Errorf("core: %s: evaluating current configuration: %w", c.opts.Name, err)
+	}
+	for name, a := range c.eval.Utility().Apps {
+		if rates[name] > 0 && cur.RTSec[name] > a.TargetRT.Seconds() && cw < c.opts.CrisisCW {
+			cw = c.opts.CrisisCW
+			break
 		}
 	}
 	c.bands = workload.NewBands(c.scopedRates(rates), c.opts.BandWidth)
 	c.bandsSet = true
 	c.bandStart = now
 
-	c.eval.ResetCache()
+	if !c.opts.RetainCache {
+		c.eval.ResetCache()
+	}
 	tr := c.obsv.Tracer()
 	psp := tr.Start("perfpwr", now, obs.Attr{Key: "controller", Value: c.opts.Name})
 	var ideal Ideal
-	var err error
 	switch c.opts.Scope {
 	case ScopeTune:
 		ideal, err = PerfPwrTune(c.eval, cfg, rates, c.opts.Hosts)
 	case ScopeSubset:
-		ideal, err = PerfPwrSubset(c.eval, cfg, rates, c.opts.Hosts)
+		ideal, err = PerfPwrSubset(c.eval, cfg, rates, c.opts.Hosts, c.opts.Workers)
 	default:
-		popts := PerfPwrOptions{Scope: ScopeFull, Hosts: c.opts.Hosts, AppHostPools: c.opts.AppHostPools}
+		popts := PerfPwrOptions{Scope: ScopeFull, Hosts: c.opts.Hosts, AppHostPools: c.opts.AppHostPools, Workers: c.opts.Workers}
 		if c.opts.PinAppsToZones {
 			popts.VMZonePins = VMZonePinsOf(c.eval.cat, cfg)
 		}

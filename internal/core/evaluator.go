@@ -13,6 +13,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/mistralcloud/mistral/internal/cluster"
@@ -43,12 +45,41 @@ type Steady struct {
 // NetRate is the combined accrual rate, dollars/second.
 func (s Steady) NetRate() float64 { return s.PerfRate + s.PowerRate }
 
+// cacheShards is the number of independently locked cache segments; a
+// power of two so the shard index is a mask of the key hash. 16 shards
+// keep lock contention negligible for the default worker counts (≤ 8).
+const cacheShards = 16
+
+// cacheEntry is one memoized (or in-flight) steady evaluation. The
+// goroutine that inserts the entry owns the solve; done is closed when s
+// and err are final, and concurrent lookups of the same key wait on it
+// instead of duplicating the LQN solve (singleflight).
+type cacheEntry struct {
+	done chan struct{}
+	s    Steady
+	err  error
+}
+
+// evalShard is one mutex-guarded segment of the memo cache.
+type evalShard struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+}
+
 // Evaluator bundles the predictor modules of Figure 2 — the Performance
 // Manager (LQN model), the Power Consolidation Manager (power model), and
 // the Cost Manager (cost tables) — behind the two operations the optimizer
 // needs: steady-state evaluation of a configuration and transient
 // evaluation of an action. Steady evaluations are memoized by configuration
 // key; the cache is retained until ResetCache (workload change).
+//
+// Thread safety: Steady, Action, CacheStats, Evals, ResetCache, and the
+// read-only accessors are safe for concurrent use — the memo cache is
+// sharded behind per-shard mutexes with singleflight dedup of identical
+// in-flight solves, the underlying predictor modules are read-only
+// (lqn.Model.Evaluate builds only call-local state), and the counters are
+// atomic. SetObserver is not synchronized with the hot path: rebind
+// observers before handing the evaluator to concurrent callers.
 type Evaluator struct {
 	cat   *cluster.Catalog
 	model *lqn.Model
@@ -59,9 +90,10 @@ type Evaluator struct {
 	// it keys workload fingerprints without per-call sorting.
 	appNames []string
 
-	cache     map[string]Steady
-	cacheHits int
-	evals     int
+	shards    [cacheShards]evalShard
+	cacheHits atomic.Int64
+	evals     atomic.Int64
+	dedups    atomic.Int64
 
 	// Observability sinks, resolved at construction (see obs.SetDefault)
 	// and rebindable with SetObserver. Cache statistics are fed into the
@@ -71,7 +103,13 @@ type Evaluator struct {
 	cHits   *obs.Counter
 	cMisses *obs.Counter
 	cSolves *obs.Counter
+	cDedup  *obs.Counter
 	gSize   *obs.Gauge
+
+	// Sinks for the Perf-Pwr sweep (the sweep is a free function over the
+	// evaluator, so its instrumentation lives here).
+	gSweepWorkers *obs.Gauge
+	cSweepArms    *obs.Counter
 }
 
 // NewEvaluator builds an evaluator.
@@ -93,27 +131,36 @@ func NewEvaluator(cat *cluster.Catalog, model *lqn.Model, util *utility.Params, 
 		util:     util,
 		costs:    costs,
 		appNames: names,
-		cache:    make(map[string]Steady),
+	}
+	for i := range e.shards {
+		e.shards[i].entries = make(map[string]*cacheEntry)
 	}
 	e.SetObserver(obs.Default())
 	return e, nil
 }
 
 // SetObserver rebinds the evaluator's observability sinks (construction
-// resolves the process default); pass nil to disable.
+// resolves the process default); pass nil to disable. Not synchronized
+// with evaluation: call it before any concurrent use.
 func (e *Evaluator) SetObserver(o *obs.Observer) {
 	e.log = o.Logger()
 	e.cHits = o.Counter("eval_cache_hits_total")
 	e.cMisses = o.Counter("eval_cache_misses_total")
 	e.cSolves = o.Counter("lqn_solves_total")
+	e.cDedup = o.Counter("eval_inflight_dedup_total")
 	e.gSize = o.Gauge("eval_cache_entries")
+	e.gSweepWorkers = o.Gauge("perfpwr_workers")
+	e.cSweepArms = o.Counter("perfpwr_sweep_arms_total")
 }
 
 // CacheStats is the evaluator's memoization activity since the last
 // ResetCache. Misses equal the number of distinct steady evaluations
 // performed (each one is an LQN solve); Entries is the live cache size.
+// Dedups counts lookups that joined an identical in-flight solve instead
+// of starting their own; when the joined solve succeeds they also count
+// as Hits (the solve itself is charged to its initiating miss).
 type CacheStats struct {
-	Hits, Misses, Entries int
+	Hits, Misses, Entries, Dedups int
 }
 
 // HitRate is the fraction of lookups served from the cache.
@@ -126,7 +173,18 @@ func (s CacheStats) HitRate() float64 {
 
 // CacheStats reports cache activity since the last ResetCache.
 func (e *Evaluator) CacheStats() CacheStats {
-	return CacheStats{Hits: e.cacheHits, Misses: e.evals, Entries: len(e.cache)}
+	st := CacheStats{
+		Hits:   int(e.cacheHits.Load()),
+		Misses: int(e.evals.Load()),
+		Dedups: int(e.dedups.Load()),
+	}
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		st.Entries += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return st
 }
 
 // Catalog returns the catalog.
@@ -141,19 +199,30 @@ func (e *Evaluator) Costs() *cost.Manager { return e.costs }
 // ResetCache drops memoized steady evaluations; call it when the workload
 // changes. The generation's cache statistics are flushed into the metrics
 // registry here, keeping the per-lookup path free of instrumentation.
+// Safe to call concurrently with Steady: the cache is workload-keyed, so
+// resetting mid-flight costs at most redundant solves, never correctness
+// (a concurrent leader finishing after the reset publishes into a shard
+// map that was already swapped out, which only forfeits its memoization).
 func (e *Evaluator) ResetCache() {
-	e.cHits.Add(int64(e.cacheHits))
-	e.cMisses.Add(int64(e.evals))
-	e.cSolves.Add(int64(e.evals))
-	e.gSize.Set(float64(len(e.cache)))
-	e.cache = make(map[string]Steady)
-	e.cacheHits = 0
-	e.evals = 0
+	var entries int
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		entries += len(sh.entries)
+		sh.entries = make(map[string]*cacheEntry)
+		sh.mu.Unlock()
+	}
+	evals := e.evals.Swap(0)
+	e.cHits.Add(e.cacheHits.Swap(0))
+	e.cMisses.Add(evals)
+	e.cSolves.Add(evals)
+	e.cDedup.Add(e.dedups.Swap(0))
+	e.gSize.Set(float64(entries))
 }
 
 // Evals reports how many distinct steady evaluations were performed since
 // the last reset (a proxy for model-solving work).
-func (e *Evaluator) Evals() int { return e.evals }
+func (e *Evaluator) Evals() int { return int(e.evals.Load()) }
 
 // ratesKey fingerprints a workload vector for cache keying, iterating the
 // fixed application universe (apps absent from rates fingerprint as zero,
@@ -170,14 +239,62 @@ func (e *Evaluator) ratesKey(rates map[string]float64) string {
 	return b.String()
 }
 
+// shardOf hashes a cache key (FNV-1a) to its shard index.
+func shardOf(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h & (cacheShards - 1)
+}
+
 // Steady evaluates a configuration's steady-state utility rates under the
-// given per-application request rates.
+// given per-application request rates. Safe for concurrent use: identical
+// concurrent lookups dedup onto a single LQN solve (singleflight); failed
+// solves are not cached, so every later lookup of that key retries.
 func (e *Evaluator) Steady(cfg cluster.Config, rates map[string]float64) (Steady, error) {
 	key := cfg.Key() + "|" + e.ratesKey(rates)
-	if s, ok := e.cache[key]; ok {
-		e.cacheHits++
-		return s, nil
+	sh := &e.shards[shardOf(key)]
+	sh.mu.Lock()
+	if ent, ok := sh.entries[key]; ok {
+		sh.mu.Unlock()
+		select {
+		case <-ent.done:
+		default:
+			// The solve is in flight on another goroutine; wait for it
+			// instead of duplicating the work.
+			e.dedups.Add(1)
+			<-ent.done
+		}
+		if ent.err == nil {
+			e.cacheHits.Add(1)
+		}
+		return ent.s, ent.err
 	}
+	ent := &cacheEntry{done: make(chan struct{})}
+	sh.entries[key] = ent
+	sh.mu.Unlock()
+
+	ent.s, ent.err = e.solve(cfg, rates)
+	if ent.err != nil {
+		// Drop the failed entry (if a ResetCache has not replaced the map
+		// already) so later lookups retry instead of caching the error.
+		sh.mu.Lock()
+		if sh.entries[key] == ent {
+			delete(sh.entries, key)
+		}
+		sh.mu.Unlock()
+	} else {
+		e.evals.Add(1)
+	}
+	close(ent.done)
+	return ent.s, ent.err
+}
+
+// solve performs one uncached steady evaluation: the LQN solve plus power
+// and utility-rate derivation.
+func (e *Evaluator) solve(cfg cluster.Config, rates map[string]float64) (Steady, error) {
 	res, err := e.model.Evaluate(cfg, rates, nil)
 	if err != nil {
 		return Steady{}, fmt.Errorf("core: steady evaluation: %w", err)
@@ -196,8 +313,6 @@ func (e *Evaluator) Steady(cfg cluster.Config, rates map[string]float64) (Steady
 		}
 	}
 	s.PerfRate = e.util.PerfRateAll(rates, s.RTSec)
-	e.cache[key] = s
-	e.evals++
 	return s, nil
 }
 
@@ -212,7 +327,8 @@ type ActionCost struct {
 }
 
 // Action evaluates the transient cost of executing a from cfg, whose steady
-// state is base (pass the memoized Steady of cfg).
+// state is base (pass the memoized Steady of cfg). Safe for concurrent use:
+// the cost tables and utility parameters are read-only.
 func (e *Evaluator) Action(cfg cluster.Config, base Steady, a cluster.Action, rates map[string]float64) ActionCost {
 	pred := e.costs.Predict(cfg, a, rates)
 	rt := make(map[string]float64, len(base.RTSec))

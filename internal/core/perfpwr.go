@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/mistralcloud/mistral/internal/cluster"
+	"github.com/mistralcloud/mistral/internal/par"
 )
 
 // Ideal is the output of the Perf-Pwr optimizer: the configuration that
@@ -53,6 +54,11 @@ type PerfPwrOptions struct {
 	// AppHostPools confines each application's VMs to a fixed host pool
 	// (the Perf-Cost baseline's "2 hosts per application").
 	AppHostPools map[string][]string
+	// Workers bounds the goroutines evaluating sweep arms (host-count ×
+	// affinity-variant combinations) concurrently (default
+	// min(GOMAXPROCS, 8); 1 reproduces the serial path). The winner is
+	// selected by the serial sweep's deterministic order regardless.
+	Workers int
 }
 
 // PerfPwr implements the optimizer of §IV-A. For each candidate number of
@@ -89,7 +95,7 @@ func PerfPwr(e *Evaluator, rates map[string]float64, opts PerfPwrOptions) (Ideal
 		appPools:            opts.AppHostPools,
 	}
 	minHosts := minHostsNeeded(e.cat, hosts)
-	return sweepHostCounts(e, rates, scope, hosts, minHosts)
+	return sweepHostCounts(e, rates, scope, hosts, minHosts, opts.Workers)
 }
 
 // VMZonePinsOf pins every active VM of a configuration to its current
@@ -105,8 +111,9 @@ func VMZonePinsOf(cat *cluster.Catalog, cfg cluster.Config) map[cluster.VMID]str
 
 // PerfPwrSubset is the 1st-level controllers' ideal: repack only the VMs
 // currently placed within the host subset (no replication changes), holding
-// everything outside the subset fixed.
-func PerfPwrSubset(e *Evaluator, base cluster.Config, rates map[string]float64, hosts []string) (Ideal, error) {
+// everything outside the subset fixed. workers bounds the sweep's
+// concurrency as in PerfPwrOptions.Workers (0 = default, 1 = serial).
+func PerfPwrSubset(e *Evaluator, base cluster.Config, rates map[string]float64, hosts []string, workers int) (Ideal, error) {
 	if len(hosts) == 0 {
 		hosts = e.cat.HostNames()
 	}
@@ -139,7 +146,7 @@ func PerfPwrSubset(e *Evaluator, base cluster.Config, rates map[string]float64, 
 		return Ideal{Config: base.Clone(), Steady: st}, nil
 	}
 	scope := packScope{managed: managed, fixed: fixed}
-	return sweepHostCounts(e, rates, scope, hosts, 1)
+	return sweepHostCounts(e, rates, scope, hosts, 1, workers)
 }
 
 // PerfPwrMeetingTargets is the modified Perf-Pwr optimizer behind the
@@ -160,7 +167,7 @@ func PerfPwrMeetingTargets(e *Evaluator, rates map[string]float64) (Ideal, error
 		rtTargets:           targets,
 	}
 	hosts := e.cat.HostNames()
-	ideal, err := sweepHostCounts(e, rates, scope, hosts, minHostsNeeded(e.cat, hosts))
+	ideal, err := sweepHostCounts(e, rates, scope, hosts, minHostsNeeded(e.cat, hosts), 0)
 	if err != nil {
 		return Ideal{}, fmt.Errorf("core: no configuration meets all response-time targets: %w", err)
 	}
@@ -206,39 +213,71 @@ func EvaluatePlan(e *Evaluator, cfg cluster.Config, plan []cluster.Action, rates
 }
 
 // sweepHostCounts runs the reduction/packing loop for every candidate host
-// count and keeps the best packed configuration.
-func sweepHostCounts(e *Evaluator, rates map[string]float64, scope packScope, hosts []string, minHosts int) (Ideal, error) {
+// count and keeps the best packed configuration. The arms — one per
+// (host count, affinity variant) pair — are independent full reduction
+// loops, so they evaluate concurrently on the worker pool; the fold over
+// their indexed results replays the serial sweep's order exactly, so the
+// winner (selected by strict improvement) and any returned error are
+// identical at every workers setting.
+func sweepHostCounts(e *Evaluator, rates map[string]float64, scope packScope, hosts []string, minHosts, workers int) (Ideal, error) {
 	multiZone := len(e.cat.Zones()) > 1
-	var best *Ideal
+	type arm struct {
+		n     int
+		scope packScope
+	}
+	var arms []arm
 	for n := len(hosts); n >= minHosts; n-- {
-		variants := []packScope{scope}
+		arms = append(arms, arm{n, scope})
 		if multiZone {
 			alt := scope
 			alt.noAffinity = true
-			variants = append(variants, alt)
+			arms = append(arms, arm{n, alt})
 		}
-		for _, v := range variants {
-			cfg, ok, err := packWithReduction(e, rates, v, hosts[:n])
-			if err != nil {
-				return Ideal{}, err
-			}
-			if !ok {
-				continue
-			}
-			cfg, steady, err := polishAllocations(e, cfg, rates, v)
-			if err != nil {
-				return Ideal{}, err
-			}
-			if e.log.Enabled(context.Background(), slog.LevelDebug) {
-				e.log.Debug("perfpwr sweep",
-					"hosts", n,
-					"no_affinity", v.noAffinity,
-					"net_rate", steady.NetRate(),
-					"config", fmt.Sprint(cfg))
-			}
-			if best == nil || steady.NetRate() > best.Steady.NetRate() {
-				best = &Ideal{Config: cfg, Steady: steady}
-			}
+	}
+	workers = par.Workers(workers)
+	e.gSweepWorkers.Set(float64(workers))
+	e.cSweepArms.Add(int64(len(arms)))
+
+	type armResult struct {
+		ideal Ideal
+		ok    bool
+		err   error
+	}
+	results := make([]armResult, len(arms))
+	par.For(len(arms), workers, func(i int) {
+		a := arms[i]
+		cfg, ok, err := packWithReduction(e, rates, a.scope, hosts[:a.n])
+		if err != nil || !ok {
+			results[i] = armResult{err: err}
+			return
+		}
+		cfg, steady, err := polishAllocations(e, cfg, rates, a.scope)
+		if err != nil {
+			results[i] = armResult{err: err}
+			return
+		}
+		results[i] = armResult{ideal: Ideal{Config: cfg, Steady: steady}, ok: true}
+	})
+
+	var best *Ideal
+	dbg := e.log.Enabled(context.Background(), slog.LevelDebug)
+	for i, r := range results {
+		if r.err != nil {
+			return Ideal{}, r.err
+		}
+		if !r.ok {
+			continue
+		}
+		if dbg {
+			e.log.Debug("perfpwr sweep",
+				"hosts", arms[i].n,
+				"no_affinity", arms[i].scope.noAffinity,
+				"net_rate", r.ideal.Steady.NetRate(),
+				"config", fmt.Sprint(r.ideal.Config))
+		}
+		if best == nil || r.ideal.Steady.NetRate() > best.Steady.NetRate() {
+			b := r.ideal
+			best = &b
 		}
 	}
 	if best == nil {
@@ -586,11 +625,17 @@ func packWithReduction(e *Evaluator, rates map[string]float64, scope packScope, 
 }
 
 // sumRT aggregates the steady response times across applications, the
-// gradient tie-breaker.
+// gradient tie-breaker. Sorted iteration keeps the floating-point fold
+// bit-identical across runs (map order would shuffle it).
 func sumRT(st Steady) float64 {
+	names := make([]string, 0, len(st.RTSec))
+	for name := range st.RTSec {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var sum float64
-	for _, rt := range st.RTSec {
-		sum += rt
+	for _, name := range names {
+		sum += st.RTSec[name]
 	}
 	return sum
 }
@@ -626,7 +671,10 @@ func spreadConfig(s allocState, scope packScope, hosts []string) cluster.Config 
 // demands. Higher means tighter packing potential.
 func meanAllocUtil(s allocState, rates map[string]float64, e *Evaluator, scope packScope) float64 {
 	var totalDemand, totalAlloc float64
-	for id, cpu := range s.cpu {
+	// Sorted VM order: the two sums are floating-point folds whose last
+	// bits feed the ∇ρ gradient comparisons; map order would flip ties.
+	for _, id := range s.sortedVMs() {
+		cpu := s.cpu[id]
 		vm, ok := e.cat.VM(id)
 		if !ok {
 			continue

@@ -39,6 +39,10 @@ type Table1Options struct {
 	NaiveMaxExpansions int
 	// SkipNaive omits the naive runs (they dominate wall-clock time).
 	SkipNaive bool
+	// Workers bounds each hierarchy's evaluation concurrency (see
+	// strategy.MistralConfig.Workers; 0 = min(GOMAXPROCS, 8), 1 = serial).
+	// Decisions and utilities are identical at every setting.
+	Workers int
 }
 
 // Table1Scalability reproduces Table I: 2/3/4 applications on 4/6/8 hosts
@@ -84,6 +88,7 @@ func Table1Scalability(seed uint64, opts Table1Options) (*Table1Result, error) {
 				HostGroups:         lab.HostGroups(),
 				Naive:              naive,
 				MonitoringInterval: lab.Util.MonitoringInterval,
+				Workers:            opts.Workers,
 				Search: core.SearchOptions{
 					TimePerChild:  300 * time.Microsecond,
 					MaxExpansions: maxExp,
@@ -97,6 +102,7 @@ func Table1Scalability(seed uint64, opts Table1Options) (*Table1Result, error) {
 				Duration: opts.Duration,
 				Interval: lab.Util.MonitoringInterval,
 				Utility:  lab.Util,
+				Workers:  opts.Workers,
 			})
 			return r, m, err
 		}

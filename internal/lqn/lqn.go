@@ -21,6 +21,7 @@ package lqn
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"github.com/mistralcloud/mistral/internal/app"
 	"github.com/mistralcloud/mistral/internal/cluster"
@@ -71,12 +72,26 @@ func (o Options) withDefaults() Options {
 }
 
 // Model evaluates the layered queuing network for a fixed set of
-// applications. Construct with NewModel; safe for concurrent use because
-// Evaluate does not mutate shared state.
+// applications. Construct with NewModel.
+//
+// Thread-safety contract: a Model is immutable after construction —
+// Evaluate reads the application specs, catalog, and options but builds
+// all iteration state (per-tier utilizations, response times, host
+// aggregations) in call-local maps, so any number of goroutines may call
+// Evaluate concurrently on one Model with distinct or identical inputs.
+// The concurrent evaluation plane (core.Evaluator's sharded memo cache,
+// the parallel A* child evaluation, and the Perf-Pwr sweep) relies on
+// this; TestModelEvaluateConcurrent pins it under -race.
 type Model struct {
 	apps map[string]*app.Spec
-	cat  *cluster.Catalog
-	opts Options
+	// names holds the application names in sorted order. Evaluate iterates
+	// applications through it, never through the apps map: several passes
+	// accumulate floating-point sums per host across applications, and map
+	// iteration order would make those sums differ in their last bits from
+	// run to run.
+	names []string
+	cat   *cluster.Catalog
+	opts  Options
 }
 
 // NewModel builds a model over the given applications and catalog.
@@ -94,7 +109,9 @@ func NewModel(cat *cluster.Catalog, apps []*app.Spec, opts Options) (*Model, err
 			return nil, fmt.Errorf("lqn: duplicate application %q", a.Name)
 		}
 		m.apps[a.Name] = a
+		m.names = append(m.names, a.Name)
 	}
+	sort.Strings(m.names)
 	return m, nil
 }
 
@@ -204,7 +221,8 @@ func (m *Model) Evaluate(cfg cluster.Config, load map[string]float64, dom0Backgr
 	dom0DemandCPU := make(map[string]float64)                     // host -> absolute CPU fraction demanded by Dom-0 work
 	hostVMUtil := make(map[string]float64)                        // host -> absolute CPU fraction used by VMs
 
-	for name, spec := range m.apps {
+	for _, name := range m.names {
+		spec := m.apps[name]
 		lambda := load[name]
 		tiers := make(map[string]*tierState, len(spec.Tiers))
 		states[name] = tiers
@@ -262,7 +280,8 @@ func (m *Model) Evaluate(cfg cluster.Config, load map[string]float64, dom0Backgr
 	}
 
 	// Pass 3: per-application response times.
-	for name, spec := range m.apps {
+	for _, name := range m.names {
+		spec := m.apps[name]
 		lambda := load[name]
 		tiers := states[name]
 		ar := AppResult{

@@ -1,0 +1,76 @@
+// Package par provides the bounded worker pool behind the concurrent
+// evaluation plane. Every parallel site in the controller (A* child
+// evaluation, Perf-Pwr sweep arms, 1st-level controller fan-out) runs
+// through For, which degenerates to a plain serial loop at one worker so
+// Workers=1 reproduces the single-threaded code path exactly. Callers own
+// determinism: work functions write only to their own index's result slot
+// and the caller merges slots in input order afterwards.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// MaxDefaultWorkers caps the resolved default worker count: the hot loops
+// are CPU-bound LQN solves, so parallelism past the core count only adds
+// scheduling overhead, and very wide pools inflate per-expansion fan-out
+// cost on small child batches.
+const MaxDefaultWorkers = 8
+
+// Workers resolves a worker-count option: values above zero are returned
+// unchanged; zero and negative resolve to min(GOMAXPROCS, 8).
+func Workers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > MaxDefaultWorkers {
+		w = MaxDefaultWorkers
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// For calls fn(i) for every i in [0, n) on at most workers goroutines and
+// returns once all calls have completed. workers <= 1 (or n <= 1) runs the
+// loop serially on the calling goroutine — byte-identical behaviour to the
+// pre-concurrency code, and the reason Workers=1 is the reference path in
+// determinism tests. Indices are handed out through a shared atomic
+// counter, so call order across goroutines is unspecified; fn must not
+// assume any ordering, and panics in fn propagate to the caller only on
+// the serial path (a panicking worker goroutine crashes the process, as
+// any unrecovered goroutine panic does).
+func For(n, workers int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

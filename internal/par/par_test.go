@@ -1,0 +1,73 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 8, 100} {
+		const n = 57
+		var hits [n]atomic.Int32
+		For(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times, want 1", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForSerialPreservesOrder(t *testing.T) {
+	var order []int
+	For(5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("serial order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestForEmpty(t *testing.T) {
+	called := false
+	For(0, 4, func(int) { called = true })
+	For(-3, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for n <= 0")
+	}
+}
+
+func TestForBoundsGoroutines(t *testing.T) {
+	var inFlight, peak atomic.Int32
+	For(64, 3, func(int) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		runtime.Gosched()
+		inFlight.Add(-1)
+	})
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("observed %d concurrent calls, want <= 3", p)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d", got)
+	}
+	def := Workers(0)
+	if def < 1 || def > MaxDefaultWorkers {
+		t.Fatalf("Workers(0) = %d, want in [1, %d]", def, MaxDefaultWorkers)
+	}
+	if g := runtime.GOMAXPROCS(0); g < MaxDefaultWorkers && def != g {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS = %d", def, g)
+	}
+	if got := Workers(-1); got != def {
+		t.Fatalf("Workers(-1) = %d, want %d", got, def)
+	}
+}

@@ -2,6 +2,7 @@ package queueing
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/mistralcloud/mistral/internal/app"
@@ -513,11 +514,18 @@ func (s *System) Snapshot() Window {
 			Completed: c.completed,
 		}
 	}
+	// VM stations fold into per-host utilization in sorted ID order: the
+	// sum is floating point and map order would shuffle its last bits.
+	ids := make([]cluster.VMID, 0, len(s.vmStations))
+	for id := range s.vmStations {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for h := range s.dom0 {
 		var util float64
-		for id, st := range s.vmStations {
+		for _, id := range ids {
 			if s.vmHost[id] == h {
-				util += st.MeanUsageSince()
+				util += s.vmStations[id].MeanUsageSince()
 			}
 		}
 		util += s.dom0[h].MeanUsageSince()

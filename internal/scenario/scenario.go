@@ -11,6 +11,7 @@ import (
 
 	"github.com/mistralcloud/mistral/internal/cluster"
 	"github.com/mistralcloud/mistral/internal/obs"
+	"github.com/mistralcloud/mistral/internal/par"
 	"github.com/mistralcloud/mistral/internal/testbed"
 	"github.com/mistralcloud/mistral/internal/utility"
 	"github.com/mistralcloud/mistral/internal/workload"
@@ -53,6 +54,12 @@ type RunConfig struct {
 	Interval time.Duration
 	// Utility computes window utilities (required).
 	Utility *utility.Params
+	// Workers records the evaluation concurrency the decider was built
+	// with (see strategy.MistralConfig.Workers), purely for observability:
+	// the replay loop itself is inherently sequential — each window's
+	// decision depends on the previous window's testbed state — so the
+	// value is exported as the scenario_workers gauge, not consumed here.
+	Workers int
 	// Obs overrides the process-default observer (obs.SetDefault) for the
 	// replay loop's spans and window metrics; nil resolves the default.
 	Obs *obs.Observer
@@ -158,6 +165,7 @@ func Run(tb *testbed.Testbed, d Decider, cfg RunConfig) (*Result, error) {
 	cViolations := o.Counter("scenario_target_violations_total")
 	hWindowUtil := o.Histogram("scenario_window_utility_dollars", []float64{-10, -1, -0.1, 0, 0.1, 1, 10})
 	gCumUtil := o.Gauge("scenario_cum_utility_dollars")
+	o.Gauge("scenario_workers").Set(float64(par.Workers(cfg.Workers)))
 
 	for t := time.Duration(0); t < cfg.Duration; t += cfg.Interval {
 		rates := cfg.Traces.At(t)

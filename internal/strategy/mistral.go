@@ -10,11 +10,13 @@ package strategy
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/mistralcloud/mistral/internal/cluster"
 	"github.com/mistralcloud/mistral/internal/core"
 	"github.com/mistralcloud/mistral/internal/obs"
+	"github.com/mistralcloud/mistral/internal/par"
 	"github.com/mistralcloud/mistral/internal/scenario"
 )
 
@@ -42,6 +44,13 @@ type MistralConfig struct {
 	// CrisisCW overrides the 2nd-level controller's crisis control-window
 	// floor (default 12×M; see core.ControllerOptions.CrisisCW).
 	CrisisCW time.Duration
+	// Workers bounds the hierarchy's evaluation concurrency: each
+	// controller's Perf-Pwr sweep and search fan-out, and how many
+	// 1st-level controllers decide concurrently over the shared evaluator
+	// (default min(GOMAXPROCS, 8); 1 is fully serial). Decisions are
+	// byte-identical at every setting — 1st-level results merge in
+	// controller order.
+	Workers int
 	// Obs overrides the process-default observer (obs.SetDefault) for
 	// every controller in the hierarchy; nil resolves the default.
 	Obs *obs.Observer
@@ -66,11 +75,18 @@ func (s LevelStats) MeanSearch() time.Duration {
 // within their host group, and a 2nd-level controller with a wider band and
 // the full action set over all hosts.
 type Mistral struct {
-	name  string
-	l3    *core.Controller // nil in single-zone deployments
-	l2    *core.Controller
-	l1    []*core.Controller
-	stats [3]LevelStats // [0] = level 1 aggregate, [1] = level 2, [2] = level 3
+	name    string
+	eval    *core.Evaluator
+	workers int
+	l3      *core.Controller // nil in single-zone deployments
+	l2      *core.Controller
+	l1      []*core.Controller
+
+	// statsMu guards stats: Decide mutates them only from its own
+	// goroutine (1st-level results are merged serially after the fan-out),
+	// but the lock keeps Stats/StatsL3 safe to poll concurrently.
+	statsMu sync.Mutex
+	stats   [3]LevelStats // [0] = level 1 aggregate, [1] = level 2, [2] = level 3
 }
 
 // NewMistral builds the hierarchy over a shared evaluator.
@@ -113,12 +129,13 @@ func NewMistral(eval *core.Evaluator, cfg MistralConfig) (*Mistral, error) {
 		Search:             search,
 		MonitoringInterval: cfg.MonitoringInterval,
 		CrisisCW:           cfg.CrisisCW,
+		Workers:            cfg.Workers,
 		Obs:                cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
 	}
-	m := &Mistral{name: name, l2: l2}
+	m := &Mistral{name: name, eval: eval, workers: par.Workers(cfg.Workers), l2: l2}
 	if multiZone {
 		if cfg.L3Band <= 0 {
 			cfg.L3Band = 20
@@ -131,8 +148,9 @@ func NewMistral(eval *core.Evaluator, cfg MistralConfig) (*Mistral, error) {
 			MonitoringInterval: cfg.MonitoringInterval,
 			// WAN migrations take tens of minutes: plan over hour-scale
 			// windows or they can never pay off.
-			MinCW: 30 * time.Minute,
-			Obs:   cfg.Obs,
+			MinCW:   30 * time.Minute,
+			Workers: cfg.Workers,
+			Obs:     cfg.Obs,
 		})
 		if err != nil {
 			return nil, err
@@ -159,7 +177,12 @@ func NewMistral(eval *core.Evaluator, cfg MistralConfig) (*Mistral, error) {
 			},
 			Search:             search,
 			MonitoringInterval: cfg.MonitoringInterval,
-			Obs:                cfg.Obs,
+			Workers:            cfg.Workers,
+			// The hierarchy resets the shared evaluator's cache once per
+			// control opportunity before fanning the 1st level out;
+			// per-controller resets would thrash it mid-flight.
+			RetainCache: true,
+			Obs:         cfg.Obs,
 		})
 		if err != nil {
 			return nil, err
@@ -174,11 +197,27 @@ func (m *Mistral) Name() string { return m.name }
 
 // Stats returns per-level search statistics: level 1 (aggregated across its
 // controllers) and level 2.
-func (m *Mistral) Stats() (l1, l2 LevelStats) { return m.stats[0], m.stats[1] }
+func (m *Mistral) Stats() (l1, l2 LevelStats) {
+	m.statsMu.Lock()
+	defer m.statsMu.Unlock()
+	return m.stats[0], m.stats[1]
+}
 
 // StatsL3 returns the 3rd-level controller's statistics (zero when the
 // deployment spans a single zone).
-func (m *Mistral) StatsL3() LevelStats { return m.stats[2] }
+func (m *Mistral) StatsL3() LevelStats {
+	m.statsMu.Lock()
+	defer m.statsMu.Unlock()
+	return m.stats[2]
+}
+
+// addStats accumulates one decision into a level's statistics.
+func (m *Mistral) addStats(level int, searchTime time.Duration) {
+	m.statsMu.Lock()
+	m.stats[level].Invocations++
+	m.stats[level].TotalSearch += searchTime
+	m.statsMu.Unlock()
+}
 
 // Decide implements scenario.Decider: if the 2nd-level band is violated the
 // 2nd-level controller decides with the full action set; otherwise every
@@ -191,8 +230,7 @@ func (m *Mistral) Decide(now time.Duration, cfg cluster.Config, rates map[string
 		if err != nil {
 			return scenario.Decision{}, err
 		}
-		m.stats[2].Invocations++
-		m.stats[2].TotalSearch += d.Search.SearchTime
+		m.addStats(2, d.Search.SearchTime)
 		if len(d.Plan) > 0 {
 			return scenario.Decision{
 				Invoked:    d.Invoked,
@@ -208,8 +246,7 @@ func (m *Mistral) Decide(now time.Duration, cfg cluster.Config, rates map[string
 		if err != nil {
 			return scenario.Decision{}, err
 		}
-		m.stats[1].Invocations++
-		m.stats[1].TotalSearch += d.Search.SearchTime
+		m.addStats(1, d.Search.SearchTime)
 		return scenario.Decision{
 			Invoked:    d.Invoked,
 			Plan:       d.Plan,
@@ -217,17 +254,33 @@ func (m *Mistral) Decide(now time.Duration, cfg cluster.Config, rates map[string
 			SearchCost: d.Search.SearchCost,
 		}, nil
 	}
+	// 1st-level controllers own disjoint host groups and share the
+	// thread-safe evaluator: reset the memo cache once for this control
+	// opportunity (their per-decision reset is disabled via RetainCache),
+	// then let them decide concurrently. Results land in per-controller
+	// slots and merge in controller order, so plans, the SearchCost sum
+	// (float addition is order-sensitive), and the returned error are
+	// byte-identical to the serial path.
+	m.eval.ResetCache()
+	type l1Result struct {
+		d   core.Decision
+		err error
+	}
+	results := make([]l1Result, len(m.l1))
+	par.For(len(m.l1), m.workers, func(i int) {
+		d, err := m.l1[i].Decide(now, cfg, rates)
+		results[i] = l1Result{d: d, err: err}
+	})
 	out := scenario.Decision{}
-	for _, l1 := range m.l1 {
-		d, err := l1.Decide(now, cfg, rates)
-		if err != nil {
-			return scenario.Decision{}, err
+	for _, r := range results {
+		if r.err != nil {
+			return scenario.Decision{}, r.err
 		}
+		d := r.d
 		if !d.Invoked {
 			continue
 		}
-		m.stats[0].Invocations++
-		m.stats[0].TotalSearch += d.Search.SearchTime
+		m.addStats(0, d.Search.SearchTime)
 		out.Invoked = true
 		out.SearchCost += d.Search.SearchCost
 		if d.Search.SearchTime > out.SearchTime {

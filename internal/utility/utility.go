@@ -11,6 +11,7 @@ package utility
 
 import (
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -153,10 +154,17 @@ func (p *Params) PerfRate(appName string, rate, rtSec float64) float64 {
 }
 
 // PerfRateAll sums Eq. 1 across all applications given per-app rates and
-// response times.
+// response times. Applications are visited in sorted name order: the sum is
+// a floating-point fold, and map iteration order would make its last bits
+// differ from run to run, breaking bit-exact replay determinism.
 func (p *Params) PerfRateAll(rates, rtSec map[string]float64) float64 {
-	var sum float64
+	names := make([]string, 0, len(p.Apps))
 	for name := range p.Apps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sum float64
+	for _, name := range names {
 		sum += p.PerfRate(name, rates[name], rtSec[name])
 	}
 	return sum
