@@ -338,6 +338,33 @@ func BenchmarkAblationMultiZone(b *testing.B) {
 	}
 }
 
+// BenchmarkFaultSweep replays the robustness study beyond the paper: the
+// four strategies under seeded fault injection at 0/15/30% action-failure
+// rates. The reported metrics track how much utility Mistral preserves as
+// the environment turns hostile, and how much degradation bookkeeping the
+// control loop absorbed without aborting.
+func BenchmarkFaultSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := mistral.RunFaultSweep(experiments.FaultSweepOptions{
+			Seed:     benchSeed,
+			Rates:    []float64{0, 0.15, 0.30},
+			Duration: 2 * time.Hour,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		clean := r.CumUtility(0)
+		hostile := r.CumUtility(len(r.Rates) - 1)
+		b.ReportMetric(clean[experiments.StrategyMistral], "mistral_clean_$")
+		b.ReportMetric(hostile[experiments.StrategyMistral], "mistral_30%_$")
+		b.ReportMetric(hostile[experiments.StrategyPerfPwr], "perfpwr_30%_$")
+		cells := r.Cells[experiments.StrategyMistral]
+		worst := cells[len(cells)-1].Result
+		b.ReportMetric(float64(worst.DegradedWindows), "mistral_30%_degraded")
+		b.ReportMetric(float64(worst.Retries), "mistral_30%_retries")
+	}
+}
+
 // BenchmarkAblationFidelity compares analytic and request-level testbed
 // measurements of the same steady configuration.
 func BenchmarkAblationFidelity(b *testing.B) {

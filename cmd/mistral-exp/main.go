@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	mistral-exp [-run all|fig1|...|table1|ablations]
-//	            [-seed N] [-csv] [-outdir DIR] [-quick] [-workers N]
+//	mistral-exp [-run all|fig1|...|table1|faultsweep|ablations]
+//	            [-seed N] [-fault-seed N] [-csv] [-outdir DIR] [-quick] [-workers N]
 //	            [-trace FILE] [-metrics FILE] [-log-level LEVEL] [-pprof ADDR]
 package main
 
@@ -58,8 +58,9 @@ func (e *emitter) emit(name string, tables []experiments.Table) error {
 
 func run() (err error) {
 	var (
-		which       = flag.String("run", "all", "which experiment: all, fig1, fig3, fig4, fig5, fig6, fig7, fig7m, fig89, fig10, table1, ablations")
+		which       = flag.String("run", "all", "which experiment: all, fig1, fig3, fig4, fig5, fig6, fig7, fig7m, fig89, fig10, table1, faultsweep, ablations")
 		seed        = flag.Uint64("seed", 42, "random seed")
+		faultSeed   = flag.Uint64("fault-seed", 0, "fault schedule seed for faultsweep (0 = use -seed)")
 		asCSV       = flag.Bool("csv", false, "emit CSV instead of ASCII tables")
 		outdir      = flag.String("outdir", "", "write outputs to this directory instead of stdout")
 		quick       = flag.Bool("quick", false, "cheaper variants of the slow experiments (shorter replays, fewer trials)")
@@ -173,6 +174,23 @@ func run() (err error) {
 			return fmt.Errorf("table1: %w", err)
 		}
 		if err := e.emit("table1", []experiments.Table{r.Table()}); err != nil {
+			return err
+		}
+	}
+	if want("faultsweep") {
+		opts := experiments.FaultSweepOptions{Seed: *faultSeed, Workers: *workers}
+		if *faultSeed == 0 {
+			opts.Seed = *seed
+		}
+		if *quick {
+			opts.Rates = []float64{0, 0.15, 0.30}
+			opts.Duration = time.Hour
+		}
+		r, err := mistral.RunFaultSweep(opts)
+		if err != nil {
+			return fmt.Errorf("faultsweep: %w", err)
+		}
+		if err := e.emit("faultsweep", r.Tables()); err != nil {
 			return err
 		}
 	}

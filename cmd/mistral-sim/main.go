@@ -5,7 +5,7 @@
 //
 //	mistral-sim [-strategy mistral|naive|perf-pwr|perf-cost|pwr-cost]
 //	            [-apps N] [-duration 6h30m] [-seed N] [-zones N] [-workers N]
-//	            [-dvfs] [-csv]
+//	            [-dvfs] [-csv] [-fault-rate P] [-fault-seed N]
 //	            [-trace FILE] [-metrics FILE] [-log-level LEVEL] [-pprof ADDR]
 package main
 
@@ -19,6 +19,7 @@ import (
 
 	"github.com/mistralcloud/mistral"
 	"github.com/mistralcloud/mistral/internal/experiments"
+	"github.com/mistralcloud/mistral/internal/fault"
 	"github.com/mistralcloud/mistral/internal/obs"
 	"github.com/mistralcloud/mistral/internal/scenario"
 	"github.com/mistralcloud/mistral/internal/strategy"
@@ -40,6 +41,8 @@ func run() (err error) {
 		zones        = flag.Int("zones", 1, "number of data centers (>1 enables the WAN extension; mistral/naive only)")
 		workers      = flag.Int("workers", 0, "evaluation concurrency for mistral/naive: sweep arms, search children, and 1st-level controllers (0 = min(GOMAXPROCS, 8), 1 = serial; decisions are identical either way)")
 		dvfs         = flag.Bool("dvfs", false, "equip hosts with 60/80% DVFS levels (the §VI extension)")
+		faultRate    = flag.Float64("fault-rate", 0, "action-failure probability in [0,1]; >0 enables the fault plane (delays, host crashes, and sensor faults scale with it)")
+		faultSeed    = flag.Uint64("fault-seed", 0, "fault schedule seed (0 = use -seed)")
 		asCSV        = flag.Bool("csv", false, "emit CSV instead of aligned columns")
 		tracePath    = flag.String("trace", "", "write span trace to FILE (.json = Chrome trace_event for Perfetto, else JSONL)")
 		metricsPath  = flag.String("metrics", "", `write metrics registry dump to FILE at exit ("-" = stderr)`)
@@ -67,7 +70,14 @@ func run() (err error) {
 	if err != nil {
 		return err
 	}
-	tb, err := lab.NewTestbed()
+	if *faultRate < 0 || *faultRate > 1 {
+		return fmt.Errorf("-fault-rate %v out of [0,1]", *faultRate)
+	}
+	if *faultSeed == 0 {
+		*faultSeed = *seed
+	}
+	inj := fault.New(fault.Profile(*faultRate, *faultSeed))
+	tb, err := lab.NewTestbedWithFaults(inj)
 	if err != nil {
 		return err
 	}
@@ -103,6 +113,7 @@ func run() (err error) {
 		Interval: lab.Util.MonitoringInterval,
 		Utility:  lab.Util,
 		Workers:  *workers,
+		Fault:    inj,
 	})
 	if err != nil {
 		return err
@@ -142,6 +153,13 @@ func run() (err error) {
 
 	fmt.Fprintf(os.Stderr, "\n%s: cumulative utility $%.1f, %d actions, %d decision runs (mean search %v), %d target violations\n",
 		res.Strategy, res.CumUtility, res.TotalActions, res.Invocations, res.MeanSearchTime, res.TargetViolations)
+	if inj.Enabled() {
+		counts := inj.Counts()
+		fmt.Fprintf(os.Stderr, "faults (rate %.0f%%, seed %d): %d injected — %d degraded windows, %d failed actions (%d retries, %d skipped), %d host crashes, %d sensor drops\n",
+			*faultRate*100, *faultSeed, counts.Injected,
+			res.DegradedWindows, res.FailedActions, res.Retries, res.SkippedActions,
+			res.HostCrashes, res.SensorDrops)
+	}
 	_ = time.Second
 	return nil
 }

@@ -41,6 +41,12 @@ type SearchOptions struct {
 	// valve (default 2500). When hit, the best candidate found so far is
 	// returned.
 	MaxExpansions int
+	// MaxSearchTime is a hard deadline on the search's simulated elapsed
+	// time (Expanded·TimePerChild bookkeeping, so it stays deterministic
+	// at any Workers setting). When hit, the best candidate found so far
+	// is returned and the result is marked Truncated. Zero disables it;
+	// the Self-Aware deadline (2× the delay budget) usually fires first.
+	MaxSearchTime time.Duration
 	// ShapingFraction controls how strongly the search discounts its
 	// cost-to-go by §IV-B's weighted Euclidean distance to the ideal
 	// configuration: traversing the entire root-to-ideal distance forfeits
@@ -356,7 +362,8 @@ func (s *Searcher) search(cfg cluster.Config, rates map[string]float64, cw time.
 		if opts.SelfAware && elapsed >= 2*delayThreshold && bestCandidate != nil {
 			return finish(bestCandidate), nil
 		}
-		if res.Expanded >= opts.MaxExpansions {
+		if res.Expanded >= opts.MaxExpansions ||
+			(opts.MaxSearchTime > 0 && elapsed >= opts.MaxSearchTime) {
 			res.Truncated = true
 			if bestCandidate != nil {
 				return finish(bestCandidate), nil

@@ -2,7 +2,6 @@ package core
 
 import (
 	"reflect"
-	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -183,20 +182,28 @@ func TestControllerDecideWorkersDeterminism(t *testing.T) {
 	}
 }
 
-// TestControllerDecideSurfacesEvalError pins the fix for the silently
-// swallowed current-steady error: a workload naming an unknown application
-// must fail the decision loudly, tagged with the controller's name.
-func TestControllerDecideSurfacesEvalError(t *testing.T) {
+// TestControllerDecideFallsBackOnEvalError: a workload naming an unknown
+// application cannot be evaluated, and the controller must not silently
+// report a zero baseline — but neither may it wedge the control loop. It
+// degrades to a no-adaptation decision and retries next window.
+func TestControllerDecideFallsBackOnEvalError(t *testing.T) {
 	e := newEnv(t, 4, 1)
 	ctrl, err := NewController(e.eval, ControllerOptions{Name: "L2-err"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = ctrl.Decide(0, e.cfg, map[string]float64{"ghost": 50})
-	if err == nil {
-		t.Fatal("Decide accepted a workload for an unknown application")
+	d, err := ctrl.Decide(0, e.cfg, map[string]float64{"ghost": 50})
+	if err != nil {
+		t.Fatalf("eval error aborted the decision: %v", err)
 	}
-	if !strings.Contains(err.Error(), "L2-err") {
-		t.Errorf("error %q does not name the controller", err)
+	if !d.Degraded || !d.Invoked {
+		t.Errorf("decision = %+v, want invoked degraded fallback", d)
+	}
+	if len(d.Plan) != 0 {
+		t.Errorf("fallback decision carries a plan: %v", d.Plan)
+	}
+	// The bands were not re-seeded, so the controller still runs next time.
+	if !ctrl.ShouldRun(map[string]float64{"ghost": 50}) {
+		t.Error("controller stopped running after a degraded decision")
 	}
 }

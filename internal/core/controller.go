@@ -123,9 +123,10 @@ type Controller struct {
 	bandStart time.Duration
 	history   []windowRecord
 
-	obsv     *obs.Observer
-	log      *slog.Logger
-	cDecides *obs.Counter
+	obsv       *obs.Observer
+	log        *slog.Logger
+	cDecides   *obs.Counter
+	cFallbacks *obs.Counter
 }
 
 // NewController builds a controller over an evaluator.
@@ -144,6 +145,7 @@ func NewController(eval *Evaluator, opts ControllerOptions) (*Controller, error)
 	c.obsv = o
 	c.log = o.Logger()
 	c.cDecides = o.Counter("controller_decisions_total")
+	c.cFallbacks = o.Counter("controller_fallbacks_total")
 	c.searcher.SetObserver(o)
 	if opts.Obs != nil {
 		// An explicit observer also rebinds the shared evaluator, which
@@ -178,6 +180,21 @@ type Decision struct {
 	// configuration the controller decided from, kept so observability
 	// spans can be populated without re-deriving state.
 	CurrentNetRate float64
+	// Degraded reports the controller fell back to a no-adaptation
+	// decision because evaluating the current configuration, the Perf-Pwr
+	// ideal, or the search itself errored. The cluster keeps running on
+	// its current configuration and the controller retries next window.
+	Degraded bool
+}
+
+// fallback degrades to the no-adaptation decision: log a warning, count
+// the fallback, keep the cluster on its current configuration, and let the
+// next window retry.
+func (c *Controller) fallback(now time.Duration, stage string, err error) Decision {
+	c.cFallbacks.Inc()
+	c.log.Warn("controller degrading to no adaptation",
+		"controller", c.opts.Name, "t", now, "stage", stage, "err", err)
+	return Decision{Invoked: true, Degraded: true}
 }
 
 // ShouldRun reports whether the current rates escape the controller's
@@ -247,8 +264,9 @@ func (c *Controller) Decide(now time.Duration, cfg cluster.Config, rates map[str
 	if err != nil {
 		// Without the current configuration's steady state the decision
 		// has no baseline: CurrentNetRate would silently report 0 and the
-		// crisis floor could not trigger. Fail loudly instead.
-		return Decision{}, fmt.Errorf("core: %s: evaluating current configuration: %w", c.opts.Name, err)
+		// crisis floor could not trigger. Degrade to no adaptation — the
+		// bands were not re-seeded, so the controller retries next window.
+		return c.fallback(now, "steady", err), nil
 	}
 	for name, a := range c.eval.Utility().Apps {
 		if rates[name] > 0 && cur.RTSec[name] > a.TargetRT.Seconds() && cw < c.opts.CrisisCW {
@@ -280,7 +298,7 @@ func (c *Controller) Decide(now time.Duration, cfg cluster.Config, rates map[str
 	}
 	if err != nil {
 		psp.End(now)
-		return Decision{}, fmt.Errorf("core: %s: %w", c.opts.Name, err)
+		return c.fallback(now, "perfpwr", err), nil
 	}
 	psp.End(now, obs.Attr{Key: "ideal_net_rate", Value: ideal.Steady.NetRate()})
 
@@ -294,7 +312,7 @@ func (c *Controller) Decide(now time.Duration, cfg cluster.Config, rates map[str
 	sr, err := c.searcher.Search(cfg, rates, cw, ideal, c.expected(cw), space)
 	if err != nil {
 		ssp.End(now)
-		return Decision{}, fmt.Errorf("core: %s: %w", c.opts.Name, err)
+		return c.fallback(now, "search", err), nil
 	}
 	ssp.End(now+sr.SearchTime,
 		obs.Attr{Key: "expanded", Value: sr.Expanded},

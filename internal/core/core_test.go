@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
@@ -512,5 +513,49 @@ func TestControllerExpectedUtility(t *testing.T) {
 	ctrl.RecordWindow(6, 0.02, -0.01)
 	if len(ctrl.history) != 3 {
 		t.Errorf("history len = %d, want 3", len(ctrl.history))
+	}
+}
+
+func TestSearchDeadlineTruncates(t *testing.T) {
+	e := newEnv(t, 4, 2)
+	w := rates(e, 10)
+	ideal, err := PerfPwr(e.eval, w, PerfPwrOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(deadline time.Duration) SearchResult {
+		e.eval.ResetCache()
+		s := NewSearcher(e.eval, SearchOptions{MaxExpansions: 4000, MaxSearchTime: deadline})
+		res, err := s.Search(e.cfg, w, 2*time.Hour, ideal, ExpectedUtility{}, cluster.ActionSpace{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	free := run(0)
+	// A deadline of one child's simulated time trips almost immediately.
+	tight := run(time.Millisecond)
+	if !tight.Truncated {
+		t.Error("1ms deadline did not truncate the search")
+	}
+	if tight.Expanded >= free.Expanded {
+		t.Errorf("deadline did not shrink the search: %d vs %d expansions", tight.Expanded, free.Expanded)
+	}
+	if tight.SearchTime > free.SearchTime {
+		t.Errorf("deadline search took longer: %v vs %v", tight.SearchTime, free.SearchTime)
+	}
+	// The deadline is simulated time, so it is deterministic across Workers.
+	e2 := newEnv(t, 4, 2)
+	par := func(workers int) SearchResult {
+		e2.eval.ResetCache()
+		s := NewSearcher(e2.eval, SearchOptions{MaxExpansions: 4000, MaxSearchTime: 50 * time.Millisecond, Workers: workers})
+		res, err := s.Search(e2.cfg, w, 2*time.Hour, ideal, ExpectedUtility{}, cluster.ActionSpace{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if a, b := par(1), par(8); !reflect.DeepEqual(a, b) {
+		t.Errorf("deadline search diverges across workers:\n%+v\n%+v", a, b)
 	}
 }

@@ -145,11 +145,11 @@ func measureOneAction(rng *sim.RNG, kind cluster.ActionKind, tier string, rate f
 	if err != nil {
 		return measurement{}, err
 	}
-	dur, err := tb.Execute([]cluster.Action{action})
+	rep, err := tb.Execute([]cluster.Action{action})
 	if err != nil {
 		return measurement{}, err
 	}
-	during, err := tb.MeasureWindow(tb.Now() + dur)
+	during, err := tb.MeasureWindow(tb.Now() + rep.Duration)
 	if err != nil {
 		return measurement{}, err
 	}
@@ -157,7 +157,7 @@ func measureOneAction(rng *sim.RNG, kind cluster.ActionKind, tier string, rate f
 		dWatts:   during.Watts - base.Watts,
 		dRT:      during.RTSec["rubis1"] - base.RTSec["rubis1"],
 		dRTCoLoc: during.RTSec["rubis2"] - base.RTSec["rubis2"],
-		duration: dur,
+		duration: rep.Duration,
 	}
 	if base.Watts > 0 {
 		m.dWPct = m.dWatts / base.Watts * 100

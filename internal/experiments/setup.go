@@ -18,6 +18,7 @@ import (
 	"github.com/mistralcloud/mistral/internal/cluster"
 	"github.com/mistralcloud/mistral/internal/core"
 	"github.com/mistralcloud/mistral/internal/cost"
+	"github.com/mistralcloud/mistral/internal/fault"
 	"github.com/mistralcloud/mistral/internal/lqn"
 	"github.com/mistralcloud/mistral/internal/sim"
 	"github.com/mistralcloud/mistral/internal/testbed"
@@ -218,9 +219,17 @@ func zonedDefaultConfig(cat *cluster.Catalog, apps []*app.Spec, cpuPct float64) 
 // NewTestbed builds a fresh virtual testbed in the lab's initial
 // configuration with the traces' rates at time zero.
 func (l *Lab) NewTestbed() (*testbed.Testbed, error) {
+	return l.NewTestbedWithFaults(nil)
+}
+
+// NewTestbedWithFaults is NewTestbed with a fault injector wired into the
+// testbed's execution and measurement paths; a nil (or disabled) injector
+// reproduces NewTestbed exactly.
+func (l *Lab) NewTestbedWithFaults(inj *fault.Injector) (*testbed.Testbed, error) {
 	tb, err := testbed.New(l.Cat, l.Apps, l.Initial, l.Traces.At(0), l.Costs, testbed.Options{
-		Mode: l.Opts.Mode,
-		Seed: l.Opts.Seed,
+		Mode:  l.Opts.Mode,
+		Seed:  l.Opts.Seed,
+		Fault: inj,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)

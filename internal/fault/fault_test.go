@@ -1,0 +1,206 @@
+package fault
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/mistralcloud/mistral/internal/cluster"
+)
+
+func TestDisabledInjectorIsNil(t *testing.T) {
+	if in := New(Options{Seed: 7}); in != nil {
+		t.Fatal("zero-rate options built a live injector")
+	}
+	var in *Injector
+	if in.Enabled() {
+		t.Error("nil injector reports enabled")
+	}
+	f := in.Action(cluster.ActionMigrate)
+	if f.Fail || f.DelayMult != 1 {
+		t.Errorf("nil injector injected: %+v", f)
+	}
+	if got := in.HostCrashes([]string{"h0", "h1"}, time.Hour); got != nil {
+		t.Errorf("nil injector crashed hosts: %v", got)
+	}
+	if in.Sensor().Drop {
+		t.Error("nil injector dropped a sensor window")
+	}
+	if got := in.SensorJitter(1.5); got != 1.5 {
+		t.Errorf("nil injector jittered: %v", got)
+	}
+	if in.Counts() != (Counts{}) {
+		t.Errorf("nil injector counts: %+v", in.Counts())
+	}
+}
+
+func TestProfileScalesRates(t *testing.T) {
+	o := Profile(0.2, 9)
+	if !o.Enabled() {
+		t.Fatal("profile at 20% disabled")
+	}
+	if o.ActionFailRate != 0.2 || o.DelayRate != 0.1 || o.SensorDropRate != 0.05 {
+		t.Errorf("profile rates: %+v", o)
+	}
+	if Profile(0, 9).Enabled() {
+		t.Error("zero-rate profile enabled")
+	}
+}
+
+// drawSchedule exercises every draw class and returns the full outcome
+// sequence for determinism comparison.
+func drawSchedule(in *Injector) []any {
+	var out []any
+	kinds := []cluster.ActionKind{
+		cluster.ActionMigrate, cluster.ActionIncreaseCPU,
+		cluster.ActionStartHost, cluster.ActionAddReplica,
+	}
+	for i := 0; i < 200; i++ {
+		out = append(out, in.Action(kinds[i%len(kinds)]))
+	}
+	for i := 0; i < 50; i++ {
+		out = append(out, in.HostCrashes([]string{"h0", "h1", "h2", "h3"}, 2*time.Minute))
+		out = append(out, in.Sensor())
+		out = append(out, in.SensorJitter(0.4))
+	}
+	return out
+}
+
+func TestSeededDeterminism(t *testing.T) {
+	a := New(Profile(0.3, 1234))
+	b := New(Profile(0.3, 1234))
+	if !reflect.DeepEqual(drawSchedule(a), drawSchedule(b)) {
+		t.Error("identical seeds produced different fault schedules")
+	}
+	c := New(Profile(0.3, 1235))
+	if reflect.DeepEqual(drawSchedule(a), drawSchedule(c)) {
+		t.Error("different seeds produced identical fault schedules")
+	}
+}
+
+func TestActionFaultRates(t *testing.T) {
+	in := New(Options{Seed: 5, ActionFailRate: 0.5, DelayRate: 0.5, DelayMaxMult: 4})
+	var fails, delays int
+	const n = 2000
+	for i := 0; i < n; i++ {
+		f := in.Action(cluster.ActionMigrate)
+		if f.Fail {
+			fails++
+			if f.SunkFraction < 0.1 || f.SunkFraction > 0.9 {
+				t.Fatalf("sunk fraction %v out of [0.1, 0.9]", f.SunkFraction)
+			}
+		}
+		if f.DelayMult != 1 {
+			delays++
+			if f.DelayMult < 1 || f.DelayMult > 4 {
+				t.Fatalf("delay mult %v out of [1, 4]", f.DelayMult)
+			}
+		}
+	}
+	if fails < n/3 || fails > 2*n/3 {
+		t.Errorf("fails = %d of %d at p=0.5", fails, n)
+	}
+	if delays < n/3 || delays > 2*n/3 {
+		t.Errorf("delays = %d of %d at p=0.5", delays, n)
+	}
+	c := in.Counts()
+	if c.ActionsFailed != int64(fails) || c.ActionsDelayed != int64(delays) {
+		t.Errorf("counts %+v, want fails=%d delays=%d", c, fails, delays)
+	}
+	if c.Injected != c.ActionsFailed+c.ActionsDelayed {
+		t.Errorf("injected %d != failed+delayed %d", c.Injected, c.ActionsFailed+c.ActionsDelayed)
+	}
+}
+
+func TestFailRateByKindOverrides(t *testing.T) {
+	in := New(Options{
+		Seed:           3,
+		ActionFailRate: 1,
+		FailRateByKind: map[cluster.ActionKind]float64{cluster.ActionDecreaseCPU: 0},
+	})
+	for i := 0; i < 50; i++ {
+		if in.Action(cluster.ActionDecreaseCPU).Fail {
+			t.Fatal("zero per-kind rate failed an action")
+		}
+		if !in.Action(cluster.ActionMigrate).Fail {
+			t.Fatal("unit default rate passed an action")
+		}
+	}
+}
+
+func TestRetryableFraction(t *testing.T) {
+	all := New(Options{Seed: 4, ActionFailRate: 1, RetryableFraction: 1})
+	none := New(Options{Seed: 4, ActionFailRate: 1, RetryableFraction: -1})
+	for i := 0; i < 50; i++ {
+		if !all.Action(cluster.ActionMigrate).Retryable {
+			t.Fatal("RetryableFraction=1 produced a permanent failure")
+		}
+		if none.Action(cluster.ActionMigrate).Retryable {
+			t.Fatal("RetryableFraction<0 produced a retryable failure")
+		}
+	}
+}
+
+func TestHostCrashes(t *testing.T) {
+	in := New(Options{Seed: 8, HostCrashPerHour: 1000}) // p ≈ 1 per window
+	crashed := in.HostCrashes([]string{"h0", "h1"}, time.Hour)
+	if len(crashed) != 2 {
+		t.Errorf("crashed = %v at near-certain rate", crashed)
+	}
+	if got := in.HostCrashes([]string{"h0"}, 0); got != nil {
+		t.Errorf("zero-length window crashed %v", got)
+	}
+	low := New(Options{Seed: 8, HostCrashPerHour: 1e-9})
+	var n int
+	for i := 0; i < 100; i++ {
+		n += len(low.HostCrashes([]string{"h0", "h1"}, 2*time.Minute))
+	}
+	if n != 0 {
+		t.Errorf("%d crashes at negligible rate", n)
+	}
+}
+
+func TestSensorDropAndNoise(t *testing.T) {
+	in := New(Options{Seed: 6, SensorDropRate: 1})
+	if !in.Sensor().Drop {
+		t.Error("unit drop rate kept the window")
+	}
+	noisy := New(Options{Seed: 6, SensorNoise: 0.2})
+	var moved bool
+	for i := 0; i < 20; i++ {
+		if v := noisy.SensorJitter(1.0); v != 1.0 {
+			moved = true
+			if v <= 0 {
+				t.Fatalf("jitter drove measurement non-positive: %v", v)
+			}
+		}
+	}
+	if !moved {
+		t.Error("sensor noise never perturbed a measurement")
+	}
+}
+
+// TestConcurrentDraws exists for the -race detector: the injector must be
+// safe to query from parallel workers even though deterministic callers
+// serialize their queries.
+func TestConcurrentDraws(t *testing.T) {
+	in := New(Profile(0.3, 11))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				in.Action(cluster.ActionMigrate)
+				in.Sensor()
+				in.SensorJitter(1)
+				in.HostCrashes([]string{"h0"}, time.Minute)
+			}
+		}()
+	}
+	wg.Wait()
+	if in.Counts().Injected == 0 {
+		t.Error("no injections under concurrent load")
+	}
+}

@@ -8,10 +8,29 @@
 package par
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError wraps a panic raised by a work function on a worker
+// goroutine. For re-panics with it on the caller's goroutine, so callers
+// can recover() parallel-loop panics exactly as they would serial ones —
+// a buggy work function degrades one decision, not the whole process.
+type PanicError struct {
+	// Value is the original panic value.
+	Value any
+	// Index is the loop index whose work function panicked (the lowest
+	// one, if several workers panicked concurrently).
+	Index int
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: panic in work function %d: %v", e.Index, e.Value)
+}
 
 // MaxDefaultWorkers caps the resolved default worker count: the hot loops
 // are CPU-bound LQN solves, so parallelism past the core count only adds
@@ -41,9 +60,12 @@ func Workers(requested int) int {
 // pre-concurrency code, and the reason Workers=1 is the reference path in
 // determinism tests. Indices are handed out through a shared atomic
 // counter, so call order across goroutines is unspecified; fn must not
-// assume any ordering, and panics in fn propagate to the caller only on
-// the serial path (a panicking worker goroutine crashes the process, as
-// any unrecovered goroutine panic does).
+// assume any ordering. A panic in fn propagates to the caller on both
+// paths: serially it unwinds as usual, and on the parallel path the worker
+// recovers it and For re-panics a *PanicError on the calling goroutine
+// (remaining workers finish their current items first, then stop handing
+// out new ones). When several workers panic in the same loop, the lowest
+// index wins deterministically.
 func For(n, workers int, fn func(int)) {
 	if n <= 0 {
 		return
@@ -59,6 +81,25 @@ func For(n, workers int, fn func(int)) {
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var panicked *PanicError
+	// run executes one index, converting a panic into the loop's pending
+	// PanicError and stopping further index hand-out.
+	run := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				mu.Lock()
+				if panicked == nil || i < panicked.Index {
+					buf := make([]byte, 64<<10)
+					buf = buf[:runtime.Stack(buf, false)]
+					panicked = &PanicError{Value: r, Index: i, Stack: buf}
+				}
+				mu.Unlock()
+				next.Store(int64(n)) // drain the remaining indices
+			}
+		}()
+		fn(i)
+	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
@@ -68,9 +109,12 @@ func For(n, workers int, fn func(int)) {
 				if i >= n {
 					return
 				}
-				fn(i)
+				run(i)
 			}
 		}()
 	}
 	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
 }

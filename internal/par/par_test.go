@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForCoversAllIndices(t *testing.T) {
@@ -69,5 +70,87 @@ func TestWorkers(t *testing.T) {
 	}
 	if got := Workers(-1); got != def {
 		t.Fatalf("Workers(-1) = %d, want %d", got, def)
+	}
+}
+
+// TestForPanicSurfacesOnCaller pins the pool's panic contract: a panicking
+// work function must re-panic a *PanicError on the calling goroutine, on
+// both the serial and parallel paths, instead of crashing the process.
+func TestForPanicSurfacesOnCaller(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not surface", workers)
+				}
+				if workers == 1 {
+					// Serial path: the raw panic value unwinds untouched.
+					if r != "boom 3" {
+						t.Errorf("workers=1: recovered %v, want raw value", r)
+					}
+					return
+				}
+				pe, ok := r.(*PanicError)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %T, want *PanicError", workers, r)
+				}
+				if pe.Value != "boom 3" || pe.Index != 3 {
+					t.Errorf("PanicError = {Value:%v Index:%d}, want {boom 3, 3}", pe.Value, pe.Index)
+				}
+				if len(pe.Stack) == 0 {
+					t.Error("PanicError carries no stack trace")
+				}
+				if pe.Error() == "" {
+					t.Error("empty Error()")
+				}
+			}()
+			For(64, workers, func(i int) {
+				if i == 3 {
+					panic("boom 3")
+				}
+			})
+		}()
+	}
+}
+
+// TestForPanicLowestIndexWins hammers concurrent panics: when every work
+// function panics, the reported index must be one that actually ran, and
+// the pool must never deadlock or crash the process.
+func TestForPanicLowestIndexWins(t *testing.T) {
+	for iter := 0; iter < 20; iter++ {
+		func() {
+			defer func() {
+				pe, ok := recover().(*PanicError)
+				if !ok {
+					t.Fatal("no PanicError from all-panicking loop")
+				}
+				if pe.Index < 0 || pe.Index >= 32 {
+					t.Errorf("index %d out of range", pe.Index)
+				}
+			}()
+			For(32, 8, func(i int) { panic(i) })
+		}()
+	}
+}
+
+// TestForPanicDoesNotLeakGoroutines: after a parallel panic, the remaining
+// workers must wind down before For returns control via panic.
+func TestForPanicDoesNotLeakGoroutines(t *testing.T) {
+	var ran atomic.Int64
+	func() {
+		defer func() { recover() }()
+		For(1000, 8, func(i int) {
+			ran.Add(1)
+			if i == 0 {
+				panic("early")
+			}
+			// Give the drain time to win the race against trivial items.
+			time.Sleep(time.Millisecond)
+		})
+	}()
+	// The drain stops index hand-out: far fewer than n items run.
+	if got := ran.Load(); got == 0 || got >= 1000 {
+		t.Errorf("ran %d of 1000 work items after early panic", got)
 	}
 }

@@ -20,6 +20,7 @@
 package predict
 
 import (
+	"math"
 	"time"
 
 	"github.com/mistralcloud/mistral/internal/stats"
@@ -70,12 +71,35 @@ func (e *Estimator) Predict() time.Duration {
 // enough history exists.
 func (e *Estimator) LastBeta() float64 { return e.beta }
 
+// maxIntervalSec clamps measurements and estimates: a stability interval
+// longer than 30 days is a unit artifact (divergent rates, duration
+// overflow), not workload information.
+const maxIntervalSec = 30 * 24 * 3600
+
 // Observe feeds a completed stability interval measurement and updates the
 // prediction for the next one. It returns the new prediction.
 func (e *Estimator) Observe(measured time.Duration) time.Duration {
-	m := measured.Seconds()
+	e.ObserveSeconds(measured.Seconds())
+	return e.Predict()
+}
+
+// ObserveSeconds is Observe on raw seconds, guarded against the non-finite
+// and divergent values noisy measurement pipelines produce: NaN/±Inf inputs
+// are treated as missing samples (the estimate is returned unchanged),
+// negatives clamp to zero, and absurdly long intervals clamp to 30 days.
+// The update itself is then re-checked — if the blend ever produced a
+// non-finite estimate it falls back to the clamped measurement, so one bad
+// window can never poison every later control-window prediction. It
+// returns the new estimate in seconds.
+func (e *Estimator) ObserveSeconds(m float64) float64 {
+	if math.IsNaN(m) || math.IsInf(m, 0) {
+		return e.estimate
+	}
 	if m < 0 {
 		m = 0
+	}
+	if m > maxIntervalSec {
+		m = maxIntervalSec
 	}
 
 	// Error of the prediction that was in force for this interval.
@@ -110,11 +134,20 @@ func (e *Estimator) Observe(measured time.Duration) time.Duration {
 	}
 
 	e.estimate = (1-b)*m + b*histMean
+	if math.IsNaN(e.estimate) || math.IsInf(e.estimate, 0) {
+		// The blend itself went non-finite (poisoned history): reset to
+		// the sane, clamped measurement we just validated.
+		e.estimate = m
+		e.beta = 0
+		errJ = 0
+	} else if e.estimate > maxIntervalSec {
+		e.estimate = maxIntervalSec
+	}
 	e.seeded = true
 
 	e.errors = appendBounded(e.errors, errJ, e.k+1)
 	e.measured = appendBounded(e.measured, m, e.k)
-	return e.Predict()
+	return e.estimate
 }
 
 // Replay feeds a whole sequence of measured intervals and returns the

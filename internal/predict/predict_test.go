@@ -136,3 +136,103 @@ func TestEstimatorAccuracyOnWorldCupIntervals(t *testing.T) {
 		t.Errorf("NMAE = %.1f%%, want under 90%%", nmae)
 	}
 }
+
+// TestObserveSecondsGuardsNonFinite pins the noisy-pipeline guard: NaN/Inf
+// samples are skipped, negatives clamp to zero, divergent magnitudes clamp
+// to the 30-day ceiling, and the estimate itself can never go non-finite.
+func TestObserveSecondsGuardsNonFinite(t *testing.T) {
+	const day = 24 * 3600.0
+	cases := []struct {
+		name  string
+		warm  []float64 // observations before the probe
+		probe float64
+		want  func(t *testing.T, got float64)
+	}{
+		{
+			name:  "nan input ignored",
+			warm:  []float64{100, 100},
+			probe: math.NaN(),
+			want: func(t *testing.T, got float64) {
+				if got != 100 {
+					t.Errorf("estimate = %v, want untouched 100", got)
+				}
+			},
+		},
+		{
+			name:  "positive inf ignored",
+			warm:  []float64{250},
+			probe: math.Inf(1),
+			want: func(t *testing.T, got float64) {
+				if got != 250 {
+					t.Errorf("estimate = %v, want untouched 250", got)
+				}
+			},
+		},
+		{
+			name:  "negative inf ignored",
+			warm:  []float64{250},
+			probe: math.Inf(-1),
+			want: func(t *testing.T, got float64) {
+				if got != 250 {
+					t.Errorf("estimate = %v, want untouched 250", got)
+				}
+			},
+		},
+		{
+			name:  "negative clamps to zero",
+			probe: -5,
+			want: func(t *testing.T, got float64) {
+				if got != 0 {
+					t.Errorf("estimate = %v, want 0", got)
+				}
+			},
+		},
+		{
+			name:  "divergent magnitude clamps to 30 days",
+			probe: 1e300,
+			want: func(t *testing.T, got float64) {
+				if got > 30*day {
+					t.Errorf("estimate = %v, want ≤ 30 days", got)
+				}
+			},
+		},
+		{
+			name:  "max float does not overflow the blend",
+			warm:  []float64{1e308, 1e308},
+			probe: 1e308,
+			want: func(t *testing.T, got float64) {
+				if math.IsNaN(got) || math.IsInf(got, 0) || got > 30*day {
+					t.Errorf("estimate = %v, want finite ≤ 30 days", got)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := NewEstimator(0, 0, 100*time.Second)
+			for _, w := range tc.warm {
+				e.ObserveSeconds(w)
+			}
+			tc.want(t, e.ObserveSeconds(tc.probe))
+			if got := e.Predict(); got < 0 {
+				t.Errorf("Predict() = %v, want non-negative", got)
+			}
+		})
+	}
+}
+
+// TestObserveSecondsRecoversAfterGarbage feeds a garbage burst and checks
+// the estimator still converges on the clean signal that follows.
+func TestObserveSecondsRecoversAfterGarbage(t *testing.T) {
+	e := NewEstimator(0, 0, 100*time.Second)
+	for _, g := range []float64{math.NaN(), math.Inf(1), -1e300, 1e300, math.NaN()} {
+		e.ObserveSeconds(g)
+	}
+	var last float64
+	for i := 0; i < 40; i++ {
+		last = e.ObserveSeconds(120)
+	}
+	if math.Abs(last-120) > 1 {
+		t.Errorf("estimate after recovery = %v, want ≈120", last)
+	}
+}

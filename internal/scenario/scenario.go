@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/mistralcloud/mistral/internal/cluster"
+	"github.com/mistralcloud/mistral/internal/fault"
 	"github.com/mistralcloud/mistral/internal/obs"
 	"github.com/mistralcloud/mistral/internal/par"
 	"github.com/mistralcloud/mistral/internal/testbed"
@@ -29,6 +30,9 @@ type Decision struct {
 	// SearchCost is the dollar cost of the decision itself (controller
 	// host power over SearchTime); charged against the window's utility.
 	SearchCost float64
+	// Degraded reports the strategy fell back to a no-adaptation decision
+	// (evaluation error, search deadline) instead of failing outright.
+	Degraded bool
 }
 
 // Decider is a control strategy. Implementations: the Mistral hierarchy and
@@ -63,6 +67,23 @@ type RunConfig struct {
 	// Obs overrides the process-default observer (obs.SetDefault) for the
 	// replay loop's spans and window metrics; nil resolves the default.
 	Obs *obs.Observer
+	// Fault optionally injects host crashes into the replay. It should be
+	// the same injector the testbed was built with, so fault classes share
+	// one seeded schedule. Nil injects nothing.
+	Fault *fault.Injector
+	// Retry bounds the re-execution of retryable failed actions.
+	Retry RetryPolicy
+}
+
+// RetryPolicy bounds retry-with-backoff for actions the fault plane failed
+// transiently. It only matters when faults are injected.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of executions per action including
+	// the first (default 3; negative disables retries).
+	MaxAttempts int
+	// Backoff is the wait before the first retry, doubling per attempt
+	// (default: one monitoring interval).
+	Backoff time.Duration
 }
 
 func (c RunConfig) withDefaults() (RunConfig, error) {
@@ -82,6 +103,12 @@ func (c RunConfig) withDefaults() (RunConfig, error) {
 			}
 		}
 	}
+	if c.Retry.MaxAttempts == 0 {
+		c.Retry.MaxAttempts = 3
+	}
+	if c.Retry.Backoff <= 0 {
+		c.Retry.Backoff = c.Interval
+	}
 	return c, nil
 }
 
@@ -100,7 +127,8 @@ type WindowLog struct {
 	Utility float64
 	// CumUtility is the running total.
 	CumUtility float64
-	// Actions counts adaptation actions started this window.
+	// Actions counts adaptation actions started this window (applied or
+	// failed; retries count again).
 	Actions int
 	// Invoked reports whether the strategy's decision procedure ran.
 	Invoked bool
@@ -108,6 +136,18 @@ type WindowLog struct {
 	SearchTime time.Duration
 	// ActiveHosts is the number of powered-on hosts at the window's end.
 	ActiveHosts int
+	// Degraded marks a window that absorbed a failure instead of aborting:
+	// a decide/execute error, a strategy fallback, a failed or skipped
+	// action, a host crash, or a dropped sensor window.
+	Degraded bool
+	// FailedActions counts actions an injected fault aborted this window.
+	FailedActions int
+	// Retried counts re-executions of previously failed actions.
+	Retried int
+	// HostCrashes counts hosts that crashed this window.
+	HostCrashes int
+	// SensorDropped marks the window's measurements as a stale replay.
+	SensorDropped bool
 }
 
 // Result is a completed scenario replay.
@@ -131,6 +171,30 @@ type Result struct {
 	EnergyKWh float64
 	// HostHours integrates powered-on hosts over time.
 	HostHours float64
+
+	// Degradation accounting (all zero when no faults are injected and
+	// every decision succeeds).
+
+	// DegradedWindows counts windows that absorbed at least one failure.
+	DegradedWindows int
+	// DecideErrors counts decision procedures that returned an error or
+	// panicked; the loop logs, counts, and carries on.
+	DecideErrors int
+	// ExecRejections counts plans the testbed rejected outright.
+	ExecRejections int
+	// FallbackDecisions counts decisions the strategy itself degraded.
+	FallbackDecisions int
+	// FailedActions counts actions aborted by injected faults.
+	FailedActions int
+	// SkippedActions counts plan steps skipped as infeasible after an
+	// earlier injected failure.
+	SkippedActions int
+	// Retries counts re-executions of retryable failed actions.
+	Retries int
+	// HostCrashes counts injected host crashes.
+	HostCrashes int
+	// SensorDrops counts windows whose measurements were stale replays.
+	SensorDrops int
 }
 
 // MeanWatts is the time-averaged power draw over the replay.
@@ -145,7 +209,64 @@ func (r *Result) MeanWatts() float64 {
 	return sum / float64(len(r.Windows))
 }
 
+// pendingRetry is a retryable failed action awaiting re-execution.
+type pendingRetry struct {
+	action  cluster.Action
+	attempt int           // executions so far
+	at      time.Duration // earliest re-execution time
+}
+
+// dueRetry returns the index of the first due retry (FIFO), or -1.
+func dueRetry(q []pendingRetry, now time.Duration) int {
+	for i, r := range q {
+		if r.at <= now {
+			return i
+		}
+	}
+	return -1
+}
+
+// queueRetries re-queues the report's retryable failed steps with doubling
+// backoff, dropping actions whose attempt budget is exhausted.
+func queueRetries(q []pendingRetry, rep testbed.ExecReport, attempt int, now time.Duration, pol RetryPolicy) []pendingRetry {
+	if pol.MaxAttempts < 0 {
+		return q
+	}
+	for _, st := range rep.Steps {
+		if st.Status != testbed.StepFailed || !st.Retryable || attempt+1 > pol.MaxAttempts {
+			continue
+		}
+		q = append(q, pendingRetry{
+			action:  st.Action,
+			attempt: attempt,
+			at:      now + pol.Backoff<<(attempt-1),
+		})
+	}
+	return q
+}
+
+// safeDecide shields the replay from a panicking decision procedure: the
+// panic becomes an error and the loop degrades to no adaptation.
+func safeDecide(d Decider, now time.Duration, cfg cluster.Config, rates map[string]float64) (dec Decision, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			dec = Decision{}
+			err = fmt.Errorf("decide panicked: %v", r)
+		}
+	}()
+	return d.Decide(now, cfg, rates)
+}
+
 // Run replays the traces on the testbed under the decider's control.
+//
+// The loop degrades rather than aborts: a decision error (or panic), a
+// rejected plan, a failed or skipped action, a host crash, or a dropped
+// sensor window marks that window Degraded, is counted on the Result, and
+// the replay carries the reconciled testbed configuration into the next
+// window so the strategy can replan against reality. Only infrastructure
+// errors — invalid rates, a broken measurement pipeline — still abort, and
+// even then the in-progress window (with its already-charged search cost)
+// is recorded before returning.
 func Run(tb *testbed.Testbed, d Decider, cfg RunConfig) (*Result, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
@@ -153,6 +274,7 @@ func Run(tb *testbed.Testbed, d Decider, cfg RunConfig) (*Result, error) {
 	}
 	res := &Result{Strategy: d.Name(), ViolationsByApp: make(map[string]int)}
 	var totalSearch time.Duration
+	var retries []pendingRetry
 
 	// Observability: the replay loop owns the root "decide" span of each
 	// control opportunity, so controller-level children ("perfpwr",
@@ -163,63 +285,161 @@ func Run(tb *testbed.Testbed, d Decider, cfg RunConfig) (*Result, error) {
 	olog := o.Logger()
 	cWindows := o.Counter("scenario_windows_total")
 	cViolations := o.Counter("scenario_target_violations_total")
+	cDecideErr := o.Counter("scenario_decide_errors_total")
+	cDegraded := o.Counter("scenario_degraded_windows_total")
+	cFailedActions := o.Counter("scenario_failed_actions_total")
+	cRetries := o.Counter("scenario_retries_total")
+	cExecRej := o.Counter("scenario_exec_rejections_total")
+	cCrashes := o.Counter("scenario_host_crashes_total")
 	hWindowUtil := o.Histogram("scenario_window_utility_dollars", []float64{-10, -1, -0.1, 0, 0.1, 1, 10})
 	gCumUtil := o.Gauge("scenario_cum_utility_dollars")
 	o.Gauge("scenario_workers").Set(float64(par.Workers(cfg.Workers)))
 
+	// countExec folds one ExecReport into the window and result totals and
+	// queues retryable failures. attempt is how many times the report's
+	// actions have now been executed.
+	countExec := func(log *WindowLog, rep testbed.ExecReport, attempt int, now time.Duration) {
+		log.Actions += rep.Started()
+		res.TotalActions += rep.Started()
+		if rep.Failed > 0 {
+			log.FailedActions += rep.Failed
+			res.FailedActions += rep.Failed
+			cFailedActions.Add(int64(rep.Failed))
+			log.Degraded = true
+			retries = queueRetries(retries, rep, attempt, now, cfg.Retry)
+		}
+		if rep.Skipped > 0 {
+			res.SkippedActions += rep.Skipped
+			log.Degraded = true
+		}
+	}
+
 	for t := time.Duration(0); t < cfg.Duration; t += cfg.Interval {
 		rates := cfg.Traces.At(t)
 		if err := tb.SetRates(rates); err != nil {
-			return nil, fmt.Errorf("scenario: %w", err)
+			return res, fmt.Errorf("scenario: %w", err)
 		}
 
 		log := WindowLog{Time: t + cfg.Interval, Rates: rates}
+
+		// Host crashes land first, and only while no plan is in flight (so
+		// executing phases stay consistent): the strategy plans against the
+		// post-crash configuration.
+		if cfg.Fault.Enabled() && !tb.Busy() {
+			for _, h := range cfg.Fault.HostCrashes(tb.Config().ActiveHosts(), cfg.Interval) {
+				rep, err := tb.CrashHost(h)
+				if err != nil {
+					olog.Warn("host crash not applied", "host", h, "err", err)
+					continue
+				}
+				log.HostCrashes++
+				log.Degraded = true
+				res.HostCrashes++
+				cCrashes.Inc()
+				olog.Warn("host crashed",
+					"host", h,
+					"displaced", len(rep.Displaced),
+					"stranded", len(rep.Stranded),
+					"recovery", rep.Recovery)
+			}
+		}
+
+		// Re-execute one due retry per window while idle; if its recovery
+		// phase occupies the testbed, the decision naturally defers to the
+		// next window via the Busy check below.
+		if !tb.Busy() {
+			if i := dueRetry(retries, t); i >= 0 {
+				rt := retries[i]
+				retries = append(retries[:i], retries[i+1:]...)
+				res.Retries++
+				cRetries.Inc()
+				log.Retried++
+				log.Degraded = true
+				rep, err := tb.Execute([]cluster.Action{rt.action})
+				if err != nil {
+					// The cluster moved on (host crashed, VM re-placed);
+					// the action no longer applies. Abandon it.
+					olog.Warn("retry rejected", "kind", rt.action.Kind, "err", err)
+				} else {
+					countExec(&log, rep, rt.attempt+1, t)
+				}
+			}
+		}
 
 		// Invoke the strategy unless the testbed is still executing a
 		// previously chosen plan.
 		if !tb.Busy() {
 			sp := tr.Start("decide", t, obs.Attr{Key: "strategy", Value: d.Name()})
-			dec, err := d.Decide(t, tb.Config(), rates)
+			dec, err := safeDecide(d, t, tb.Config(), rates)
 			if err != nil {
-				sp.End(t)
-				return nil, fmt.Errorf("scenario: %s at %v: %w", d.Name(), t, err)
-			}
-			if dec.Invoked {
-				res.Invocations++
-				totalSearch += dec.SearchTime
-				log.Invoked = true
-				log.SearchTime = dec.SearchTime
-			}
-			var planDur time.Duration
-			if len(dec.Plan) > 0 {
-				planDur, err = tb.Execute(dec.Plan)
-				if err != nil {
-					sp.End(t)
-					return nil, fmt.Errorf("scenario: %s executing plan at %v: %w", d.Name(), t, err)
+				sp.End(t, obs.Attr{Key: "error", Value: err.Error()})
+				olog.Warn("decide failed; degrading to no adaptation",
+					"strategy", d.Name(), "t", t, "err", err)
+				res.DecideErrors++
+				cDecideErr.Inc()
+				log.Degraded = true
+			} else {
+				if dec.Invoked {
+					res.Invocations++
+					totalSearch += dec.SearchTime
+					log.Invoked = true
+					log.SearchTime = dec.SearchTime
 				}
-				log.Actions = len(dec.Plan)
-				res.TotalActions += len(dec.Plan)
+				if dec.Degraded {
+					log.Degraded = true
+					res.FallbackDecisions++
+				}
+				var planDur time.Duration
+				if len(dec.Plan) > 0 {
+					rep, err := tb.Execute(dec.Plan)
+					if err != nil {
+						// The whole plan was rejected — typically stale
+						// against a crash-reconciled configuration. Replan
+						// next window.
+						olog.Warn("plan rejected", "strategy", d.Name(), "t", t, "err", err)
+						res.ExecRejections++
+						cExecRej.Inc()
+						log.Degraded = true
+					} else {
+						planDur = rep.Duration
+						countExec(&log, rep, 1, t)
+					}
+				}
+				// The root span covers the decision and the plan it launched:
+				// search time and execution overlap on the virtual clock, so
+				// the span ends when the longer of the two does.
+				end := t + dec.SearchTime
+				if pe := t + planDur; pe > end {
+					end = pe
+				}
+				sp.End(end,
+					obs.Attr{Key: "invoked", Value: dec.Invoked},
+					obs.Attr{Key: "actions", Value: len(dec.Plan)},
+					obs.Attr{Key: "search_cost", Value: dec.SearchCost})
+				log.Utility -= dec.SearchCost
 			}
-			// The root span covers the decision and the plan it launched:
-			// search time and execution overlap on the virtual clock, so
-			// the span ends when the longer of the two does.
-			end := t + dec.SearchTime
-			if pe := t + planDur; pe > end {
-				end = pe
-			}
-			sp.End(end,
-				obs.Attr{Key: "invoked", Value: dec.Invoked},
-				obs.Attr{Key: "actions", Value: len(dec.Plan)},
-				obs.Attr{Key: "search_cost", Value: dec.SearchCost})
-			log.Utility -= dec.SearchCost
 		}
 
 		w, err := tb.MeasureWindow(t + cfg.Interval)
 		if err != nil {
-			return nil, fmt.Errorf("scenario: %w", err)
+			// Record the in-progress window — its search cost is already
+			// charged — before surfacing the error.
+			res.CumUtility += log.Utility
+			log.CumUtility = res.CumUtility
+			log.ActiveHosts = tb.Config().NumActiveHosts()
+			res.Windows = append(res.Windows, log)
+			if res.Invocations > 0 {
+				res.MeanSearchTime = totalSearch / time.Duration(res.Invocations)
+			}
+			return res, fmt.Errorf("scenario: %w", err)
 		}
 		log.RTSec = w.RTSec
 		log.Watts = w.Watts
+		if w.SensorDropped {
+			log.SensorDropped = true
+			log.Degraded = true
+			res.SensorDrops++
+		}
 
 		perfRate := cfg.Utility.PerfRateAll(rates, w.RTSec)
 		pwrRate := cfg.Utility.PowerRate(w.Watts)
@@ -235,6 +455,10 @@ func Run(tb *testbed.Testbed, d Decider, cfg RunConfig) (*Result, error) {
 				res.ViolationsByApp[name]++
 			}
 		}
+		if log.Degraded {
+			res.DegradedWindows++
+			cDegraded.Inc()
+		}
 		cWindows.Inc()
 		cViolations.Add(int64(res.TargetViolations - violationsBefore))
 		hWindowUtil.Observe(log.Utility)
@@ -246,7 +470,8 @@ func Run(tb *testbed.Testbed, d Decider, cfg RunConfig) (*Result, error) {
 			"utility", log.Utility,
 			"cum_utility", res.CumUtility,
 			"actions", log.Actions,
-			"invoked", log.Invoked)
+			"invoked", log.Invoked,
+			"degraded", log.Degraded)
 		log.ActiveHosts = tb.Config().NumActiveHosts()
 		res.EnergyKWh += w.Watts * cfg.Interval.Hours() / 1000
 		res.HostHours += float64(log.ActiveHosts) * cfg.Interval.Hours()

@@ -7,6 +7,7 @@ import (
 
 	"github.com/mistralcloud/mistral/internal/app"
 	"github.com/mistralcloud/mistral/internal/cluster"
+	"github.com/mistralcloud/mistral/internal/fault"
 	"github.com/mistralcloud/mistral/internal/lqn"
 	"github.com/mistralcloud/mistral/internal/testbed"
 	"github.com/mistralcloud/mistral/internal/utility"
@@ -138,12 +139,53 @@ func TestRunExecutesPlansAndSkipsWhileBusy(t *testing.T) {
 	}
 }
 
-func TestRunPropagatesDeciderErrors(t *testing.T) {
+func TestRunDegradesOnDeciderErrors(t *testing.T) {
 	tb, util, traces, _ := setup(t)
 	d := &scripted{name: "bad", errAt: 3}
-	_, err := Run(tb, d, RunConfig{Traces: traces, Duration: 30 * time.Minute, Utility: util})
-	if err == nil {
-		t.Fatal("decider error not propagated")
+	res, err := Run(tb, d, RunConfig{Traces: traces, Duration: 30 * time.Minute, Utility: util})
+	if err != nil {
+		t.Fatalf("decide error aborted the replay: %v", err)
+	}
+	if len(res.Windows) != 15 {
+		t.Fatalf("windows = %d, want 15 despite the decide error", len(res.Windows))
+	}
+	if res.DecideErrors != 1 {
+		t.Errorf("decide errors = %d, want 1", res.DecideErrors)
+	}
+	if res.DegradedWindows != 1 {
+		t.Errorf("degraded windows = %d, want 1", res.DegradedWindows)
+	}
+	if !res.Windows[2].Degraded {
+		t.Error("window absorbing the decide error not marked degraded")
+	}
+	if d.calls != 15 {
+		t.Errorf("Decide called %d times, want 15 (loop keeps replanning)", d.calls)
+	}
+}
+
+// panicker blows up on its first Decide call.
+type panicker struct{ scripted }
+
+func (p *panicker) Decide(now time.Duration, cfg cluster.Config, rates map[string]float64) (Decision, error) {
+	p.calls++
+	if p.calls == 1 {
+		panic("decider bug")
+	}
+	return Decision{}, nil
+}
+
+func TestRunDegradesOnDeciderPanic(t *testing.T) {
+	tb, util, traces, _ := setup(t)
+	d := &panicker{scripted{name: "panicky"}}
+	res, err := Run(tb, d, RunConfig{Traces: traces, Duration: 10 * time.Minute, Utility: util})
+	if err != nil {
+		t.Fatalf("decider panic aborted the replay: %v", err)
+	}
+	if res.DecideErrors != 1 || !res.Windows[0].Degraded {
+		t.Errorf("panic not absorbed as a decide error: %+v", res)
+	}
+	if d.calls != 5 {
+		t.Errorf("Decide called %d times, want 5", d.calls)
 	}
 }
 
@@ -207,5 +249,196 @@ func TestRunEnergyAndHostAccounting(t *testing.T) {
 	}
 	if res.MeanWatts() <= 0 {
 		t.Error("no mean watts")
+	}
+}
+
+// setupFaulty builds the standard 1-app/2-host testbed with a live fault
+// injector shared between the testbed and the replay loop.
+func setupFaulty(t *testing.T, opts fault.Options) (*testbed.Testbed, *utility.Params, workload.Set, *fault.Injector) {
+	t.Helper()
+	apps := []*app.Spec{app.RUBiS("rubis1")}
+	hosts := []cluster.HostSpec{cluster.DefaultHostSpec("h0"), cluster.DefaultHostSpec("h1")}
+	cat, err := app.BuildCatalog(hosts, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := app.DefaultConfig(cat, apps, 2, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lqn.CalibrateDemands(cat, apps, cfg, map[string]float64{"rubis1": 50}, "rubis1"); err != nil {
+		t.Fatal(err)
+	}
+	traces := workload.Set{"rubis1": &workload.Trace{
+		Step: time.Minute,
+		Rates: func() []float64 {
+			r := make([]float64, 31)
+			for i := range r {
+				r[i] = 30
+			}
+			return r
+		}(),
+	}}
+	inj := fault.New(opts)
+	tb, err := testbed.New(cat, apps, cfg, traces.At(0), nil, testbed.Options{Seed: 1, Fault: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, utility.PaperParams([]string{"rubis1"}), traces, inj
+}
+
+// flipflop alternates CPU-cap bumps so every window offers one always-valid
+// action for the fault plane to chew on.
+type flipflop struct{ scripted }
+
+func (f *flipflop) Decide(now time.Duration, cfg cluster.Config, rates map[string]float64) (Decision, error) {
+	f.calls++
+	kind := cluster.ActionIncreaseCPU
+	if p, _ := cfg.PlacementOf("rubis1-web-0"); p.CPUPct > 40 {
+		kind = cluster.ActionDecreaseCPU
+	}
+	return Decision{
+		Invoked: true,
+		Plan:    []cluster.Action{{Kind: kind, VM: "rubis1-web-0", DeltaCPUPct: 10}},
+	}, nil
+}
+
+func TestRunWithFaultsCompletesAndCounts(t *testing.T) {
+	tb, util, traces, inj := setupFaulty(t, fault.Profile(0.5, 42))
+	d := &flipflop{scripted{name: "flipflop"}}
+	res, err := Run(tb, d, RunConfig{Traces: traces, Duration: 30 * time.Minute, Utility: util, Fault: inj})
+	if err != nil {
+		t.Fatalf("faulty replay aborted: %v", err)
+	}
+	if len(res.Windows) != 15 {
+		t.Fatalf("windows = %d, want 15", len(res.Windows))
+	}
+	if res.DegradedWindows == 0 {
+		t.Error("no degraded windows at a 50% fault profile")
+	}
+	if res.FailedActions == 0 {
+		t.Error("no failed actions at a 50% fail rate")
+	}
+	if inj.Counts().Injected == 0 {
+		t.Error("injector drew nothing")
+	}
+	var degraded int
+	for _, w := range res.Windows {
+		if w.Degraded {
+			degraded++
+		}
+	}
+	if degraded != res.DegradedWindows {
+		t.Errorf("window flags (%d) disagree with DegradedWindows (%d)", degraded, res.DegradedWindows)
+	}
+}
+
+func TestRunRetriesWithBackoffThenGivesUp(t *testing.T) {
+	// Every action fails, every failure is retryable: the single planned
+	// action is executed, then retried at +2min and +6min (doubling
+	// backoff), then abandoned at the default 3-attempt budget.
+	tb, util, traces, inj := setupFaulty(t, fault.Options{
+		Seed: 9, ActionFailRate: 1, RetryableFraction: 1,
+	})
+	d := &scripted{
+		name: "one-shot",
+		decisions: []Decision{{
+			Invoked: true,
+			Plan:    []cluster.Action{{Kind: cluster.ActionIncreaseCPU, VM: "rubis1-web-0", DeltaCPUPct: 10}},
+		}},
+	}
+	res, err := Run(tb, d, RunConfig{Traces: traces, Duration: 30 * time.Minute, Utility: util, Fault: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries != 2 {
+		t.Errorf("retries = %d, want 2 (3 total attempts)", res.Retries)
+	}
+	if res.FailedActions != 3 {
+		t.Errorf("failed actions = %d, want 3", res.FailedActions)
+	}
+	// The cap never actually moved: all three attempts failed.
+	if p, _ := tb.Config().PlacementOf("rubis1-web-0"); p.CPUPct != 40 {
+		t.Errorf("failed action mutated config: cap = %v, want 40", p.CPUPct)
+	}
+	// Retried windows are degraded: first execution at window 0, retries at
+	// windows 1 (t=2min) and 3 (t=6min).
+	for _, i := range []int{0, 1, 3} {
+		if !res.Windows[i].Degraded {
+			t.Errorf("window %d not degraded", i)
+		}
+	}
+	if res.Windows[1].Retried != 1 || res.Windows[3].Retried != 1 {
+		t.Errorf("retry windows = %d/%d, want 1/1", res.Windows[1].Retried, res.Windows[3].Retried)
+	}
+}
+
+func TestRunRetryDisabled(t *testing.T) {
+	tb, util, traces, inj := setupFaulty(t, fault.Options{
+		Seed: 9, ActionFailRate: 1, RetryableFraction: 1,
+	})
+	d := &scripted{
+		name: "one-shot",
+		decisions: []Decision{{
+			Invoked: true,
+			Plan:    []cluster.Action{{Kind: cluster.ActionIncreaseCPU, VM: "rubis1-web-0", DeltaCPUPct: 10}},
+		}},
+	}
+	res, err := Run(tb, d, RunConfig{
+		Traces: traces, Duration: 10 * time.Minute, Utility: util,
+		Fault: inj, Retry: RetryPolicy{MaxAttempts: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries != 0 {
+		t.Errorf("retries = %d with retries disabled", res.Retries)
+	}
+	if res.FailedActions != 1 {
+		t.Errorf("failed actions = %d, want 1", res.FailedActions)
+	}
+}
+
+func TestRunSurvivesHostCrashes(t *testing.T) {
+	tb, util, traces, inj := setupFaulty(t, fault.Options{Seed: 3, HostCrashPerHour: 20})
+	d := &scripted{name: "noop"}
+	res, err := Run(tb, d, RunConfig{Traces: traces, Duration: 30 * time.Minute, Utility: util, Fault: inj})
+	if err != nil {
+		t.Fatalf("crashy replay aborted: %v", err)
+	}
+	if res.HostCrashes == 0 {
+		t.Fatal("no crashes at ~0.5/window per host")
+	}
+	if len(res.Windows) != 15 {
+		t.Errorf("windows = %d, want 15", len(res.Windows))
+	}
+	for _, w := range res.Windows {
+		if w.ActiveHosts < 1 {
+			t.Error("replay left zero active hosts")
+		}
+		if w.HostCrashes > 0 && !w.Degraded {
+			t.Error("crash window not degraded")
+		}
+	}
+}
+
+func TestRunRecordsSensorDrops(t *testing.T) {
+	tb, util, traces, inj := setupFaulty(t, fault.Options{Seed: 5, SensorDropRate: 1})
+	d := &scripted{name: "noop"}
+	res, err := Run(tb, d, RunConfig{Traces: traces, Duration: 10 * time.Minute, Utility: util, Fault: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first window cannot drop (nothing to replay); the rest must.
+	if res.SensorDrops != len(res.Windows)-1 {
+		t.Errorf("sensor drops = %d, want %d", res.SensorDrops, len(res.Windows)-1)
+	}
+	for i, w := range res.Windows[1:] {
+		if !w.SensorDropped || !w.Degraded {
+			t.Errorf("window %d: dropped=%v degraded=%v", i+1, w.SensorDropped, w.Degraded)
+		}
+		if w.Watts != res.Windows[0].Watts {
+			t.Errorf("dropped window %d watts %v differ from replayed %v", i+1, w.Watts, res.Windows[0].Watts)
+		}
 	}
 }

@@ -237,6 +237,7 @@ func (m *Mistral) Decide(now time.Duration, cfg cluster.Config, rates map[string
 				Plan:       d.Plan,
 				SearchTime: d.Search.SearchTime,
 				SearchCost: d.Search.SearchCost,
+				Degraded:   d.Degraded,
 			}, nil
 		}
 		// An empty 3rd-level plan falls through: the lower levels refine.
@@ -252,6 +253,7 @@ func (m *Mistral) Decide(now time.Duration, cfg cluster.Config, rates map[string
 			Plan:       d.Plan,
 			SearchTime: d.Search.SearchTime,
 			SearchCost: d.Search.SearchCost,
+			Degraded:   d.Degraded,
 		}, nil
 	}
 	// 1st-level controllers own disjoint host groups and share the
@@ -282,6 +284,7 @@ func (m *Mistral) Decide(now time.Duration, cfg cluster.Config, rates map[string
 		}
 		m.addStats(0, d.Search.SearchTime)
 		out.Invoked = true
+		out.Degraded = out.Degraded || d.Degraded
 		out.SearchCost += d.Search.SearchCost
 		if d.Search.SearchTime > out.SearchTime {
 			out.SearchTime = d.Search.SearchTime

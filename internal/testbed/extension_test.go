@@ -61,12 +61,12 @@ func TestAnalyticWANMigration(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	dur, err := tb.Execute([]cluster.Action{{Kind: cluster.ActionWANMigrate, VM: "rubis1-db-0", Host: "h3"}})
+	rep, err := tb.Execute([]cluster.Action{{Kind: cluster.ActionWANMigrate, VM: "rubis1-db-0", Host: "h3"}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if dur < 5*time.Minute {
-		t.Errorf("WAN migration duration = %v, want minutes-scale", dur)
+	if rep.Duration < 5*time.Minute {
+		t.Errorf("WAN migration duration = %v, want minutes-scale", rep.Duration)
 	}
 	// Window during the WAN copy: elevated RT and watts.
 	w1, err := tb.MeasureWindow(6 * time.Minute)

@@ -1,0 +1,270 @@
+package testbed
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/mistralcloud/mistral/internal/cluster"
+	"github.com/mistralcloud/mistral/internal/fault"
+)
+
+// faulty returns noiseless options with a live injector.
+func faulty(mode Mode, opts fault.Options) Options {
+	o := noiseless(mode)
+	o.Fault = fault.New(opts)
+	return o
+}
+
+func TestFailedMigrationLeavesVMAtSource(t *testing.T) {
+	cat, apps, cfg := setup(t, 4, "rubis1")
+	rates := map[string]float64{"rubis1": 40}
+	tb, err := New(cat, apps, cfg, rates, nil, faulty(ModeAnalytic, fault.Options{Seed: 2, ActionFailRate: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0, err := tb.MeasureWindow(2 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src, _ := tb.Config().PlacementOf("rubis1-db-0")
+	dst := feasibleDst(t, cat, cfg, "rubis1-db-0")
+	rep, err := tb.Execute([]cluster.Action{{Kind: cluster.ActionMigrate, VM: "rubis1-db-0", Host: dst}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 1 || rep.Applied != 0 || rep.Skipped != 0 {
+		t.Fatalf("report = %+v, want one failed step", rep)
+	}
+	st := rep.Steps[0]
+	if st.Status != StepFailed || st.Err == nil {
+		t.Errorf("step = %+v, want StepFailed with error", st)
+	}
+	// The abort happens partway through: sunk time is charged but shorter
+	// than the planned copy.
+	if st.Realized <= 0 || st.Realized >= st.Planned {
+		t.Errorf("realized %v not in (0, planned %v)", st.Realized, st.Planned)
+	}
+	if rep.Duration != st.Realized {
+		t.Errorf("report duration %v != sunk %v", rep.Duration, st.Realized)
+	}
+	if !tb.Busy() {
+		t.Error("testbed not busy during the doomed copy")
+	}
+	// The VM never moves.
+	if p, _ := tb.Config().PlacementOf("rubis1-db-0"); p.Host != src.Host {
+		t.Errorf("failed migration moved VM to %s", p.Host)
+	}
+	// The window covering the failed copy still pays the transient churn.
+	w1, err := tb.MeasureWindow(4 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.RTSec["rubis1"] <= w0.RTSec["rubis1"] {
+		t.Errorf("failed migration charged no transient: RT %v -> %v", w0.RTSec["rubis1"], w1.RTSec["rubis1"])
+	}
+	if w1.Watts <= w0.Watts {
+		t.Errorf("failed migration charged no power: %v -> %v", w0.Watts, w1.Watts)
+	}
+}
+
+func TestFailedStepSkipsDependents(t *testing.T) {
+	cat, apps, cfg := setup(t, 4, "rubis1")
+	rates := map[string]float64{"rubis1": 40}
+	opts := fault.Options{
+		Seed:           3,
+		FailRateByKind: map[cluster.ActionKind]float64{cluster.ActionAddReplica: 1},
+	}
+	tb, err := New(cat, apps, cfg, rates, nil, faulty(ModeAnalytic, opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A powered-on host with room for the new replica.
+	target := ""
+	for _, h := range tb.Config().ActiveHosts() {
+		spec, _ := cat.Host(h)
+		if tb.Config().AllocatedCPU(h)+cat.MinCPUPct <= spec.UsableCPUPct && len(tb.Config().VMsOnHost(h)) < spec.MaxVMs {
+			target = h
+			break
+		}
+	}
+	if target == "" {
+		t.Fatal("no host with room for a replica")
+	}
+	rep, err := tb.Execute([]cluster.Action{
+		{Kind: cluster.ActionAddReplica, VM: "rubis1-db-1", Host: target},
+		{Kind: cluster.ActionIncreaseCPU, VM: "rubis1-db-1", DeltaCPUPct: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 1 || rep.Skipped != 1 || rep.Applied != 0 {
+		t.Fatalf("report = %+v, want failed=1 skipped=1", rep)
+	}
+	if rep.Steps[1].Status != StepSkipped || rep.Steps[1].Err == nil {
+		t.Errorf("dependent step = %+v, want StepSkipped", rep.Steps[1])
+	}
+	if _, ok := tb.Config().PlacementOf("rubis1-db-1"); ok {
+		t.Error("failed add-replica still placed the VM")
+	}
+}
+
+func TestDelayedActionStretchesDuration(t *testing.T) {
+	cat, apps, cfg := setup(t, 4, "rubis1")
+	rates := map[string]float64{"rubis1": 40}
+	tb, err := New(cat, apps, cfg, rates, nil, faulty(ModeAnalytic, fault.Options{Seed: 4, DelayRate: 1, DelayMaxMult: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := feasibleDst(t, cat, cfg, "rubis1-db-0")
+	rep, err := tb.Execute([]cluster.Action{{Kind: cluster.ActionMigrate, VM: "rubis1-db-0", Host: dst}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rep.Steps[0]
+	if st.Status != StepApplied {
+		t.Fatalf("delayed step = %+v, want applied", st)
+	}
+	if st.Realized <= st.Planned {
+		t.Errorf("realized %v not stretched beyond planned %v", st.Realized, st.Planned)
+	}
+	// Once the stretched copy completes, the migration still lands.
+	if _, err := tb.MeasureWindow(tb.BusyUntil() + time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := tb.Config().PlacementOf("rubis1-db-0"); p.Host != dst {
+		t.Error("delayed migration did not land")
+	}
+}
+
+func TestCrashHostReplacesVMs(t *testing.T) {
+	cat, apps, cfg := setup(t, 4, "rubis1", "rubis2")
+	rates := map[string]float64{"rubis1": 40, "rubis2": 40}
+	tb, err := New(cat, apps, cfg, rates, nil, noiseless(ModeAnalytic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := tb.Config().ActiveHosts()[0]
+	nVMs := len(tb.Config().VMsOnHost(victim))
+	if nVMs == 0 {
+		t.Fatalf("no VMs on %s", victim)
+	}
+	rep, err := tb.CrashHost(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Host != victim || len(rep.Displaced) != nVMs {
+		t.Errorf("report = %+v, want %d displaced from %s", rep, nVMs, victim)
+	}
+	if len(rep.Restarted)+len(rep.Stranded) != len(rep.Displaced) {
+		t.Errorf("restarted %d + stranded %d != displaced %d", len(rep.Restarted), len(rep.Stranded), len(rep.Displaced))
+	}
+	now := tb.Config()
+	if now.HostOn(victim) {
+		t.Error("crashed host still powered on")
+	}
+	for vm, h := range rep.Restarted {
+		if p, ok := now.PlacementOf(vm); !ok || p.Host != h {
+			t.Errorf("restarted VM %s not at %s", vm, h)
+		}
+	}
+	for _, vm := range rep.Stranded {
+		if _, ok := now.PlacementOf(vm); ok {
+			t.Errorf("stranded VM %s still placed", vm)
+		}
+	}
+	if len(rep.Restarted) > 0 {
+		if rep.Recovery <= 0 || !tb.Busy() {
+			t.Error("HA restart charged no recovery transient")
+		}
+	}
+	// The cluster stays measurable after the crash.
+	if _, err := tb.MeasureWindow(tb.BusyUntil() + 2*time.Minute); err != nil {
+		t.Fatalf("post-crash window: %v", err)
+	}
+}
+
+func TestCrashHostDeterministic(t *testing.T) {
+	mk := func() (*Testbed, string) {
+		cat, apps, cfg := setup(t, 4, "rubis1", "rubis2")
+		rates := map[string]float64{"rubis1": 40, "rubis2": 40}
+		tb, err := New(cat, apps, cfg, rates, nil, noiseless(ModeAnalytic))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb, tb.Config().ActiveHosts()[0]
+	}
+	a, ha := mk()
+	b, hb := mk()
+	ra, err := a.CrashHost(ha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.CrashHost(hb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ra, rb) {
+		t.Errorf("identical crashes recovered differently:\n%+v\n%+v", ra, rb)
+	}
+}
+
+func TestCrashLastHostReboots(t *testing.T) {
+	cat, apps, cfg := setup(t, 2, "rubis1")
+	rates := map[string]float64{"rubis1": 40}
+	tb, err := New(cat, apps, cfg, rates, nil, noiseless(ModeAnalytic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := tb.Config().ActiveHosts()
+	if len(hosts) != 2 {
+		t.Fatalf("active hosts = %v", hosts)
+	}
+	for i := range hosts {
+		if i > 0 {
+			// Let the previous recovery finish first.
+			if _, err := tb.MeasureWindow(tb.BusyUntil() + time.Minute); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// The second crash may target a host that is now off (its VMs moved
+		// with the first crash) — find a live one.
+		live := tb.Config().ActiveHosts()
+		if len(live) == 0 {
+			t.Fatal("no live hosts")
+		}
+		if _, err := tb.CrashHost(live[0]); err != nil {
+			t.Fatalf("crash %d: %v", i, err)
+		}
+	}
+	// The cold-HA path keeps at least one host running with the VMs back.
+	if tb.Config().NumActiveHosts() < 1 {
+		t.Fatal("cluster wedged at zero hosts")
+	}
+	if _, err := tb.MeasureWindow(tb.BusyUntil() + 2*time.Minute); err != nil {
+		t.Fatalf("post-reboot window: %v", err)
+	}
+}
+
+func TestCrashHostRejections(t *testing.T) {
+	cat, apps, cfg := setup(t, 4, "rubis1")
+	rates := map[string]float64{"rubis1": 40}
+	tb, err := New(cat, apps, cfg, rates, nil, noiseless(ModeAnalytic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.CrashHost("h3"); err == nil {
+		t.Error("crash of powered-off host accepted")
+	}
+	if _, err := tb.CrashHost("nope"); err == nil {
+		t.Error("crash of unknown host accepted")
+	}
+	dst := feasibleDst(t, cat, cfg, "rubis1-db-0")
+	if _, err := tb.Execute([]cluster.Action{{Kind: cluster.ActionMigrate, VM: "rubis1-db-0", Host: dst}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.CrashHost(tb.Config().ActiveHosts()[0]); err == nil {
+		t.Error("crash while busy accepted")
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"github.com/mistralcloud/mistral/internal/app"
 	"github.com/mistralcloud/mistral/internal/cluster"
 	"github.com/mistralcloud/mistral/internal/cost"
+	"github.com/mistralcloud/mistral/internal/fault"
 	"github.com/mistralcloud/mistral/internal/lqn"
 	"github.com/mistralcloud/mistral/internal/obs"
 	"github.com/mistralcloud/mistral/internal/power"
@@ -88,6 +89,10 @@ type Options struct {
 	ClosedLoopThink time.Duration
 	// Queue configures the request-level simulator.
 	Queue queueing.Options
+	// Fault optionally injects action failures, transient delays, and sensor
+	// faults (package fault). Nil — the default — executes every plan
+	// infallibly, byte-identical to a testbed built without the fault plane.
+	Fault *fault.Injector
 	// Obs overrides the process-default observer (obs.SetDefault) for
 	// action-execution metrics and trace events; nil resolves the default.
 	Obs *obs.Observer
@@ -135,6 +140,7 @@ type phase struct {
 	cfgAfter     cluster.Config
 	applyAtStart bool // stop-host applies its config when the phase begins
 	applied      bool
+	failed       bool // injected failure: cfgAfter is the unchanged config
 }
 
 // Testbed executes plans and measures the resulting system.
@@ -153,6 +159,10 @@ type Testbed struct {
 	phases   []phase
 
 	qsys *queueing.System
+
+	// lastMeas caches the previously reported window so an injected sensor
+	// drop can replay it; only maintained when a fault injector is set.
+	lastMeas *Window
 
 	obsv     *obs.Observer
 	cActions *obs.Counter
@@ -229,6 +239,12 @@ func (tb *Testbed) applyRate(name string, r float64) error {
 // Now returns the virtual clock.
 func (tb *Testbed) Now() time.Duration { return tb.now }
 
+// Mode returns the testbed's fidelity mode.
+func (tb *Testbed) Mode() Mode { return tb.opts.Mode }
+
+// Fault returns the fault injector (nil when the fault plane is disabled).
+func (tb *Testbed) Fault() *fault.Injector { return tb.opts.Fault }
+
 // Config returns the configuration currently in effect (transitions apply
 // as phases complete). The returned value is a clone.
 func (tb *Testbed) Config() cluster.Config { return tb.cfg.Clone() }
@@ -281,41 +297,138 @@ func (tb *Testbed) BusyUntil() time.Duration {
 // Busy reports whether actions are still executing or scheduled.
 func (tb *Testbed) Busy() bool { return tb.BusyUntil() > tb.now }
 
+// StepStatus is the outcome of one plan step.
+type StepStatus int
+
+// Step outcomes.
+const (
+	// StepApplied: the action completed and its configuration change took
+	// (or will take) effect.
+	StepApplied StepStatus = iota + 1
+	// StepFailed: an injected failure aborted the action mid-flight; the
+	// configuration is unchanged but the sunk transient cost is charged.
+	StepFailed
+	// StepSkipped: the step was infeasible against the realized
+	// configuration (its precondition was destroyed by an earlier injected
+	// failure) and consumed no time.
+	StepSkipped
+)
+
+func (s StepStatus) String() string {
+	switch s {
+	case StepApplied:
+		return "applied"
+	case StepFailed:
+		return "failed"
+	case StepSkipped:
+		return "skipped"
+	}
+	return fmt.Sprintf("StepStatus(%d)", int(s))
+}
+
+// StepReport records one plan step's realized outcome.
+type StepReport struct {
+	// Action is the step with derived fields filled in (FromHost, CPUPct) —
+	// for failed and skipped steps, as it would have executed.
+	Action cluster.Action
+	Status StepStatus
+	// Planned is the cost-table duration; Realized is the time actually
+	// consumed on the timeline (longer under an injected delay, the sunk
+	// fraction under a failure, zero when skipped).
+	Planned, Realized time.Duration
+	// Retryable marks an injected failure as transient — re-executing the
+	// action may succeed.
+	Retryable bool
+	// Err describes the failure or skip.
+	Err error
+}
+
+// ExecReport is the per-step outcome of an executed plan.
+type ExecReport struct {
+	Steps []StepReport
+	// Duration is the plan's total timeline occupancy (the testbed stays
+	// Busy this long).
+	Duration time.Duration
+	// Applied, Failed, and Skipped count steps by status.
+	Applied, Failed, Skipped int
+}
+
+// Started counts steps that consumed timeline time (applied + failed).
+func (r ExecReport) Started() int { return r.Applied + r.Failed }
+
 // Execute schedules a plan of adaptation actions to run sequentially
-// starting when all previously scheduled work completes. It returns the
-// total duration of the plan. The plan is validated against the final
-// scheduled configuration; an invalid step rejects the whole plan.
-func (tb *Testbed) Execute(plan []cluster.Action) (time.Duration, error) {
+// starting when all previously scheduled work completes, and reports each
+// step's realized outcome. Without a fault injector every step applies and
+// the plan is validated against the final scheduled configuration — an
+// invalid step rejects the whole plan with an error, exactly as before the
+// fault plane existed. With an injector, steps may fail mid-flight (the
+// configuration change is lost but the sunk transient cost is charged —
+// a migration that dies at 80% has already copied 80% of the pages), run
+// long, or be skipped when an earlier failure destroyed their
+// precondition.
+func (tb *Testbed) Execute(plan []cluster.Action) (ExecReport, error) {
 	startAt := tb.BusyUntil()
 	cur := tb.cfgFinal.Clone()
+	inj := tb.opts.Fault
+	var rep ExecReport
 	var newPhases []phase
-	var total time.Duration
 	at := startAt
 	for i, a := range plan {
 		next, filled, err := cluster.Apply(tb.cat, cur, a)
 		if err != nil {
-			return 0, fmt.Errorf("testbed: plan step %d: %w", i, err)
+			if inj.Enabled() {
+				// An earlier injected failure may have invalidated this
+				// step's precondition (e.g. the replica its migration would
+				// move never started). Degrade: skip the step, execute the
+				// rest.
+				rep.Steps = append(rep.Steps, StepReport{
+					Action: a,
+					Status: StepSkipped,
+					Err:    fmt.Errorf("testbed: plan step %d: %w", i, err),
+				})
+				rep.Skipped++
+				continue
+			}
+			return ExecReport{}, fmt.Errorf("testbed: plan step %d: %w", i, err)
 		}
 		if tb.opts.Mode == ModeRequestLevel {
 			switch filled.Kind {
 			case cluster.ActionStartHost, cluster.ActionStopHost:
-				return 0, fmt.Errorf("testbed: plan step %d: host power cycling is not supported in request-level mode", i)
+				return ExecReport{}, fmt.Errorf("testbed: plan step %d: host power cycling is not supported in request-level mode", i)
 			}
 		}
 		pred := tb.costMgr.Predict(cur, filled, tb.rates)
-		ph := phase{
-			start:        at,
-			end:          at + pred.Duration,
-			action:       filled,
-			pred:         pred,
-			cfgAfter:     next,
-			applyAtStart: filled.Kind == cluster.ActionStopHost,
+		f := inj.Action(filled.Kind)
+		dur := pred.Duration
+		if f.DelayMult > 1 {
+			dur = time.Duration(float64(dur) * f.DelayMult)
+		}
+		step := StepReport{Action: filled, Planned: pred.Duration}
+		ph := phase{start: at, action: filled, pred: pred}
+		if f.Fail {
+			sunk := time.Duration(float64(dur) * f.SunkFraction)
+			ph.end = at + sunk
+			ph.cfgAfter = cur.Clone() // the change is lost
+			ph.failed = true
+			step.Status = StepFailed
+			step.Realized = sunk
+			step.Retryable = f.Retryable
+			step.Err = fmt.Errorf("testbed: injected %s failure after %v of %v", filled.Kind, sunk.Round(time.Millisecond), dur.Round(time.Millisecond))
+			rep.Failed++
+		} else {
+			ph.end = at + dur
+			ph.cfgAfter = next
+			ph.applyAtStart = filled.Kind == cluster.ActionStopHost
+			step.Status = StepApplied
+			step.Realized = dur
+			rep.Applied++
+			cur = next
 		}
 		newPhases = append(newPhases, ph)
 		at = ph.end
-		total += pred.Duration
-		cur = next
+		rep.Steps = append(rep.Steps, step)
 	}
+	rep.Duration = at - startAt
 	tb.phases = append(tb.phases, newPhases...)
 	tb.cfgFinal = cur
 	if tb.qsys != nil {
@@ -324,7 +437,7 @@ func (tb *Testbed) Execute(plan []cluster.Action) (time.Duration, error) {
 	if tb.cActions != nil {
 		tb.recordPhases(newPhases)
 	}
-	return total, nil
+	return rep, nil
 }
 
 // recordPhases emits metrics and trace events for newly scheduled phases.
@@ -342,9 +455,14 @@ func (tb *Testbed) recordPhases(phases []phase) {
 		tb.cActions.Inc()
 		c.Inc()
 		tb.hActionS.Observe(ph.pred.Duration.Seconds())
-		tr.Event("action:"+kind.String(), ph.start, ph.end,
-			obs.Attr{Key: "vm", Value: ph.action.VM},
-			obs.Attr{Key: "host", Value: ph.action.Host})
+		attrs := []obs.Attr{
+			{Key: "vm", Value: ph.action.VM},
+			{Key: "host", Value: ph.action.Host},
+		}
+		if ph.failed {
+			attrs = append(attrs, obs.Attr{Key: "failed", Value: true})
+		}
+		tr.Event("action:"+kind.String(), ph.start, ph.end, attrs...)
 	}
 }
 
@@ -354,6 +472,10 @@ func (tb *Testbed) injectPhases(phases []phase) {
 	eng := tb.qsys.Engine()
 	for i := range phases {
 		ph := phases[i]
+		if ph.failed {
+			tb.injectFailedPhase(ph)
+			continue
+		}
 		switch ph.action.Kind {
 		case cluster.ActionIncreaseCPU, cluster.ActionDecreaseCPU:
 			eng.ScheduleAt(ph.end, func() {
@@ -436,6 +558,50 @@ func (tb *Testbed) injectPhases(phases []phase) {
 	}
 }
 
+// injectFailedPhase schedules the request-level side effects of an action
+// that fails mid-flight: the transient churn (Dom-0 copy load, shadow-paging
+// slowdown) runs for the sunk window, but the configuration change itself —
+// the VM move, the replica add/remove — never commits.
+func (tb *Testbed) injectFailedPhase(ph phase) {
+	eng := tb.qsys.Engine()
+	switch ph.action.Kind {
+	case cluster.ActionMigrate, cluster.ActionWANMigrate:
+		load := tb.opts.MigrationDom0Load
+		if ph.action.Kind == cluster.ActionWANMigrate {
+			load *= 0.5
+		}
+		cpuPct := ph.action.CPUPct
+		eng.ScheduleAt(ph.start, func() {
+			_ = tb.qsys.SetDom0Background(ph.action.FromHost, load)
+			_ = tb.qsys.SetDom0Background(ph.action.Host, load)
+			_ = tb.qsys.SetVMRate(ph.action.VM, cpuPct*(1-tb.opts.MigrationVMSlowdown))
+		})
+		eng.ScheduleAt(ph.end, func() {
+			_ = tb.qsys.SetDom0Background(ph.action.FromHost, 0)
+			_ = tb.qsys.SetDom0Background(ph.action.Host, 0)
+			// The VM stays at its source and recovers full speed.
+			_ = tb.qsys.SetVMRate(ph.action.VM, cpuPct)
+		})
+	case cluster.ActionAddReplica:
+		load := tb.opts.MigrationDom0Load * 0.8
+		eng.ScheduleAt(ph.start, func() {
+			_ = tb.qsys.SetDom0Background(ph.action.Host, load)
+		})
+		eng.ScheduleAt(ph.end, func() {
+			_ = tb.qsys.SetDom0Background(ph.action.Host, 0)
+		})
+	case cluster.ActionRemoveReplica:
+		load := tb.opts.MigrationDom0Load * 0.6
+		eng.ScheduleAt(ph.start, func() {
+			_ = tb.qsys.SetDom0Background(ph.action.FromHost, load)
+		})
+		eng.ScheduleAt(ph.end, func() {
+			_ = tb.qsys.SetDom0Background(ph.action.FromHost, 0)
+		})
+	}
+	// CPU-cap and DVFS failures have no transient side effects to model.
+}
+
 // advanceTo moves the clock forward, applying phase transitions.
 func (tb *Testbed) advanceTo(t time.Duration) error {
 	if t < tb.now {
@@ -484,6 +650,10 @@ type Window struct {
 	HostUtil map[string]float64
 	// Completed counts completed requests per app (request-level mode).
 	Completed map[string]uint64
+	// SensorDropped marks an injected sensor drop: RTSec and Watts replay
+	// the previous window's reported values (HostUtil and Completed stay
+	// true — they come from a different collection path).
+	SensorDropped bool
 }
 
 // MeasureWindow advances the clock to 'to' and returns metrics aggregated
@@ -494,10 +664,50 @@ func (tb *Testbed) MeasureWindow(to time.Duration) (Window, error) {
 	if to <= tb.now {
 		return Window{}, fmt.Errorf("testbed: window end %v not after now %v", to, tb.now)
 	}
+	var w Window
+	var err error
 	if tb.opts.Mode == ModeRequestLevel {
-		return tb.measureWindowRequestLevel(to)
+		w, err = tb.measureWindowRequestLevel(to)
+	} else {
+		w, err = tb.measureWindowAnalytic(to)
 	}
-	return tb.measureWindowAnalytic(to)
+	if err != nil {
+		return w, err
+	}
+	if inj := tb.opts.Fault; inj.Enabled() {
+		w = tb.applySensorFaults(inj, w)
+	}
+	return w, nil
+}
+
+// applySensorFaults layers injected sensor faults over a measured window: a
+// dropped window replays the previous window's reported RT/power values (a
+// stale sensor read — the first window cannot drop), and otherwise extra
+// noise perturbs the measurements. Either way the reported window is cached
+// for the next drop.
+func (tb *Testbed) applySensorFaults(inj *fault.Injector, w Window) Window {
+	if inj.Sensor().Drop && tb.lastMeas != nil {
+		w.RTSec = make(map[string]float64, len(tb.lastMeas.RTSec))
+		for name, rt := range tb.lastMeas.RTSec {
+			w.RTSec[name] = rt
+		}
+		w.Watts = tb.lastMeas.Watts
+		w.SensorDropped = true
+	} else {
+		// Extra noise, applied in sorted app order so draws are reproducible.
+		names := make([]string, 0, len(w.RTSec))
+		for name := range w.RTSec {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			w.RTSec[name] = inj.SensorJitter(w.RTSec[name])
+		}
+		w.Watts = inj.SensorJitter(w.Watts)
+	}
+	snap := w
+	tb.lastMeas = &snap
+	return w
 }
 
 func (tb *Testbed) measureWindowAnalytic(to time.Duration) (Window, error) {
@@ -623,6 +833,133 @@ func (tb *Testbed) measureWindowRequestLevel(to time.Duration) (Window, error) {
 	}
 	w.Watts = power.SystemWatts(tb.cat, baseCfg, util) + netWatts
 	return w, nil
+}
+
+// CrashReport describes one injected host crash and its emergency recovery.
+type CrashReport struct {
+	// Host is the crashed host.
+	Host string
+	// Displaced lists the VMs that were running on the host when it died.
+	Displaced []cluster.VMID
+	// Restarted maps each displaced VM the HA restart could re-place to its
+	// recovery host.
+	Restarted map[cluster.VMID]string
+	// Stranded lists displaced VMs no surviving host had room for; they stay
+	// dormant until a controller re-adds them.
+	Stranded []cluster.VMID
+	// Recovery is the duration of the restart transient (the testbed stays
+	// Busy this long).
+	Recovery time.Duration
+}
+
+// CrashHost fails a powered-on host immediately: its VMs are dropped, the
+// host goes dark, and a deterministic HA restart re-places each displaced
+// VM on the surviving host with the most free CPU (greedy best-fit in
+// sorted VM order; ties break to the lexicographically first host). Each
+// restart charges replica-start transients, so the window after a crash
+// pays both the lost capacity and the recovery churn. VMs that fit nowhere
+// stay dormant — the analytic model degrades them to saturation rather
+// than erroring — and when the crashed host was the last one powered on it
+// reboots with its VMs restored (the "cold HA" path) so the system never
+// wedges. Only supported in analytic mode while the testbed is idle.
+func (tb *Testbed) CrashHost(host string) (CrashReport, error) {
+	if tb.opts.Mode == ModeRequestLevel {
+		return CrashReport{}, fmt.Errorf("testbed: host crashes are not supported in request-level mode")
+	}
+	if tb.Busy() {
+		return CrashReport{}, fmt.Errorf("testbed: cannot crash %q while actions execute", host)
+	}
+	if !tb.cfg.HostOn(host) {
+		return CrashReport{}, fmt.Errorf("testbed: host %q is not powered on", host)
+	}
+	cfg := tb.cfg.Clone()
+	rep := CrashReport{Host: host, Restarted: make(map[cluster.VMID]string)}
+	rep.Displaced = cfg.VMsOnHost(host)
+	prev := make(map[cluster.VMID]cluster.Placement, len(rep.Displaced))
+	for _, id := range rep.Displaced {
+		p, _ := cfg.PlacementOf(id)
+		prev[id] = p
+		cfg.Unplace(id)
+	}
+	cfg.SetHostOn(host, false)
+	cfg.SetHostFreq(host, 1)
+
+	merged := cost.Prediction{DeltaRTSec: make(map[string]float64)}
+	restart := func(id cluster.VMID, target string, cpuPct float64) {
+		a := cluster.Action{Kind: cluster.ActionAddReplica, VM: id, Host: target, CPUPct: cpuPct}
+		pred := tb.costMgr.Predict(cfg, a, tb.rates)
+		cfg.Place(id, target, cpuPct)
+		rep.Restarted[id] = target
+		if pred.Duration > merged.Duration {
+			merged.Duration = pred.Duration
+		}
+		merged.DeltaWatts += pred.DeltaWatts
+		for name, d := range pred.DeltaRTSec {
+			merged.DeltaRTSec[name] += d
+		}
+	}
+
+	if cfg.NumActiveHosts() == 0 {
+		// Last host standing: reboot it with its VMs restored, charging a
+		// host start plus the replica restarts.
+		cfg.SetHostOn(host, true)
+		boot := tb.costMgr.Predict(cfg, cluster.Action{Kind: cluster.ActionStartHost, Host: host}, tb.rates)
+		merged.Duration = boot.Duration
+		merged.DeltaWatts = boot.DeltaWatts
+		for name, d := range boot.DeltaRTSec {
+			merged.DeltaRTSec[name] += d
+		}
+		for _, id := range rep.Displaced {
+			restart(id, host, prev[id].CPUPct)
+		}
+	} else {
+		for _, id := range rep.Displaced {
+			target, free := "", 0.0
+			for _, h := range cfg.ActiveHosts() {
+				spec, ok := tb.cat.Host(h)
+				if !ok {
+					continue
+				}
+				f := spec.UsableCPUPct - cfg.AllocatedCPU(h)
+				if f >= tb.cat.MinCPUPct && len(cfg.VMsOnHost(h)) < spec.MaxVMs && f > free {
+					target, free = h, f
+				}
+			}
+			if target == "" {
+				rep.Stranded = append(rep.Stranded, id)
+				continue
+			}
+			cpuPct := prev[id].CPUPct
+			if cpuPct > free {
+				cpuPct = free
+			}
+			restart(id, target, cpuPct)
+		}
+	}
+
+	// The crash itself is instantaneous; the HA restart occupies the
+	// timeline as one merged recovery phase whose configuration is already
+	// in effect (restarting VMs run degraded, which the transient deltas
+	// model).
+	tb.cfg = cfg.Clone()
+	tb.cfgFinal = cfg.Clone()
+	rep.Recovery = merged.Duration
+	if merged.Duration > 0 {
+		tb.phases = append(tb.phases, phase{
+			start:        tb.now,
+			end:          tb.now + merged.Duration,
+			pred:         merged,
+			cfgAfter:     cfg.Clone(),
+			applyAtStart: true,
+			applied:      true,
+		})
+	}
+	tb.obsv.Counter("testbed_host_crashes_total").Inc()
+	tb.obsv.Tracer().Event("host-crash", tb.now, tb.now+merged.Duration,
+		obs.Attr{Key: "host", Value: host},
+		obs.Attr{Key: "displaced", Value: len(rep.Displaced)},
+		obs.Attr{Key: "stranded", Value: len(rep.Stranded)})
+	return rep, nil
 }
 
 // windowNetWatts returns the time-weighted NIC/chipset power of data-moving

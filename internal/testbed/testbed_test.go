@@ -118,12 +118,15 @@ func TestExecuteMigrationChargesTransientsAndMovesVM(t *testing.T) {
 
 	// Migrate a db VM to another host with room for it.
 	dst := feasibleDst(t, cat, cfg, "rubis1-db-0")
-	dur, err := tb.Execute([]cluster.Action{{Kind: cluster.ActionMigrate, VM: "rubis1-db-0", Host: dst}})
+	rep, err := tb.Execute([]cluster.Action{{Kind: cluster.ActionMigrate, VM: "rubis1-db-0", Host: dst}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if dur <= 0 {
+	if rep.Duration <= 0 {
 		t.Fatal("zero-duration migration")
+	}
+	if rep.Applied != 1 || rep.Failed != 0 || rep.Skipped != 0 {
+		t.Errorf("report = %+v, want one applied step", rep)
 	}
 	if !tb.Busy() {
 		t.Error("testbed not busy during scheduled migration")

@@ -251,3 +251,10 @@ func RunFig10(seed uint64) (*experiments.Fig10Result, error) {
 func RunTable1(seed uint64, opts experiments.Table1Options) (*experiments.Table1Result, error) {
 	return experiments.Table1Scalability(seed, opts)
 }
+
+// RunFaultSweep runs the robustness study beyond the paper: the four
+// strategies replayed under seeded fault injection (failed and delayed
+// actions, host crashes, sensor dropouts) at each configured rate.
+func RunFaultSweep(opts experiments.FaultSweepOptions) (*experiments.FaultSweepResult, error) {
+	return experiments.FaultSweep(opts)
+}
