@@ -6,7 +6,8 @@
 //
 //	mistral-exp [-run all|fig1|...|table1|faultsweep|ablations]
 //	            [-seed N] [-fault-seed N] [-csv] [-outdir DIR] [-quick] [-workers N]
-//	            [-trace FILE] [-metrics FILE] [-log-level LEVEL] [-pprof ADDR]
+//	            [-provenance FILE] [-trace FILE] [-metrics FILE]
+//	            [-log-level LEVEL] [-pprof ADDR]
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"github.com/mistralcloud/mistral"
 	"github.com/mistralcloud/mistral/internal/experiments"
 	"github.com/mistralcloud/mistral/internal/obs"
+	"github.com/mistralcloud/mistral/internal/provenance"
 )
 
 func main() {
@@ -65,6 +67,7 @@ func run() (err error) {
 		outdir      = flag.String("outdir", "", "write outputs to this directory instead of stdout")
 		quick       = flag.Bool("quick", false, "cheaper variants of the slow experiments (shorter replays, fewer trials)")
 		workers     = flag.Int("workers", 0, "evaluation concurrency for table1's hierarchies (0 = min(GOMAXPROCS, 8), 1 = serial; results are identical either way)")
+		provPath    = flag.String("provenance", "", "write table1's decision-provenance records as JSONL to FILE (inspect with mistral-explain)")
 		tracePath   = flag.String("trace", "", "write span trace to FILE (.json = Chrome trace_event for Perfetto, else JSONL)")
 		metricsPath = flag.String("metrics", "", `write metrics registry dump to FILE at exit ("-" = stderr)`)
 		logLevel    = flag.String("log-level", "", "structured logging to stderr: debug, info, warn, error")
@@ -169,12 +172,27 @@ func run() (err error) {
 		if *quick {
 			opts.Duration = 2 * time.Hour
 		}
+		if *provPath != "" {
+			f, ferr := os.Create(*provPath)
+			if ferr != nil {
+				return ferr
+			}
+			defer func() {
+				if cerr := f.Close(); cerr != nil && err == nil {
+					err = cerr
+				}
+			}()
+			opts.Provenance = provenance.NewRecorder(f)
+		}
 		r, err := mistral.RunTable1(*seed, opts)
 		if err != nil {
 			return fmt.Errorf("table1: %w", err)
 		}
 		if err := e.emit("table1", []experiments.Table{r.Table()}); err != nil {
 			return err
+		}
+		if opts.Provenance.Enabled() {
+			fmt.Fprintf(os.Stderr, "provenance: %d records written to %s\n", opts.Provenance.Count(), *provPath)
 		}
 	}
 	if want("faultsweep") {

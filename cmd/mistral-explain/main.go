@@ -1,0 +1,206 @@
+// Command mistral-explain answers "why did the controller do that?" from a
+// decision-provenance stream recorded with mistral-sim/mistral-exp
+// -provenance. Without -window it prints a one-line-per-window summary;
+// with -window N it renders that window's full flight-recorder view: the
+// prediction context, the chosen plan's annotated Eq. 3 utility ledger,
+// and the top rejected frontier alternatives. With -check it validates the
+// stream instead (schema, window sequencing, and every ledger's sums
+// against the search's reported utility within the 1e-9 tolerance) and
+// exits non-zero on the first inconsistency.
+//
+// Usage:
+//
+//	mistral-explain [-window N] [-top K] [-check] FILE
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/mistralcloud/mistral/internal/provenance"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mistral-explain:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		window = flag.Int("window", -1, "explain this window in full (default: summary of all windows)")
+		topK   = flag.Int("top", 3, "rejected alternatives to show with -window")
+		check  = flag.Bool("check", false, "validate the stream (schema, sequencing, ledger arithmetic) and exit")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: mistral-explain [-window N] [-top K] [-check] FILE")
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := provenance.ReadAll(f)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("%s: no records", flag.Arg(0))
+	}
+
+	if *check {
+		if err := provenance.CheckStream(recs); err != nil {
+			return err
+		}
+		decisions, ledgers := 0, 0
+		for i := range recs {
+			decisions += len(recs[i].Decisions)
+			for _, d := range recs[i].Decisions {
+				if d.Search != nil {
+					ledgers += 1 + len(d.Search.Rejected)
+				}
+			}
+		}
+		fmt.Printf("ok: %d records, %d decisions, %d ledgers consistent within %g\n",
+			len(recs), decisions, ledgers, provenance.Tolerance)
+		return nil
+	}
+
+	if *window >= 0 {
+		for i := range recs {
+			if recs[i].Window == *window {
+				explain(&recs[i], *topK)
+				return nil
+			}
+		}
+		return fmt.Errorf("window %d not in stream (have %d records)", *window, len(recs))
+	}
+
+	summarize(recs)
+	return nil
+}
+
+// summarize prints the one-line-per-window overview.
+func summarize(recs []Record) {
+	fmt.Printf("%-6s  %9s  %-22s  %-8s  %3s  %10s  %10s  %7s  %s\n",
+		"window", "t", "strategy", "state", "act", "utility($)", "cum($)", "watts", "termination")
+	for i := range recs {
+		r := &recs[i]
+		state := "idle"
+		switch {
+		case r.Degraded:
+			state = "DEGRADED"
+		case r.Busy:
+			state = "busy"
+		case r.Invoked:
+			state = "invoked"
+		}
+		var terms []string
+		for _, d := range r.Decisions {
+			if d.Degraded {
+				terms = append(terms, d.Controller+":degraded")
+			} else if d.Search != nil {
+				terms = append(terms, d.Controller+":"+d.Search.Termination)
+			}
+		}
+		fmt.Printf("%-6d  %8.0fs  %-22s  %-8s  %3d  %10.3f  %10.1f  %7.0f  %s\n",
+			r.Window, r.TimeSec, r.Strategy, state, r.Actions,
+			r.UtilityDollars, r.CumUtilityDollars, r.Watts, strings.Join(terms, " "))
+	}
+}
+
+// explain renders one window's full provenance.
+func explain(r *Record, topK int) {
+	fmt.Printf("window %d  t=%.0fs  strategy=%s\n", r.Window, r.TimeSec, r.Strategy)
+	switch {
+	case r.Busy:
+		fmt.Println("state: busy — a previous plan was still executing; no decision this window")
+	case r.Invoked:
+		fmt.Printf("state: invoked — %d action(s), search %.3fs costing $%.4f\n",
+			r.Actions, r.SearchTimeSec, r.SearchCostDollars)
+	default:
+		fmt.Println("state: idle — workload stayed inside the band; no controller ran")
+	}
+	if r.Degraded {
+		fmt.Printf("DEGRADED: %s\n", r.DegradedReason)
+	}
+	fmt.Printf("window utility $%.4f (cum $%.2f), %.0f W\n", r.UtilityDollars, r.CumUtilityDollars, r.Watts)
+
+	for _, d := range r.Decisions {
+		fmt.Printf("\n── controller %s ", d.Controller)
+		fmt.Println(strings.Repeat("─", max(0, 60-len(d.Controller))))
+		if d.Degraded {
+			fmt.Printf("degraded: %s\n", d.DegradedReason)
+			continue
+		}
+		if p := d.Predict; p != nil {
+			fmt.Printf("prediction: band ±%.0f req/s; stability interval measured %.0fs, ARMA predicted %.0fs (β=%.2f)\n",
+				p.BandWidth, p.MeasuredSec, p.PredictedSec, p.Beta)
+			if p.Floor != "" {
+				fmt.Printf("control window: %.0fs (raised by the %s floor)\n", p.CWSec, p.Floor)
+			} else {
+				fmt.Printf("control window: %.0fs (raw prediction)\n", p.CWSec)
+			}
+		}
+		s := d.Search
+		if s == nil {
+			continue
+		}
+		fmt.Printf("search: %s after %d expansions (%d generated, %d pruned, peak frontier %d), %.3fs costing $%.4f\n",
+			s.Termination, s.Expanded, s.Generated, s.PrunedChildren, s.PeakFrontier,
+			s.SearchTimeSec, s.SearchCostDollars)
+		if s.Truncated {
+			fmt.Println("search: TRUNCATED — budget exhausted before the frontier settled")
+		}
+		for _, ev := range s.Events {
+			fmt.Printf("  event @%d: %s (%s, dropped %d)\n", ev.Expansion, ev.Kind, ev.Reason, ev.Dropped)
+		}
+		if s.DroppedEvents > 0 {
+			fmt.Printf("  (+%d events past the digest cap)\n", s.DroppedEvents)
+		}
+
+		fmt.Printf("\nchosen plan — Eq. 3 ledger (utility $%.6f):\n", s.Utility)
+		ledger(&s.Chosen, "  ")
+
+		shown := min(topK, len(s.Rejected))
+		for j := 0; j < shown; j++ {
+			alt := &s.Rejected[j]
+			kind := "prefix"
+			if alt.Complete {
+				kind = "complete plan"
+			}
+			fmt.Printf("\nrejected #%d — %s at depth %d (f=%.6f = g %.6f + h %.6f, distance %.2f):\n",
+				j+1, kind, alt.Depth, alt.F, alt.G, alt.H, alt.Distance)
+			ledger(&alt.Ledger, "  ")
+		}
+		if len(s.Rejected) == 0 {
+			fmt.Println("\nno rejected alternatives: the frontier was empty when the search committed")
+		}
+	}
+}
+
+// ledger renders one plan's Eq. 3 decomposition.
+func ledger(l *provenance.PlanLedger, pad string) {
+	if l.Error != "" {
+		fmt.Printf("%sledger replay failed: %s\n", pad, l.Error)
+		return
+	}
+	if len(l.Actions) == 0 {
+		fmt.Printf("%s(no actions: stay in the current configuration)\n", pad)
+	}
+	for i, a := range l.Actions {
+		fmt.Printf("%s%2d. %-40s %6.1fs @ %+9.4f $/s = %+9.4f $\n",
+			pad, i+1, a.Action, a.DurationSec, a.RateDollarsPerSec, a.CostDollars)
+	}
+	fmt.Printf("%stransient: %+.4f $ over %.1fs\n", pad, l.TransientDollars, l.PlanDurationSec)
+	fmt.Printf("%ssteady:    %+.4f $ = (perf %+.4f + power %+.4f $/s) x %.1fs remaining\n",
+		pad, l.SteadyDollars, l.SteadyPerfRate, l.SteadyPwrRate, l.SteadySec)
+	fmt.Printf("%stotal:     %+.6f $\n", pad, l.Utility)
+}
+
+// Record aliases the provenance record for brevity in summarize.
+type Record = provenance.Record

@@ -6,7 +6,8 @@
 //	mistral-sim [-strategy mistral|naive|perf-pwr|perf-cost|pwr-cost]
 //	            [-apps N] [-duration 6h30m] [-seed N] [-zones N] [-workers N]
 //	            [-dvfs] [-csv] [-fault-rate P] [-fault-seed N]
-//	            [-trace FILE] [-metrics FILE] [-log-level LEVEL] [-pprof ADDR]
+//	            [-provenance FILE] [-trace FILE] [-metrics FILE]
+//	            [-log-level LEVEL] [-pprof ADDR]
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"github.com/mistralcloud/mistral/internal/experiments"
 	"github.com/mistralcloud/mistral/internal/fault"
 	"github.com/mistralcloud/mistral/internal/obs"
+	"github.com/mistralcloud/mistral/internal/provenance"
 	"github.com/mistralcloud/mistral/internal/scenario"
 	"github.com/mistralcloud/mistral/internal/strategy"
 )
@@ -43,6 +45,7 @@ func run() (err error) {
 		dvfs         = flag.Bool("dvfs", false, "equip hosts with 60/80% DVFS levels (the §VI extension)")
 		faultRate    = flag.Float64("fault-rate", 0, "action-failure probability in [0,1]; >0 enables the fault plane (delays, host crashes, and sensor faults scale with it)")
 		faultSeed    = flag.Uint64("fault-seed", 0, "fault schedule seed (0 = use -seed)")
+		provPath     = flag.String("provenance", "", "write one decision-provenance record per window as JSONL to FILE (inspect with mistral-explain)")
 		asCSV        = flag.Bool("csv", false, "emit CSV instead of aligned columns")
 		tracePath    = flag.String("trace", "", "write span trace to FILE (.json = Chrome trace_event for Perfetto, else JSONL)")
 		metricsPath  = flag.String("metrics", "", `write metrics registry dump to FILE at exit ("-" = stderr)`)
@@ -81,6 +84,19 @@ func run() (err error) {
 	if err != nil {
 		return err
 	}
+	var rec *provenance.Recorder
+	if *provPath != "" {
+		f, ferr := os.Create(*provPath)
+		if ferr != nil {
+			return ferr
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		rec = provenance.NewRecorder(f)
+	}
 	eval, err := lab.NewEvaluator()
 	if err != nil {
 		return err
@@ -93,6 +109,7 @@ func run() (err error) {
 			Naive:              strings.EqualFold(*strategyName, "naive"),
 			MonitoringInterval: lab.Util.MonitoringInterval,
 			Workers:            *workers,
+			Provenance:         rec.Enabled(),
 		})
 	case "perf-pwr":
 		decider = strategy.NewPerfPwr(eval)
@@ -108,12 +125,13 @@ func run() (err error) {
 	}
 
 	res, err := scenario.Run(tb, decider, scenario.RunConfig{
-		Traces:   lab.Traces,
-		Duration: *duration,
-		Interval: lab.Util.MonitoringInterval,
-		Utility:  lab.Util,
-		Workers:  *workers,
-		Fault:    inj,
+		Traces:     lab.Traces,
+		Duration:   *duration,
+		Interval:   lab.Util.MonitoringInterval,
+		Utility:    lab.Util,
+		Workers:    *workers,
+		Fault:      inj,
+		Provenance: rec,
 	})
 	if err != nil {
 		return err
@@ -153,6 +171,9 @@ func run() (err error) {
 
 	fmt.Fprintf(os.Stderr, "\n%s: cumulative utility $%.1f, %d actions, %d decision runs (mean search %v), %d target violations\n",
 		res.Strategy, res.CumUtility, res.TotalActions, res.Invocations, res.MeanSearchTime, res.TargetViolations)
+	if rec.Enabled() {
+		fmt.Fprintf(os.Stderr, "provenance: %d records written to %s (inspect with mistral-explain %[2]s)\n", rec.Count(), *provPath)
+	}
 	if inj.Enabled() {
 		counts := inj.Counts()
 		fmt.Fprintf(os.Stderr, "faults (rate %.0f%%, seed %d): %d injected — %d degraded windows, %d failed actions (%d retries, %d skipped), %d host crashes, %d sensor drops\n",

@@ -12,6 +12,7 @@ import (
 	"github.com/mistralcloud/mistral/internal/cluster"
 	"github.com/mistralcloud/mistral/internal/obs"
 	"github.com/mistralcloud/mistral/internal/par"
+	"github.com/mistralcloud/mistral/internal/provenance"
 )
 
 // SearchOptions tunes the adaptation search of §IV-B.
@@ -72,6 +73,14 @@ type SearchOptions struct {
 	// (TimePerChild per child) deliberately ignores Workers: it models the
 	// paper's single controller host.
 	Workers int
+	// Provenance enables the search flight recorder: the returned
+	// SearchResult carries a bounded provenance.SearchDigest (expanded
+	// vertices with f/g/h, pruning events with reasons, termination, the
+	// chosen plan's Eq. 3 ledger, and the top rejected frontier
+	// alternatives). False — the default — costs one nil check per
+	// expansion and leaves results bit-identical to an uninstrumented
+	// search.
+	Provenance bool
 }
 
 func (o SearchOptions) withDefaults() SearchOptions {
@@ -145,6 +154,9 @@ type SearchResult struct {
 	RootDistance float64
 	// PrunedChildren counts children discarded by Self-Aware pruning.
 	PrunedChildren int
+	// Prov is the flight-recorder digest of this search; nil unless
+	// SearchOptions.Provenance is set.
+	Prov *provenance.SearchDigest
 }
 
 // vertex is a node in the search graph.
@@ -261,7 +273,12 @@ func (s *Searcher) search(cfg cluster.Config, rates map[string]float64, cw time.
 		if err != nil {
 			return SearchResult{}, err
 		}
-		return SearchResult{Utility: cwSec * st.NetRate()}, nil
+		res := SearchResult{Utility: cwSec * st.NetRate()}
+		if opts.Provenance {
+			res.Prov = newDigestBuilder(0).finalize(provenance.TermNoChange, &res,
+				s.eval.PlanLedger(cfg, rates, cw, nil), nil)
+		}
+		return res, nil
 	}
 
 	remaining := func(d time.Duration) float64 {
@@ -308,6 +325,10 @@ func (s *Searcher) search(cfg cluster.Config, rates map[string]float64, cw time.
 
 	res := SearchResult{RootDistance: rootDist, PeakFrontier: 1}
 	var bestCandidate *vertex
+	var dig *digestBuilder
+	if opts.Provenance {
+		dig = newDigestBuilder(rootDist)
+	}
 	dbg := s.log.Enabled(context.Background(), slog.LevelDebug)
 
 	// Self-awareness state (Algorithm 1). The cost of searching has two
@@ -333,12 +354,36 @@ func (s *Searcher) search(cfg cluster.Config, rates map[string]float64, cw time.
 	}
 	delayThreshold := time.Duration(float64(cw) * opts.DelayFraction)
 
-	finish := func(v *vertex) SearchResult {
+	finish := func(v *vertex, term string) SearchResult {
 		res.Plan = v.plan
 		res.Utility = v.utility
 		res.SearchTime = elapsed
 		res.SearchCost = upwrT
+		if dig != nil {
+			res.Prov = dig.finalize(term, &res,
+				s.eval.PlanLedger(cfg, rates, cw, v.plan),
+				harvestRejected(s.eval, open, bestByKey, v, cfg, ideal.Config, rates, cw))
+		}
 		return res
+	}
+
+	// stayPut ends the search with no adaptation (the frontier drained or a
+	// cap fired before any candidate was found): keep the current
+	// configuration for the window.
+	stayPut := func(term string) (SearchResult, error) {
+		st, err := s.eval.Steady(cfg, rates)
+		if err != nil {
+			return SearchResult{}, err
+		}
+		res.SearchTime = elapsed
+		res.SearchCost = upwrT
+		res.Utility = cwSec * st.NetRate()
+		if dig != nil {
+			res.Prov = dig.finalize(term, &res,
+				s.eval.PlanLedger(cfg, rates, cw, nil),
+				harvestRejected(s.eval, open, bestByKey, nil, cfg, ideal.Config, rates, cw))
+		}
+		return res, nil
 	}
 
 	slack := opts.EpsilonMargin * (math.Abs(idealRate)*cwSec + 1e-9)
@@ -348,37 +393,50 @@ func (s *Searcher) search(cfg cluster.Config, rates map[string]float64, cw time.
 			continue // stale duplicate
 		}
 		if vmax.finished {
-			return finish(vmax), nil
+			return finish(vmax, provenance.TermGoal), nil
 		}
 		// ε-termination: the frontier's optimism has decayed to within the
 		// margin of the best complete plan.
 		if bestCandidate != nil && bestCandidate.utility >= vmax.utility-slack {
-			return finish(bestCandidate), nil
+			// The popped head goes back on the heap first: it is the very
+			// alternative the search declined to explore, and the rejected
+			// digest should lead with it.
+			if dig != nil {
+				heap.Push(open, vmax)
+			}
+			return finish(bestCandidate, provenance.TermEpsilon), nil
 		}
 		// Self-aware deadline: once the search has run twice past its delay
 		// budget it commits to the best complete plan found — a suboptimal
 		// decision now beats an optimal one whose cost is never recouped
 		// ("consuming power to save power").
 		if opts.SelfAware && elapsed >= 2*delayThreshold && bestCandidate != nil {
-			return finish(bestCandidate), nil
+			if dig != nil {
+				heap.Push(open, vmax)
+			}
+			return finish(bestCandidate, provenance.TermDeadline), nil
 		}
 		if res.Expanded >= opts.MaxExpansions ||
 			(opts.MaxSearchTime > 0 && elapsed >= opts.MaxSearchTime) {
 			res.Truncated = true
+			term := provenance.TermMaxExpansions
+			if res.Expanded < opts.MaxExpansions {
+				term = provenance.TermMaxSearchTime
+			}
+			if dig != nil {
+				heap.Push(open, vmax)
+			}
 			if bestCandidate != nil {
-				return finish(bestCandidate), nil
+				return finish(bestCandidate, term), nil
 			}
 			// No candidate seen: stay put.
-			st, err := s.eval.Steady(cfg, rates)
-			if err != nil {
-				return SearchResult{}, err
-			}
-			res.SearchTime = elapsed
-			res.SearchCost = upwrT
-			res.Utility = cwSec * st.NetRate()
-			return res, nil
+			return stayPut(term)
 		}
 		res.Expanded++
+		if dig != nil {
+			dig.vertex(res.Expanded, len(vmax.plan), vmax.utility, vmax.accrued,
+				ConfigDistance(vmax.cfg, ideal.Config), open.Len())
+		}
 		if dbg && res.Expanded%50 == 1 {
 			s.log.Debug("search pop",
 				"expanded", res.Expanded,
@@ -459,6 +517,15 @@ func (s *Searcher) search(cfg cluster.Config, rates map[string]float64, cw time.
 			children = pruneByDistance(children, ideal.Config, opts.PruneFraction, opts.PruneMinKeep)
 			res.PrunedChildren += before - len(children)
 			res.Pruned = true
+			if dig != nil && before > len(children) {
+				// Algorithm 1 has two triggers; name the one that fired
+				// (budget wins when both hold — it is the stronger signal).
+				reason := provenance.ReasonDelayThreshold
+				if (ut + upwrT) >= uh {
+					reason = provenance.ReasonUtilityBudget
+				}
+				dig.event(res.Expanded, provenance.EventWidthPrune, reason, before-len(children), elapsed)
+			}
 		}
 
 		var warm []*vertex
@@ -496,14 +563,7 @@ func (s *Searcher) search(cfg cluster.Config, rates map[string]float64, cw time.
 
 	// Open set exhausted without a finished vertex (tiny action spaces):
 	// stay put.
-	st, err := s.eval.Steady(cfg, rates)
-	if err != nil {
-		return SearchResult{}, err
-	}
-	res.SearchTime = elapsed
-	res.SearchCost = upwrT
-	res.Utility = cwSec * st.NetRate()
-	return res, nil
+	return stayPut(provenance.TermExhausted)
 }
 
 // pruneByDistance keeps the fraction of children closest to the ideal

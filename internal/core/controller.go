@@ -9,6 +9,7 @@ import (
 	"github.com/mistralcloud/mistral/internal/cluster"
 	"github.com/mistralcloud/mistral/internal/obs"
 	"github.com/mistralcloud/mistral/internal/predict"
+	"github.com/mistralcloud/mistral/internal/provenance"
 	"github.com/mistralcloud/mistral/internal/workload"
 )
 
@@ -75,6 +76,11 @@ type ControllerOptions struct {
 	// Obs overrides the process-default observer (obs.SetDefault) for this
 	// controller and its searcher; nil resolves the default.
 	Obs *obs.Observer
+	// Provenance enables the decision flight recorder: every Decision
+	// carries a provenance.DecisionProv (prediction context plus the search
+	// digest; see SearchOptions.Provenance, which this implies). Off by
+	// default; decisions are identical either way.
+	Provenance bool
 }
 
 func (o ControllerOptions) withDefaults() ControllerOptions {
@@ -98,6 +104,9 @@ func (o ControllerOptions) withDefaults() ControllerOptions {
 	}
 	if o.Search.Workers == 0 {
 		o.Search.Workers = o.Workers
+	}
+	if o.Provenance {
+		o.Search.Provenance = true
 	}
 	return o
 }
@@ -184,7 +193,12 @@ type Decision struct {
 	// decision because evaluating the current configuration, the Perf-Pwr
 	// ideal, or the search itself errored. The cluster keeps running on
 	// its current configuration and the controller retries next window.
-	Degraded bool
+	// DegradedReason names the failing stage and error.
+	Degraded       bool
+	DegradedReason string
+	// Prov is this decision's flight-recorder entry; nil unless
+	// ControllerOptions.Provenance is set.
+	Prov *provenance.DecisionProv
 }
 
 // fallback degrades to the no-adaptation decision: log a warning, count
@@ -194,7 +208,15 @@ func (c *Controller) fallback(now time.Duration, stage string, err error) Decisi
 	c.cFallbacks.Inc()
 	c.log.Warn("controller degrading to no adaptation",
 		"controller", c.opts.Name, "t", now, "stage", stage, "err", err)
-	return Decision{Invoked: true, Degraded: true}
+	d := Decision{Invoked: true, Degraded: true, DegradedReason: stage + ": " + err.Error()}
+	if c.opts.Provenance {
+		d.Prov = &provenance.DecisionProv{
+			Controller:     c.opts.Name,
+			Degraded:       true,
+			DegradedReason: d.DegradedReason,
+		}
+	}
+	return d
 }
 
 // ShouldRun reports whether the current rates escape the controller's
@@ -256,9 +278,12 @@ func (c *Controller) Decide(now time.Duration, cfg cluster.Config, rates map[str
 		measured = now - c.bandStart
 		c.est.Observe(measured)
 	}
-	cw := c.est.Predict()
+	predicted := c.est.Predict()
+	cw := predicted
+	floor := ""
 	if cw < c.opts.MinCW {
 		cw = c.opts.MinCW
+		floor = "min-cw"
 	}
 	cur, err := c.eval.Steady(cfg, rates)
 	if err != nil {
@@ -271,6 +296,7 @@ func (c *Controller) Decide(now time.Duration, cfg cluster.Config, rates map[str
 	for name, a := range c.eval.Utility().Apps {
 		if rates[name] > 0 && cur.RTSec[name] > a.TargetRT.Seconds() && cw < c.opts.CrisisCW {
 			cw = c.opts.CrisisCW
+			floor = "crisis-cw"
 			break
 		}
 	}
@@ -332,7 +358,7 @@ func (c *Controller) Decide(now time.Duration, cfg cluster.Config, rates map[str
 			"expanded", sr.Expanded,
 			"search_time", sr.SearchTime)
 	}
-	return Decision{
+	d := Decision{
 		Invoked:          true,
 		Plan:             sr.Plan,
 		CW:               cw,
@@ -340,5 +366,23 @@ func (c *Controller) Decide(now time.Duration, cfg cluster.Config, rates map[str
 		Ideal:            ideal,
 		Search:           sr,
 		CurrentNetRate:   cur.NetRate(),
-	}, nil
+	}
+	if c.opts.Provenance {
+		st := c.est.State()
+		d.Prov = &provenance.DecisionProv{
+			Controller: c.opts.Name,
+			Predict: &provenance.PredictProv{
+				BandWidth:    c.opts.BandWidth,
+				MeasuredSec:  measured.Seconds(),
+				PredictedSec: predicted.Seconds(),
+				CWSec:        cw.Seconds(),
+				Floor:        floor,
+				Beta:         st.Beta,
+				ARMAMeasured: st.Measured,
+				ARMAErrors:   st.Errors,
+			},
+			Search: sr.Prov,
+		}
+	}
+	return d, nil
 }

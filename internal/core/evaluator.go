@@ -22,6 +22,7 @@ import (
 	"github.com/mistralcloud/mistral/internal/lqn"
 	"github.com/mistralcloud/mistral/internal/obs"
 	"github.com/mistralcloud/mistral/internal/power"
+	"github.com/mistralcloud/mistral/internal/provenance"
 	"github.com/mistralcloud/mistral/internal/utility"
 )
 
@@ -341,3 +342,59 @@ func (e *Evaluator) Action(cfg cluster.Config, base Steady, a cluster.Action, ra
 
 // Model exposes the LQN model (used by scenario assembly).
 func (e *Evaluator) Model() *lqn.Model { return e.model }
+
+// PlanLedger replays a plan from cfg and decomposes its Eq. 3 utility for
+// the flight recorder: per-action transient costs in execution order, then
+// the final configuration's steady rates over the window time left. The
+// replay performs the same operations in the same order as the search's
+// vertex accounting (Apply, Action, accrued += duration·rate, then
+// remaining·NetRate), so for the chosen plan the ledger's Utility
+// reproduces SearchResult.Utility bit-for-bit — the provenance --check
+// tolerance of 1e-9 is slack, not rounding headroom. A replay failure is
+// recorded in Error rather than returned: a ledger that cannot be rebuilt
+// should not fail the decision it documents.
+func (e *Evaluator) PlanLedger(cfg cluster.Config, rates map[string]float64, cw time.Duration, plan []cluster.Action) provenance.PlanLedger {
+	var l provenance.PlanLedger
+	cur := cfg
+	var dur time.Duration
+	var accrued float64
+	for i, a := range plan {
+		st, err := e.Steady(cur, rates)
+		if err != nil {
+			l.Error = fmt.Sprintf("action %d (%s): steady: %v", i, a, err)
+			return l
+		}
+		next, filled, err := cluster.Apply(e.cat, cur, a)
+		if err != nil {
+			l.Error = fmt.Sprintf("action %d (%s): apply: %v", i, a, err)
+			return l
+		}
+		ac := e.Action(cur, st, filled, rates)
+		l.Actions = append(l.Actions, provenance.ActionProv{
+			Action:            filled.String(),
+			DurationSec:       ac.Duration.Seconds(),
+			RateDollarsPerSec: ac.Rate,
+			CostDollars:       ac.Duration.Seconds() * ac.Rate,
+		})
+		accrued += ac.Duration.Seconds() * ac.Rate
+		dur += ac.Duration
+		cur = next
+	}
+	st, err := e.Steady(cur, rates)
+	if err != nil {
+		l.Error = fmt.Sprintf("final steady: %v", err)
+		return l
+	}
+	rem := (cw - dur).Seconds()
+	if rem < 0 {
+		rem = 0
+	}
+	l.TransientDollars = accrued
+	l.PlanDurationSec = dur.Seconds()
+	l.SteadyPerfRate = st.PerfRate
+	l.SteadyPwrRate = st.PowerRate
+	l.SteadySec = rem
+	l.SteadyDollars = rem * st.NetRate()
+	l.Utility = accrued + l.SteadyDollars
+	return l
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"github.com/mistralcloud/mistral/internal/cluster"
+	"github.com/mistralcloud/mistral/internal/provenance"
+)
+
+// Bounds on the per-search flight-recorder digest. A 2h replay invokes the
+// search hundreds of times; unbounded capture of a 2500-expansion search
+// would dwarf the decisions it explains. The caps keep a record's digest a
+// few tens of KiB while retaining the expansion prefix (where pruning and
+// termination decisions are made) and counting what fell past the cap.
+const (
+	provMaxVertices = 256
+	provMaxEvents   = 128
+	provMaxRejected = 3
+)
+
+// digestBuilder accumulates one search's provenance.SearchDigest under the
+// caps above. A nil builder is a valid disabled builder (the search
+// constructs one only when SearchOptions.Provenance is set), so the hot
+// path pays a nil check per expansion and nothing else.
+type digestBuilder struct {
+	d provenance.SearchDigest
+}
+
+func newDigestBuilder(rootDist float64) *digestBuilder {
+	b := &digestBuilder{}
+	b.d.RootDistance = rootDist
+	return b
+}
+
+// vertex records one expanded vertex in pop order (bounded).
+func (b *digestBuilder) vertex(seq, depth int, f, g, dist float64, frontier int) {
+	if b == nil {
+		return
+	}
+	if len(b.d.Vertices) >= provMaxVertices {
+		b.d.DroppedVertices++
+		return
+	}
+	b.d.Vertices = append(b.d.Vertices, provenance.VertexProv{
+		Seq: seq, Depth: depth, F: f, G: g, H: f - g, Distance: dist, Frontier: frontier,
+	})
+}
+
+// event records one pruning/deadline incident (bounded).
+func (b *digestBuilder) event(expansion int, kind, reason string, dropped int, elapsed time.Duration) {
+	if b == nil {
+		return
+	}
+	if len(b.d.Events) >= provMaxEvents {
+		b.d.DroppedEvents++
+		return
+	}
+	b.d.Events = append(b.d.Events, provenance.EventProv{
+		Expansion: expansion, Kind: kind, Reason: reason, Dropped: dropped, ElapsedSec: elapsed.Seconds(),
+	})
+}
+
+// finalize stamps the termination reason and the completed SearchResult's
+// statistics into the digest and returns it. chosen is the Eq. 3 ledger of
+// the winning plan; rejected the harvested frontier alternatives.
+func (b *digestBuilder) finalize(term string, res *SearchResult, chosen provenance.PlanLedger, rejected []provenance.Alternative) *provenance.SearchDigest {
+	if b == nil {
+		return nil
+	}
+	b.d.Termination = term
+	b.d.Utility = res.Utility
+	b.d.SearchTimeSec = res.SearchTime.Seconds()
+	b.d.SearchCostDollars = res.SearchCost
+	b.d.Expanded = res.Expanded
+	b.d.Generated = res.Generated
+	b.d.PrunedChildren = res.PrunedChildren
+	b.d.PeakFrontier = res.PeakFrontier
+	b.d.Truncated = res.Truncated
+	b.d.Chosen = chosen
+	b.d.Rejected = rejected
+	return &b.d
+}
+
+// harvestRejected digests the best alternatives still open when the search
+// committed: the plans it would have explored next. chosen is excluded,
+// stale duplicates (superseded by a better path to the same configuration)
+// are skipped, and the survivors are ordered best-first with a
+// deterministic tie-break (priority desc, depth asc, plan string asc) so
+// records are byte-identical at every Workers setting — the heap's
+// internal slice order for equal priorities is not guaranteed stable
+// across runs.
+func harvestRejected(e *Evaluator, open *vertexHeap, bestByKey map[string]float64, chosen *vertex, root, ideal cluster.Config, rates map[string]float64, cw time.Duration) []provenance.Alternative {
+	type cand struct {
+		v    *vertex
+		plan string
+	}
+	var cands []cand
+	for _, v := range *open {
+		if v == chosen {
+			continue
+		}
+		if !v.finished && v.utility < bestByKey[v.key]-1e-12 {
+			continue // stale duplicate; a better path to this config exists
+		}
+		cands = append(cands, cand{v: v, plan: cluster.PlanString(v.plan)})
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.v.utility != b.v.utility {
+			return a.v.utility > b.v.utility
+		}
+		if len(a.v.plan) != len(b.v.plan) {
+			return len(a.v.plan) < len(b.v.plan)
+		}
+		return a.plan < b.plan
+	})
+	if len(cands) > provMaxRejected {
+		cands = cands[:provMaxRejected]
+	}
+	out := make([]provenance.Alternative, 0, len(cands))
+	for _, c := range cands {
+		out = append(out, provenance.Alternative{
+			Depth:    len(c.v.plan),
+			F:        c.v.utility,
+			G:        c.v.accrued,
+			H:        c.v.utility - c.v.accrued,
+			Distance: ConfigDistance(c.v.cfg, ideal),
+			Complete: c.v.finished,
+			Ledger:   e.PlanLedger(root, rates, cw, c.v.plan),
+		})
+	}
+	return out
+}

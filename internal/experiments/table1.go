@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/mistralcloud/mistral/internal/core"
+	"github.com/mistralcloud/mistral/internal/provenance"
 	"github.com/mistralcloud/mistral/internal/scenario"
 	"github.com/mistralcloud/mistral/internal/strategy"
 )
@@ -43,6 +44,11 @@ type Table1Options struct {
 	// strategy.MistralConfig.Workers; 0 = min(GOMAXPROCS, 8), 1 = serial).
 	// Decisions and utilities are identical at every setting.
 	Workers int
+	// Provenance, when non-nil and enabled, records one decision-provenance
+	// record per window of every replay in the study (self-aware and naive,
+	// all sizes) into a single JSONL stream; windows restart at 0 at each
+	// run boundary. Nil leaves the replays byte-identical to unrecorded runs.
+	Provenance *provenance.Recorder
 }
 
 // Table1Scalability reproduces Table I: 2/3/4 applications on 4/6/8 hosts
@@ -89,6 +95,7 @@ func Table1Scalability(seed uint64, opts Table1Options) (*Table1Result, error) {
 				Naive:              naive,
 				MonitoringInterval: lab.Util.MonitoringInterval,
 				Workers:            opts.Workers,
+				Provenance:         opts.Provenance.Enabled(),
 				Search: core.SearchOptions{
 					TimePerChild:  300 * time.Microsecond,
 					MaxExpansions: maxExp,
@@ -98,11 +105,12 @@ func Table1Scalability(seed uint64, opts Table1Options) (*Table1Result, error) {
 				return nil, nil, err
 			}
 			r, err := scenario.Run(tb, m, scenario.RunConfig{
-				Traces:   lab.Traces,
-				Duration: opts.Duration,
-				Interval: lab.Util.MonitoringInterval,
-				Utility:  lab.Util,
-				Workers:  opts.Workers,
+				Traces:     lab.Traces,
+				Duration:   opts.Duration,
+				Interval:   lab.Util.MonitoringInterval,
+				Utility:    lab.Util,
+				Workers:    opts.Workers,
+				Provenance: opts.Provenance,
 			})
 			return r, m, err
 		}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusExposition scrapes a populated registry over HTTP and
+// parses the exposition back, checking sample values, cumulative bucket
+// semantics, and the deterministic sorted ordering.
+func TestWritePrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("decisions.total").Add(7)
+	r.Counter("actions.total").Add(3)
+	r.Gauge("power.watts").Set(82.5)
+	h := r.Histogram("search.seconds", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+
+	srv := httptest.NewServer(r.MetricsHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	samples := map[string]float64{}
+	types := map[string]string{}
+	var order []string
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, _ := strings.Cut(rest, " ")
+			types[name] = typ
+			order = append(order, name)
+			continue
+		}
+		key, val, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("unparseable line %q", line)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		samples[key] = f
+	}
+
+	for name, typ := range map[string]string{
+		"decisions_total": "counter",
+		"actions_total":   "counter",
+		"power_watts":     "gauge",
+		"search_seconds":  "histogram",
+	} {
+		if types[name] != typ {
+			t.Errorf("%s: type %q, want %q", name, types[name], typ)
+		}
+	}
+	// Counters sort before each other, gauges after, histograms last; names
+	// within a kind are sorted.
+	want := []string{"actions_total", "decisions_total", "power_watts", "search_seconds"}
+	if strings.Join(order, ",") != strings.Join(want, ",") {
+		t.Errorf("metric order %v, want %v", order, want)
+	}
+
+	if samples["decisions_total"] != 7 || samples["actions_total"] != 3 {
+		t.Errorf("counter samples wrong: %v", samples)
+	}
+	if samples["power_watts"] != 82.5 {
+		t.Errorf("gauge sample %v", samples["power_watts"])
+	}
+	// Buckets are cumulative: 1 obs <= 0.01, 3 <= 0.1, 4 <= 1, 5 total.
+	for le, want := range map[string]float64{"0.01": 1, "0.1": 3, "1": 4, "+Inf": 5} {
+		key := `search_seconds_bucket{le="` + le + `"}`
+		if samples[key] != want {
+			t.Errorf("%s = %v, want %v", key, samples[key], want)
+		}
+	}
+	if samples["search_seconds_count"] != 5 {
+		t.Errorf("histogram count %v", samples["search_seconds_count"])
+	}
+	if got := samples["search_seconds_sum"]; math.Abs(got-5.605) > 1e-12 {
+		t.Errorf("histogram sum %v", got)
+	}
+}
+
+// TestMetricsHandlerNilRegistry checks the endpoint stays mountable with
+// observability disabled: an empty exposition, not an error.
+func TestMetricsHandlerNilRegistry(t *testing.T) {
+	var r *Registry
+	rec := httptest.NewRecorder()
+	r.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if body := rec.Body.String(); body != "" {
+		t.Errorf("nil registry served %q", body)
+	}
+}
+
+// TestPromName checks the metric-name sanitization.
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"search.seconds":   "search_seconds",
+		"l1/decide-time":   "l1_decide_time",
+		"9lives":           "_9lives",
+		"already_ok:total": "already_ok:total",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestHistogramQuantiles checks the bucket-interpolated estimates against
+// hand-computed values.
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram([]float64{10, 20, 40})
+	// 10 observations in (0,10], 10 in (10,20], none higher.
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+		h.Observe(15)
+	}
+	s := h.Snapshot()
+	// p50: rank 10 lands exactly at the first bucket's upper edge.
+	if got := s.Quantile(0.50); math.Abs(got-10) > 1e-12 {
+		t.Errorf("p50 = %v, want 10", got)
+	}
+	// p90: rank 18 is 8/10 into the (10,20] bucket -> 18.
+	if got := s.Quantile(0.90); math.Abs(got-18) > 1e-12 {
+		t.Errorf("p90 = %v, want 18", got)
+	}
+	if s.P50 != s.Quantile(0.50) || s.P90 != s.Quantile(0.90) || s.P99 != s.Quantile(0.99) {
+		t.Error("snapshot P50/P90/P99 disagree with Quantile")
+	}
+
+	// Ranks past the last finite bound clamp to it.
+	h2 := newHistogram([]float64{1})
+	h2.Observe(100)
+	s2 := h2.Snapshot()
+	if got := s2.Quantile(0.99); got != 1 {
+		t.Errorf("overflow quantile = %v, want last bound 1", got)
+	}
+
+	// Empty histograms report 0, keeping snapshots JSON-encodable.
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v", got)
+	}
+	if s := new(Histogram).Snapshot(); s.P99 != 0 {
+		t.Errorf("empty snapshot P99 = %v", s.P99)
+	}
+}

@@ -89,12 +89,54 @@ func (h *Histogram) Observe(v float64) {
 
 // HistogramSnapshot is a consistent-enough copy of a histogram: Bounds
 // holds the finite upper bounds and Counts one extra trailing overflow
-// bucket.
+// bucket. P50/P90/P99 are bucket-interpolated quantile estimates (see
+// Quantile); they are 0 when the histogram is empty.
 type HistogramSnapshot struct {
 	Bounds []float64 `json:"bounds"`
 	Counts []int64   `json:"counts"`
 	Count  int64     `json:"count"`
 	Sum    float64   `json:"sum"`
+	P50    float64   `json:"p50"`
+	P90    float64   `json:"p90"`
+	P99    float64   `json:"p99"`
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by locating the bucket
+// holding the target rank and interpolating linearly inside it, the same
+// estimate Prometheus's histogram_quantile computes. The first bucket's
+// lower edge is taken as 0 (or its own bound when that is negative), and
+// ranks landing in the overflow bucket report the last finite bound — the
+// estimate cannot exceed what the buckets resolve. An empty histogram
+// reports 0 (not NaN, which would poison JSON encoding).
+func (s *HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, bound := range s.Bounds {
+		prev := cum
+		cum += s.Counts[i]
+		if float64(cum) < rank {
+			continue
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		} else if bound < 0 {
+			lower = bound
+		}
+		if s.Counts[i] == 0 {
+			return bound
+		}
+		return lower + (bound-lower)*(rank-float64(prev))/float64(s.Counts[i])
+	}
+	return s.Bounds[len(s.Bounds)-1] // rank fell in the overflow bucket
 }
 
 // Snapshot copies the histogram's current state.
@@ -111,6 +153,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	for i := range h.counts {
 		s.Counts[i] = atomic.LoadInt64(&h.counts[i])
 	}
+	s.P50, s.P90, s.P99 = s.Quantile(0.50), s.Quantile(0.90), s.Quantile(0.99)
 	return s
 }
 

@@ -21,8 +21,9 @@ type CLI struct {
 	// LogLevel enables structured logging to stderr at debug, info,
 	// warn, or error.
 	LogLevel string
-	// PprofAddr serves net/http/pprof and expvar (/debug/vars) on this
-	// address, e.g. "localhost:6060".
+	// PprofAddr serves net/http/pprof, expvar (/debug/vars), and the live
+	// Prometheus exposition (/metrics) on this address, e.g.
+	// "localhost:6060".
 	PprofAddr string
 }
 
@@ -61,8 +62,13 @@ func (c CLI) Build() (*Observer, func() error, error) {
 		o.Log = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 	}
 	if c.PprofAddr != "" {
+		// pprof and expvar register on the default mux; wrap it so the
+		// Prometheus endpoint rides the same listener.
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", o.Metrics.MetricsHandler())
+		mux.Handle("/", http.DefaultServeMux)
 		go func() {
-			if err := http.ListenAndServe(c.PprofAddr, nil); err != nil {
+			if err := http.ListenAndServe(c.PprofAddr, mux); err != nil {
 				fmt.Fprintf(os.Stderr, "obs: pprof server: %v\n", err)
 			}
 		}()

@@ -71,6 +71,24 @@ func (e *Estimator) Predict() time.Duration {
 // enough history exists.
 func (e *Estimator) LastBeta() float64 { return e.beta }
 
+// State is a snapshot of the estimator's internals, taken for decision
+// provenance: the β in force and the bounded measurement/error histories
+// (seconds, newest last).
+type State struct {
+	Beta     float64
+	Measured []float64
+	Errors   []float64
+}
+
+// State snapshots the estimator (the slices are copies).
+func (e *Estimator) State() State {
+	return State{
+		Beta:     e.beta,
+		Measured: append([]float64(nil), e.measured...),
+		Errors:   append([]float64(nil), e.errors...),
+	}
+}
+
 // maxIntervalSec clamps measurements and estimates: a stability interval
 // longer than 30 days is a unit artifact (divergent rates, duration
 // overflow), not workload information.

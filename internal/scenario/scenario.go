@@ -13,6 +13,7 @@ import (
 	"github.com/mistralcloud/mistral/internal/fault"
 	"github.com/mistralcloud/mistral/internal/obs"
 	"github.com/mistralcloud/mistral/internal/par"
+	"github.com/mistralcloud/mistral/internal/provenance"
 	"github.com/mistralcloud/mistral/internal/testbed"
 	"github.com/mistralcloud/mistral/internal/utility"
 	"github.com/mistralcloud/mistral/internal/workload"
@@ -31,8 +32,15 @@ type Decision struct {
 	// host power over SearchTime); charged against the window's utility.
 	SearchCost float64
 	// Degraded reports the strategy fell back to a no-adaptation decision
-	// (evaluation error, search deadline) instead of failing outright.
-	Degraded bool
+	// (evaluation error, search deadline) instead of failing outright;
+	// DegradedReason names the failing stage and error.
+	Degraded       bool
+	DegradedReason string
+	// Provs carries one flight-recorder entry per controller invocation
+	// behind this decision, in controller order (the Mistral hierarchy can
+	// run several 1st-level controllers in one opportunity). Nil unless the
+	// decider was built with provenance enabled.
+	Provs []*provenance.DecisionProv
 }
 
 // Decider is a control strategy. Implementations: the Mistral hierarchy and
@@ -73,6 +81,13 @@ type RunConfig struct {
 	Fault *fault.Injector
 	// Retry bounds the re-execution of retryable failed actions.
 	Retry RetryPolicy
+	// Provenance, when non-nil, receives one flight-recorder Record per
+	// monitoring window — including Busy windows (a previous plan still
+	// executing) and Degraded windows (with their failure reason). The
+	// recorder's first write error aborts the replay at the end of the run.
+	// Nil — the default — records nothing and leaves the replay
+	// byte-identical to an unrecorded one.
+	Provenance *provenance.Recorder
 }
 
 // RetryPolicy bounds retry-with-backoff for actions the fault plane failed
@@ -138,8 +153,11 @@ type WindowLog struct {
 	ActiveHosts int
 	// Degraded marks a window that absorbed a failure instead of aborting:
 	// a decide/execute error, a strategy fallback, a failed or skipped
-	// action, a host crash, or a dropped sensor window.
-	Degraded bool
+	// action, a host crash, or a dropped sensor window. DegradedReason
+	// names every cause that struck, semicolon-joined in the order they
+	// landed.
+	Degraded       bool
+	DegradedReason string
 	// FailedActions counts actions an injected fault aborted this window.
 	FailedActions int
 	// Retried counts re-executions of previously failed actions.
@@ -148,6 +166,18 @@ type WindowLog struct {
 	HostCrashes int
 	// SensorDropped marks the window's measurements as a stale replay.
 	SensorDropped bool
+}
+
+// degrade marks the window degraded and appends the cause to its reason.
+func (w *WindowLog) degrade(reason string) {
+	w.Degraded = true
+	if reason == "" {
+		return
+	}
+	if w.DegradedReason != "" {
+		w.DegradedReason += "; "
+	}
+	w.DegradedReason += reason
 }
 
 // Result is a completed scenario replay.
@@ -305,13 +335,42 @@ func Run(tb *testbed.Testbed, d Decider, cfg RunConfig) (*Result, error) {
 			log.FailedActions += rep.Failed
 			res.FailedActions += rep.Failed
 			cFailedActions.Add(int64(rep.Failed))
-			log.Degraded = true
+			log.degrade(fmt.Sprintf("%d action(s) failed", rep.Failed))
 			retries = queueRetries(retries, rep, attempt, now, cfg.Retry)
 		}
 		if rep.Skipped > 0 {
 			res.SkippedActions += rep.Skipped
-			log.Degraded = true
+			log.degrade(fmt.Sprintf("%d action(s) skipped", rep.Skipped))
 		}
+	}
+
+	// record emits one provenance record for a completed (or aborted)
+	// window; window indices count every window, busy ones included.
+	win := 0
+	record := func(log *WindowLog, busy bool, searchCost float64, provs []*provenance.DecisionProv) {
+		if !cfg.Provenance.Enabled() {
+			return
+		}
+		// Append's first error is sticky on the recorder and surfaced when
+		// the replay ends; the replay itself never aborts mid-window over a
+		// provenance write.
+		_ = cfg.Provenance.Append(&provenance.Record{
+			Window:            win,
+			TimeSec:           log.Time.Seconds(),
+			Strategy:          res.Strategy,
+			Invoked:           log.Invoked,
+			Busy:              busy,
+			Degraded:          log.Degraded,
+			DegradedReason:    log.DegradedReason,
+			Actions:           log.Actions,
+			SearchTimeSec:     log.SearchTime.Seconds(),
+			SearchCostDollars: searchCost,
+			UtilityDollars:    log.Utility,
+			CumUtilityDollars: log.CumUtility,
+			Watts:             log.Watts,
+			Decisions:         provs,
+		})
+		win++
 	}
 
 	for t := time.Duration(0); t < cfg.Duration; t += cfg.Interval {
@@ -333,7 +392,7 @@ func Run(tb *testbed.Testbed, d Decider, cfg RunConfig) (*Result, error) {
 					continue
 				}
 				log.HostCrashes++
-				log.Degraded = true
+				log.degrade("host crash: " + h)
 				res.HostCrashes++
 				cCrashes.Inc()
 				olog.Warn("host crashed",
@@ -354,7 +413,7 @@ func Run(tb *testbed.Testbed, d Decider, cfg RunConfig) (*Result, error) {
 				res.Retries++
 				cRetries.Inc()
 				log.Retried++
-				log.Degraded = true
+				log.degrade(fmt.Sprintf("retry of failed %s", rt.action.Kind))
 				rep, err := tb.Execute([]cluster.Action{rt.action})
 				if err != nil {
 					// The cluster moved on (host crashed, VM re-placed);
@@ -368,7 +427,10 @@ func Run(tb *testbed.Testbed, d Decider, cfg RunConfig) (*Result, error) {
 
 		// Invoke the strategy unless the testbed is still executing a
 		// previously chosen plan.
-		if !tb.Busy() {
+		busy := tb.Busy()
+		var searchCost float64
+		var provs []*provenance.DecisionProv
+		if !busy {
 			sp := tr.Start("decide", t, obs.Attr{Key: "strategy", Value: d.Name()})
 			dec, err := safeDecide(d, t, tb.Config(), rates)
 			if err != nil {
@@ -377,16 +439,22 @@ func Run(tb *testbed.Testbed, d Decider, cfg RunConfig) (*Result, error) {
 					"strategy", d.Name(), "t", t, "err", err)
 				res.DecideErrors++
 				cDecideErr.Inc()
-				log.Degraded = true
+				log.degrade("decide: " + err.Error())
 			} else {
+				provs = dec.Provs
 				if dec.Invoked {
 					res.Invocations++
 					totalSearch += dec.SearchTime
 					log.Invoked = true
 					log.SearchTime = dec.SearchTime
+					searchCost = dec.SearchCost
 				}
 				if dec.Degraded {
-					log.Degraded = true
+					reason := dec.DegradedReason
+					if reason == "" {
+						reason = "strategy fallback"
+					}
+					log.degrade(reason)
 					res.FallbackDecisions++
 				}
 				var planDur time.Duration
@@ -399,7 +467,7 @@ func Run(tb *testbed.Testbed, d Decider, cfg RunConfig) (*Result, error) {
 						olog.Warn("plan rejected", "strategy", d.Name(), "t", t, "err", err)
 						res.ExecRejections++
 						cExecRej.Inc()
-						log.Degraded = true
+						log.degrade("plan rejected: " + err.Error())
 					} else {
 						planDur = rep.Duration
 						countExec(&log, rep, 1, t)
@@ -427,7 +495,9 @@ func Run(tb *testbed.Testbed, d Decider, cfg RunConfig) (*Result, error) {
 			res.CumUtility += log.Utility
 			log.CumUtility = res.CumUtility
 			log.ActiveHosts = tb.Config().NumActiveHosts()
+			log.degrade("measure: " + err.Error())
 			res.Windows = append(res.Windows, log)
+			record(&log, busy, searchCost, provs)
 			if res.Invocations > 0 {
 				res.MeanSearchTime = totalSearch / time.Duration(res.Invocations)
 			}
@@ -437,7 +507,7 @@ func Run(tb *testbed.Testbed, d Decider, cfg RunConfig) (*Result, error) {
 		log.Watts = w.Watts
 		if w.SensorDropped {
 			log.SensorDropped = true
-			log.Degraded = true
+			log.degrade("sensor window dropped")
 			res.SensorDrops++
 		}
 
@@ -458,6 +528,10 @@ func Run(tb *testbed.Testbed, d Decider, cfg RunConfig) (*Result, error) {
 		if log.Degraded {
 			res.DegradedWindows++
 			cDegraded.Inc()
+			olog.Warn("window degraded",
+				"strategy", d.Name(),
+				"t", log.Time,
+				"reason", log.DegradedReason)
 		}
 		cWindows.Inc()
 		cViolations.Add(int64(res.TargetViolations - violationsBefore))
@@ -476,9 +550,13 @@ func Run(tb *testbed.Testbed, d Decider, cfg RunConfig) (*Result, error) {
 		res.EnergyKWh += w.Watts * cfg.Interval.Hours() / 1000
 		res.HostHours += float64(log.ActiveHosts) * cfg.Interval.Hours()
 		res.Windows = append(res.Windows, log)
+		record(&log, busy, searchCost, provs)
 	}
 	if res.Invocations > 0 {
 		res.MeanSearchTime = totalSearch / time.Duration(res.Invocations)
+	}
+	if err := cfg.Provenance.Err(); err != nil {
+		return res, fmt.Errorf("scenario: %w", err)
 	}
 	return res, nil
 }

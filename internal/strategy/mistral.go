@@ -17,6 +17,7 @@ import (
 	"github.com/mistralcloud/mistral/internal/core"
 	"github.com/mistralcloud/mistral/internal/obs"
 	"github.com/mistralcloud/mistral/internal/par"
+	"github.com/mistralcloud/mistral/internal/provenance"
 	"github.com/mistralcloud/mistral/internal/scenario"
 )
 
@@ -54,6 +55,10 @@ type MistralConfig struct {
 	// Obs overrides the process-default observer (obs.SetDefault) for
 	// every controller in the hierarchy; nil resolves the default.
 	Obs *obs.Observer
+	// Provenance enables the decision flight recorder on every controller
+	// in the hierarchy: Decide returns scenario.Decision.Provs entries in
+	// controller order. Off by default; decisions are identical either way.
+	Provenance bool
 }
 
 // LevelStats aggregates search activity per hierarchy level (Table I).
@@ -131,6 +136,7 @@ func NewMistral(eval *core.Evaluator, cfg MistralConfig) (*Mistral, error) {
 		CrisisCW:           cfg.CrisisCW,
 		Workers:            cfg.Workers,
 		Obs:                cfg.Obs,
+		Provenance:         cfg.Provenance,
 	})
 	if err != nil {
 		return nil, err
@@ -148,9 +154,10 @@ func NewMistral(eval *core.Evaluator, cfg MistralConfig) (*Mistral, error) {
 			MonitoringInterval: cfg.MonitoringInterval,
 			// WAN migrations take tens of minutes: plan over hour-scale
 			// windows or they can never pay off.
-			MinCW:   30 * time.Minute,
-			Workers: cfg.Workers,
-			Obs:     cfg.Obs,
+			MinCW:      30 * time.Minute,
+			Workers:    cfg.Workers,
+			Obs:        cfg.Obs,
+			Provenance: cfg.Provenance,
 		})
 		if err != nil {
 			return nil, err
@@ -183,6 +190,7 @@ func NewMistral(eval *core.Evaluator, cfg MistralConfig) (*Mistral, error) {
 			// per-controller resets would thrash it mid-flight.
 			RetainCache: true,
 			Obs:         cfg.Obs,
+			Provenance:  cfg.Provenance,
 		})
 		if err != nil {
 			return nil, err
@@ -225,19 +233,28 @@ func (m *Mistral) addStats(level int, searchTime time.Duration) {
 // disjoint host groups concatenate into one plan; their controllers run in
 // parallel, so the decision delay is the slowest of them.
 func (m *Mistral) Decide(now time.Duration, cfg cluster.Config, rates map[string]float64) (scenario.Decision, error) {
+	// Provenance entries accumulate across the levels consulted this
+	// opportunity, in controller order (L3 first when it ran, even if its
+	// empty plan fell through to the lower levels).
+	var provs []*provenance.DecisionProv
 	if m.l3 != nil && m.l3.ShouldRun(rates) {
 		d, err := m.l3.Decide(now, cfg, rates)
 		if err != nil {
 			return scenario.Decision{}, err
 		}
 		m.addStats(2, d.Search.SearchTime)
+		if d.Prov != nil {
+			provs = append(provs, d.Prov)
+		}
 		if len(d.Plan) > 0 {
 			return scenario.Decision{
-				Invoked:    d.Invoked,
-				Plan:       d.Plan,
-				SearchTime: d.Search.SearchTime,
-				SearchCost: d.Search.SearchCost,
-				Degraded:   d.Degraded,
+				Invoked:        d.Invoked,
+				Plan:           d.Plan,
+				SearchTime:     d.Search.SearchTime,
+				SearchCost:     d.Search.SearchCost,
+				Degraded:       d.Degraded,
+				DegradedReason: d.DegradedReason,
+				Provs:          provs,
 			}, nil
 		}
 		// An empty 3rd-level plan falls through: the lower levels refine.
@@ -248,12 +265,17 @@ func (m *Mistral) Decide(now time.Duration, cfg cluster.Config, rates map[string
 			return scenario.Decision{}, err
 		}
 		m.addStats(1, d.Search.SearchTime)
+		if d.Prov != nil {
+			provs = append(provs, d.Prov)
+		}
 		return scenario.Decision{
-			Invoked:    d.Invoked,
-			Plan:       d.Plan,
-			SearchTime: d.Search.SearchTime,
-			SearchCost: d.Search.SearchCost,
-			Degraded:   d.Degraded,
+			Invoked:        d.Invoked,
+			Plan:           d.Plan,
+			SearchTime:     d.Search.SearchTime,
+			SearchCost:     d.Search.SearchCost,
+			Degraded:       d.Degraded,
+			DegradedReason: d.DegradedReason,
+			Provs:          provs,
 		}, nil
 	}
 	// 1st-level controllers own disjoint host groups and share the
@@ -273,8 +295,8 @@ func (m *Mistral) Decide(now time.Duration, cfg cluster.Config, rates map[string
 		d, err := m.l1[i].Decide(now, cfg, rates)
 		results[i] = l1Result{d: d, err: err}
 	})
-	out := scenario.Decision{}
-	for _, r := range results {
+	out := scenario.Decision{Provs: provs}
+	for i, r := range results {
 		if r.err != nil {
 			return scenario.Decision{}, r.err
 		}
@@ -284,7 +306,20 @@ func (m *Mistral) Decide(now time.Duration, cfg cluster.Config, rates map[string
 		}
 		m.addStats(0, d.Search.SearchTime)
 		out.Invoked = true
-		out.Degraded = out.Degraded || d.Degraded
+		if d.Degraded {
+			out.Degraded = true
+			reason := d.DegradedReason
+			if reason == "" {
+				reason = "fallback"
+			}
+			if out.DegradedReason != "" {
+				out.DegradedReason += "; "
+			}
+			out.DegradedReason += m.l1[i].Name() + ": " + reason
+		}
+		if d.Prov != nil {
+			out.Provs = append(out.Provs, d.Prov)
+		}
 		out.SearchCost += d.Search.SearchCost
 		if d.Search.SearchTime > out.SearchTime {
 			out.SearchTime = d.Search.SearchTime

@@ -5,6 +5,7 @@ import (
 
 	"github.com/mistralcloud/mistral/internal/cluster"
 	"github.com/mistralcloud/mistral/internal/core"
+	"github.com/mistralcloud/mistral/internal/provenance"
 	"github.com/mistralcloud/mistral/internal/scenario"
 	"github.com/mistralcloud/mistral/internal/utility"
 )
@@ -73,12 +74,18 @@ func (p *PerfCost) Decide(now time.Duration, cfg cluster.Config, rates map[strin
 	if err != nil {
 		return scenario.Decision{}, err
 	}
-	return scenario.Decision{
-		Invoked:    d.Invoked,
-		Plan:       d.Plan,
-		SearchTime: d.Search.SearchTime,
-		SearchCost: d.Search.SearchCost,
-	}, nil
+	out := scenario.Decision{
+		Invoked:        d.Invoked,
+		Plan:           d.Plan,
+		SearchTime:     d.Search.SearchTime,
+		SearchCost:     d.Search.SearchCost,
+		Degraded:       d.Degraded,
+		DegradedReason: d.DegradedReason,
+	}
+	if d.Prov != nil {
+		out.Provs = []*provenance.DecisionProv{d.Prov}
+	}
+	return out, nil
 }
 
 // RecordWindow implements scenario.Decider.
