@@ -7,13 +7,14 @@
 //	            [-apps N] [-duration 6h30m] [-seed N] [-zones N] [-workers N]
 //	            [-dvfs] [-csv] [-fault-rate P] [-fault-seed N]
 //	            [-provenance FILE] [-trace FILE] [-metrics FILE]
-//	            [-log-level LEVEL] [-pprof ADDR]
+//	            [-log-level LEVEL] [-pprof ADDR] [-bench-json FILE]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -51,12 +52,22 @@ func run() (err error) {
 		metricsPath  = flag.String("metrics", "", `write metrics registry dump to FILE at exit ("-" = stderr)`)
 		logLevel     = flag.String("log-level", "", "structured logging to stderr: debug, info, warn, error")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof and expvar (/debug/vars) on ADDR, e.g. localhost:6060")
+		benchJSON    = flag.String("bench-json", "", "write the run's perf counters as JSON to FILE (BENCH_search.json schema: expansions, ns/expansion, allocs/expansion, cache hit %, decide latency percentiles)")
 	)
 	flag.Parse()
 
 	ob, closeObs, err := obs.CLI{TracePath: *tracePath, MetricsPath: *metricsPath, LogLevel: *logLevel, PprofAddr: *pprofAddr}.Build()
 	if err != nil {
 		return err
+	}
+	if *benchJSON != "" {
+		// The perf counters ride the metrics registry; make sure one exists
+		// even when no other observability knob is set.
+		if ob == nil {
+			ob = &obs.Observer{Metrics: obs.NewRegistry()}
+		} else if ob.Metrics == nil {
+			ob.Metrics = obs.NewRegistry()
+		}
 	}
 	obs.SetDefault(ob)
 	defer func() {
@@ -124,6 +135,11 @@ func run() (err error) {
 		return err
 	}
 
+	var mem0 runtime.MemStats
+	if *benchJSON != "" {
+		runtime.GC()
+		runtime.ReadMemStats(&mem0)
+	}
 	res, err := scenario.Run(tb, decider, scenario.RunConfig{
 		Traces:     lab.Traces,
 		Duration:   *duration,
@@ -181,6 +197,46 @@ func run() (err error) {
 			res.DegradedWindows, res.FailedActions, res.Retries, res.SkippedActions,
 			res.HostCrashes, res.SensorDrops)
 	}
-	_ = time.Second
+	if *benchJSON != "" {
+		var mem1 runtime.MemStats
+		runtime.ReadMemStats(&mem1)
+		st := eval.CacheStats() // the last window's counters, not yet flushed
+		hits := int(ob.Metrics.CounterValue("eval_cache_hits_total")) + st.Hits
+		misses := int(ob.Metrics.CounterValue("eval_cache_misses_total")) + st.Misses
+		var decideWall time.Duration
+		for _, d := range res.DecideWall {
+			decideWall += d
+		}
+		br := &experiments.BenchResult{
+			Seed:       *seed,
+			Apps:       *numApps,
+			Hosts:      lab.Opts.NumHosts,
+			Windows:    len(res.Windows),
+			Workers:    *workers,
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			Expansions: int(ob.Metrics.CounterValue("search_expansions_total")),
+			Generated:  int(ob.Metrics.CounterValue("search_generated_total")),
+			WallSec:    decideWall.Seconds(),
+		}
+		if br.Expansions > 0 && decideWall > 0 {
+			br.ExpansionsPerSec = float64(br.Expansions) / decideWall.Seconds()
+			br.NsPerExpansion = float64(decideWall.Nanoseconds()) / float64(br.Expansions)
+			// Allocation counts cover the whole replay (testbed included),
+			// unlike mistral-exp -run bench, which isolates the decide path.
+			br.AllocsPerExpansion = float64(mem1.Mallocs-mem0.Mallocs) / float64(br.Expansions)
+			br.BytesPerExpansion = float64(mem1.TotalAlloc-mem0.TotalAlloc) / float64(br.Expansions)
+		}
+		if hits+misses > 0 {
+			br.CacheHitPct = 100 * float64(hits) / float64(hits+misses)
+		}
+		br.DecideP50Ms = experiments.QuantileMs(res.DecideWall, 0.50)
+		br.DecideP99Ms = experiments.QuantileMs(res.DecideWall, 0.99)
+		if err := br.WriteJSON(*benchJSON); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bench: wrote %s\n", *benchJSON)
+	}
 	return nil
 }

@@ -116,19 +116,24 @@ func PlanString(plan []Action) string {
 	return strings.Join(parts, "; ")
 }
 
-// Apply executes the action on cfg and returns the resulting configuration.
-// Apply enforces action *feasibility* (the action must make sense in cfg:
-// e.g. a migrated VM must be active and the destination powered on) but not
-// candidate constraints: the result may be an intermediate configuration
+// Stage validates the action against cfg and returns the filled-in Action
+// plus the Delta it would make, without cloning or mutating anything. It
+// enforces action *feasibility* (the action must make sense in cfg: e.g. a
+// migrated VM must be active and the destination powered on) but not
+// candidate constraints: the delta may lead to an intermediate configuration
 // that oversubscribes a host, as the paper's search deliberately allows.
 // The returned Action is the input with derived fields (FromHost, CPUPct)
 // filled in for cost accounting.
-func Apply(cat *Catalog, cfg Config, a Action) (Config, Action, error) {
+//
+// Stage is the allocation-free core of Apply: search code stages candidate
+// children, evaluates them through the delta overlay and FingerprintWith,
+// and only materializes survivors.
+func Stage(cat *Catalog, cfg Config, a Action) (Action, Delta, error) {
 	switch a.Kind {
 	case ActionIncreaseCPU:
 		p, ok := cfg.PlacementOf(a.VM)
 		if !ok {
-			return Config{}, a, fmt.Errorf("cluster: increase-cpu: VM %q not active", a.VM)
+			return a, Delta{}, fmt.Errorf("cluster: increase-cpu: VM %q not active", a.VM)
 		}
 		delta := a.DeltaCPUPct
 		if delta <= 0 {
@@ -137,17 +142,15 @@ func Apply(cat *Catalog, cfg Config, a Action) (Config, Action, error) {
 		}
 		spec, _ := cat.Host(p.Host)
 		if p.CPUPct+delta > spec.UsableCPUPct+1e-9 {
-			return Config{}, a, fmt.Errorf("cluster: increase-cpu: VM %q would exceed host usable capacity (%.1f+%.1f > %.1f)", a.VM, p.CPUPct, delta, spec.UsableCPUPct)
+			return a, Delta{}, fmt.Errorf("cluster: increase-cpu: VM %q would exceed host usable capacity (%.1f+%.1f > %.1f)", a.VM, p.CPUPct, delta, spec.UsableCPUPct)
 		}
-		n := cfg.Clone()
-		n.Place(a.VM, p.Host, p.CPUPct+delta)
 		a.Host = p.Host
-		return n, a, nil
+		return a, Delta{VM: a.VM, OldPlaced: true, Old: p, NewPlaced: true, New: Placement{Host: p.Host, CPUPct: p.CPUPct + delta}}, nil
 
 	case ActionDecreaseCPU:
 		p, ok := cfg.PlacementOf(a.VM)
 		if !ok {
-			return Config{}, a, fmt.Errorf("cluster: decrease-cpu: VM %q not active", a.VM)
+			return a, Delta{}, fmt.Errorf("cluster: decrease-cpu: VM %q not active", a.VM)
 		}
 		delta := a.DeltaCPUPct
 		if delta <= 0 {
@@ -155,128 +158,125 @@ func Apply(cat *Catalog, cfg Config, a Action) (Config, Action, error) {
 			a.DeltaCPUPct = delta
 		}
 		if p.CPUPct-delta < cat.MinCPUPct-1e-9 {
-			return Config{}, a, fmt.Errorf("cluster: decrease-cpu: VM %q would fall below minimum (%.1f-%.1f < %.1f)", a.VM, p.CPUPct, delta, cat.MinCPUPct)
+			return a, Delta{}, fmt.Errorf("cluster: decrease-cpu: VM %q would fall below minimum (%.1f-%.1f < %.1f)", a.VM, p.CPUPct, delta, cat.MinCPUPct)
 		}
-		n := cfg.Clone()
-		n.Place(a.VM, p.Host, p.CPUPct-delta)
 		a.Host = p.Host
-		return n, a, nil
+		return a, Delta{VM: a.VM, OldPlaced: true, Old: p, NewPlaced: true, New: Placement{Host: p.Host, CPUPct: p.CPUPct - delta}}, nil
 
 	case ActionAddReplica:
-		vm, ok := cat.VM(a.VM)
-		if !ok {
-			return Config{}, a, fmt.Errorf("cluster: add-replica: unknown VM %q", a.VM)
+		if _, ok := cat.VM(a.VM); !ok {
+			return a, Delta{}, fmt.Errorf("cluster: add-replica: unknown VM %q", a.VM)
 		}
 		if cfg.Active(a.VM) {
-			return Config{}, a, fmt.Errorf("cluster: add-replica: VM %q already active", a.VM)
+			return a, Delta{}, fmt.Errorf("cluster: add-replica: VM %q already active", a.VM)
 		}
 		if _, ok := cat.Host(a.Host); !ok {
-			return Config{}, a, fmt.Errorf("cluster: add-replica: unknown host %q", a.Host)
+			return a, Delta{}, fmt.Errorf("cluster: add-replica: unknown host %q", a.Host)
 		}
 		if !cfg.HostOn(a.Host) {
-			return Config{}, a, fmt.Errorf("cluster: add-replica: host %q is off", a.Host)
+			return a, Delta{}, fmt.Errorf("cluster: add-replica: host %q is off", a.Host)
 		}
 		cpu := a.CPUPct
 		if cpu <= 0 {
 			cpu = cat.MinCPUPct
 			a.CPUPct = cpu
 		}
-		_ = vm
-		n := cfg.Clone()
-		n.Place(a.VM, a.Host, cpu)
-		return n, a, nil
+		return a, Delta{VM: a.VM, NewPlaced: true, New: Placement{Host: a.Host, CPUPct: cpu}}, nil
 
 	case ActionRemoveReplica:
 		vm, ok := cat.VM(a.VM)
 		if !ok {
-			return Config{}, a, fmt.Errorf("cluster: remove-replica: unknown VM %q", a.VM)
+			return a, Delta{}, fmt.Errorf("cluster: remove-replica: unknown VM %q", a.VM)
 		}
 		p, active := cfg.PlacementOf(a.VM)
 		if !active {
-			return Config{}, a, fmt.Errorf("cluster: remove-replica: VM %q not active", a.VM)
+			return a, Delta{}, fmt.Errorf("cluster: remove-replica: VM %q not active", a.VM)
 		}
 		k := TierKey{App: vm.App, Tier: vm.Tier}
 		if cat.TierRequired(k) && len(cfg.ActiveReplicas(cat, k)) <= 1 {
-			return Config{}, a, fmt.Errorf("cluster: remove-replica: VM %q is the last replica of required tier %s/%s", a.VM, k.App, k.Tier)
+			return a, Delta{}, fmt.Errorf("cluster: remove-replica: VM %q is the last replica of required tier %s/%s", a.VM, k.App, k.Tier)
 		}
-		n := cfg.Clone()
-		n.Unplace(a.VM)
 		a.FromHost = p.Host
-		return n, a, nil
+		return a, Delta{VM: a.VM, OldPlaced: true, Old: p}, nil
 
 	case ActionMigrate, ActionWANMigrate:
 		p, ok := cfg.PlacementOf(a.VM)
 		if !ok {
-			return Config{}, a, fmt.Errorf("cluster: %s: VM %q not active", a.Kind, a.VM)
+			return a, Delta{}, fmt.Errorf("cluster: %s: VM %q not active", a.Kind, a.VM)
 		}
 		if _, ok := cat.Host(a.Host); !ok {
-			return Config{}, a, fmt.Errorf("cluster: %s: unknown host %q", a.Kind, a.Host)
+			return a, Delta{}, fmt.Errorf("cluster: %s: unknown host %q", a.Kind, a.Host)
 		}
 		if a.Host == p.Host {
-			return Config{}, a, fmt.Errorf("cluster: %s: VM %q already on host %q", a.Kind, a.VM, a.Host)
+			return a, Delta{}, fmt.Errorf("cluster: %s: VM %q already on host %q", a.Kind, a.VM, a.Host)
 		}
 		if !cfg.HostOn(a.Host) {
-			return Config{}, a, fmt.Errorf("cluster: %s: destination host %q is off", a.Kind, a.Host)
+			return a, Delta{}, fmt.Errorf("cluster: %s: destination host %q is off", a.Kind, a.Host)
 		}
 		sameZone := cat.ZoneOf(p.Host) == cat.ZoneOf(a.Host)
 		if a.Kind == ActionMigrate && !sameZone {
-			return Config{}, a, fmt.Errorf("cluster: migrate: %q and %q are in different zones; use wan-migrate", p.Host, a.Host)
+			return a, Delta{}, fmt.Errorf("cluster: migrate: %q and %q are in different zones; use wan-migrate", p.Host, a.Host)
 		}
 		if a.Kind == ActionWANMigrate && sameZone {
-			return Config{}, a, fmt.Errorf("cluster: wan-migrate: %q and %q share a zone; use migrate", p.Host, a.Host)
+			return a, Delta{}, fmt.Errorf("cluster: wan-migrate: %q and %q share a zone; use migrate", p.Host, a.Host)
 		}
-		n := cfg.Clone()
-		n.Place(a.VM, a.Host, p.CPUPct)
 		a.FromHost = p.Host
 		a.CPUPct = p.CPUPct
-		return n, a, nil
+		return a, Delta{VM: a.VM, OldPlaced: true, Old: p, NewPlaced: true, New: Placement{Host: a.Host, CPUPct: p.CPUPct}}, nil
 
 	case ActionStartHost:
 		if _, ok := cat.Host(a.Host); !ok {
-			return Config{}, a, fmt.Errorf("cluster: start-host: unknown host %q", a.Host)
+			return a, Delta{}, fmt.Errorf("cluster: start-host: unknown host %q", a.Host)
 		}
 		if cfg.HostOn(a.Host) {
-			return Config{}, a, fmt.Errorf("cluster: start-host: host %q already on", a.Host)
+			return a, Delta{}, fmt.Errorf("cluster: start-host: host %q already on", a.Host)
 		}
-		n := cfg.Clone()
-		n.SetHostOn(a.Host, true)
-		return n, a, nil
+		return a, Delta{Host: a.Host, On: true}, nil
 
 	case ActionStopHost:
 		if _, ok := cat.Host(a.Host); !ok {
-			return Config{}, a, fmt.Errorf("cluster: stop-host: unknown host %q", a.Host)
+			return a, Delta{}, fmt.Errorf("cluster: stop-host: unknown host %q", a.Host)
 		}
 		if !cfg.HostOn(a.Host) {
-			return Config{}, a, fmt.Errorf("cluster: stop-host: host %q already off", a.Host)
+			return a, Delta{}, fmt.Errorf("cluster: stop-host: host %q already off", a.Host)
 		}
 		if n := cfg.VMsOnHost(a.Host); len(n) > 0 {
-			return Config{}, a, fmt.Errorf("cluster: stop-host: host %q still has %d VMs", a.Host, len(n))
+			return a, Delta{}, fmt.Errorf("cluster: stop-host: host %q still has %d VMs", a.Host, len(n))
 		}
-		n := cfg.Clone()
-		n.SetHostOn(a.Host, false)
-		return n, a, nil
+		return a, Delta{Host: a.Host, On: false}, nil
 
 	case ActionSetDVFS:
 		spec, ok := cat.Host(a.Host)
 		if !ok {
-			return Config{}, a, fmt.Errorf("cluster: set-dvfs: unknown host %q", a.Host)
+			return a, Delta{}, fmt.Errorf("cluster: set-dvfs: unknown host %q", a.Host)
 		}
 		if !cfg.HostOn(a.Host) {
-			return Config{}, a, fmt.Errorf("cluster: set-dvfs: host %q is off", a.Host)
+			return a, Delta{}, fmt.Errorf("cluster: set-dvfs: host %q is off", a.Host)
 		}
 		if !spec.HasDVFSLevel(a.Freq) {
-			return Config{}, a, fmt.Errorf("cluster: set-dvfs: host %q has no level %v", a.Host, a.Freq)
+			return a, Delta{}, fmt.Errorf("cluster: set-dvfs: host %q has no level %v", a.Host, a.Freq)
 		}
 		if cfg.HostFreq(a.Host) == a.Freq {
-			return Config{}, a, fmt.Errorf("cluster: set-dvfs: host %q already at %v", a.Host, a.Freq)
+			return a, Delta{}, fmt.Errorf("cluster: set-dvfs: host %q already at %v", a.Host, a.Freq)
 		}
-		n := cfg.Clone()
-		n.SetHostFreq(a.Host, a.Freq)
-		return n, a, nil
+		return a, Delta{FreqHost: a.Host, NewFreq: a.Freq}, nil
 
 	default:
-		return Config{}, a, fmt.Errorf("cluster: unknown action kind %d", int(a.Kind))
+		return a, Delta{}, fmt.Errorf("cluster: unknown action kind %d", int(a.Kind))
 	}
+}
+
+// Apply executes the action on cfg and returns the resulting configuration.
+// It is Stage followed by a deep clone and the staged delta; hot paths that
+// expand many candidates should Stage and materialize survivors themselves.
+func Apply(cat *Catalog, cfg Config, a Action) (Config, Action, error) {
+	filled, d, err := Stage(cat, cfg, a)
+	if err != nil {
+		return Config{}, filled, err
+	}
+	n := cfg.Clone()
+	n.ApplyDelta(d)
+	return n, filled, nil
 }
 
 // ApplyAll applies a sequence of actions, returning the final configuration
@@ -350,14 +350,15 @@ func (s ActionSpace) allowsAppHost(appName, host string) bool {
 
 // Enumerate generates every feasible single action from cfg within the
 // action space. The result is deterministic (sorted by VM/host iteration
-// order). Infeasible actions are filtered by attempting Apply.
+// order). Infeasible actions are filtered by attempting Stage, which
+// validates without cloning the configuration.
 func Enumerate(cat *Catalog, cfg Config, space ActionSpace) []Action {
 	hosts := space.hostSet()
 	inScope := func(h string) bool { return hosts == nil || hosts[h] }
 
 	var out []Action
 	tryAppend := func(a Action) {
-		if _, _, err := Apply(cat, cfg, a); err == nil {
+		if _, _, err := Stage(cat, cfg, a); err == nil {
 			out = append(out, a)
 		}
 	}

@@ -20,6 +20,11 @@ type Placement struct {
 //
 // Treat Config values as immutable: derive new ones with Clone or by
 // applying Actions. The zero value is an empty configuration.
+//
+// A Config carries an incrementally maintained 128-bit Fingerprint (see
+// fingerprint.go) kept in sync by the four mutators; all mutation must go
+// through Place/Unplace/SetHostOn/SetHostFreq (everything in this package
+// does).
 type Config struct {
 	// hostOn marks powered-on hosts. Hosts absent from the map are off.
 	hostOn map[string]bool
@@ -28,6 +33,13 @@ type Config struct {
 	// hostFreq holds DVFS frequency fractions; hosts absent from the map
 	// run at nominal speed (1.0).
 	hostFreq map[string]float64
+
+	// fp is the XOR-folded structural hash of the three maps.
+	fp Fingerprint
+
+	// shared* mark maps borrowed from another Config via CloneShared; the
+	// mutators copy-on-write a shared map before touching it.
+	sharedOn, sharedPl, sharedFq bool
 }
 
 // NewConfig returns an empty configuration (all hosts off, all VMs dormant).
@@ -43,6 +55,7 @@ func (c Config) Clone() Config {
 	n := Config{
 		hostOn:     make(map[string]bool, len(c.hostOn)),
 		placements: make(map[VMID]Placement, len(c.placements)),
+		fp:         c.fp,
 	}
 	for h, on := range c.hostOn {
 		if on {
@@ -61,16 +74,83 @@ func (c Config) Clone() Config {
 	return n
 }
 
+// CloneShared returns a copy-on-write copy: the three maps are shared with
+// the receiver and copied lazily by the first mutator that touches each.
+// The receiver must be treated as frozen (never mutated in place) for as
+// long as shared copies are live — the adaptation search satisfies this by
+// construction (vertex configurations are only read after creation). For a
+// copy that stays independent no matter what, use Clone.
+func (c Config) CloneShared() Config {
+	c.sharedOn, c.sharedPl, c.sharedFq = true, true, true
+	return c
+}
+
+// ownHostOn, ownPlacements, and ownHostFreq are the copy-on-write barriers:
+// each makes the corresponding map private (and non-nil) before a mutation.
+func (c *Config) ownHostOn() {
+	if !c.sharedOn {
+		if c.hostOn == nil {
+			c.hostOn = make(map[string]bool)
+		}
+		return
+	}
+	n := make(map[string]bool, len(c.hostOn)+1)
+	for h, on := range c.hostOn {
+		n[h] = on
+	}
+	c.hostOn = n
+	c.sharedOn = false
+}
+
+func (c *Config) ownPlacements() {
+	if !c.sharedPl {
+		if c.placements == nil {
+			c.placements = make(map[VMID]Placement)
+		}
+		return
+	}
+	n := make(map[VMID]Placement, len(c.placements)+1)
+	for id, p := range c.placements {
+		n[id] = p
+	}
+	c.placements = n
+	c.sharedPl = false
+}
+
+func (c *Config) ownHostFreq() {
+	if !c.sharedFq {
+		if c.hostFreq == nil {
+			c.hostFreq = make(map[string]float64)
+		}
+		return
+	}
+	n := make(map[string]float64, len(c.hostFreq)+1)
+	for h, f := range c.hostFreq {
+		n[h] = f
+	}
+	c.hostFreq = n
+	c.sharedFq = false
+}
+
 // SetHostFreq sets a host's DVFS frequency fraction; 1 restores nominal
 // speed. It does not check the host supports the level; use Validate.
 func (c *Config) SetHostFreq(host string, f float64) {
+	old, had := c.hostFreq[host]
+	if had && old == f {
+		return
+	}
+	if f == 1 && !had {
+		return
+	}
+	c.ownHostFreq()
+	if had {
+		c.fp.xor(tokFreq(host, freqBucket(old)))
+	}
 	if f == 1 {
 		delete(c.hostFreq, host)
 		return
 	}
-	if c.hostFreq == nil {
-		c.hostFreq = make(map[string]float64)
-	}
+	c.fp.xor(tokFreq(host, freqBucket(f)))
 	c.hostFreq[host] = f
 }
 
@@ -85,9 +165,11 @@ func (c Config) HostFreq(host string) float64 {
 // SetHostOn powers a host on or off in the configuration. It does not check
 // constraints; use Validate.
 func (c *Config) SetHostOn(host string, on bool) {
-	if c.hostOn == nil {
-		c.hostOn = make(map[string]bool)
+	if c.hostOn[host] == on {
+		return
 	}
+	c.ownHostOn()
+	c.fp.xor(tokHostOn(host))
 	if on {
 		c.hostOn[host] = true
 	} else {
@@ -124,14 +206,24 @@ func (c Config) NumActiveHosts() int {
 // Place activates a VM on a host with the given CPU allocation (or updates
 // its placement if already active). It does not check constraints.
 func (c *Config) Place(id VMID, host string, cpuPct float64) {
-	if c.placements == nil {
-		c.placements = make(map[VMID]Placement)
+	c.ownPlacements()
+	if old, ok := c.placements[id]; ok {
+		c.fp.xor(tokPlacement(id, old.Host, cpuBucket(old.CPUPct)))
 	}
+	c.fp.xor(tokPlacement(id, host, cpuBucket(cpuPct)))
 	c.placements[id] = Placement{Host: host, CPUPct: cpuPct}
 }
 
 // Unplace deactivates a VM (returns it to the dormant pool).
-func (c *Config) Unplace(id VMID) { delete(c.placements, id) }
+func (c *Config) Unplace(id VMID) {
+	old, ok := c.placements[id]
+	if !ok {
+		return
+	}
+	c.ownPlacements()
+	c.fp.xor(tokPlacement(id, old.Host, cpuBucket(old.CPUPct)))
+	delete(c.placements, id)
+}
 
 // PlacementOf returns the placement of a VM and whether it is active.
 func (c Config) PlacementOf(id VMID) (Placement, bool) {
@@ -228,8 +320,10 @@ func (c Config) Key() string {
 	return b.String()
 }
 
-// Equal reports whether two configurations are identical under Key.
-func (c Config) Equal(o Config) bool { return c.Key() == o.Key() }
+// Equal reports whether two configurations are identical under Key. It
+// compares the incrementally maintained fingerprints — two word compares —
+// rather than building two sorted key strings.
+func (c Config) Equal(o Config) bool { return c.fp == o.fp }
 
 // Violation describes one violated constraint found by Validate.
 type Violation struct {

@@ -7,6 +7,7 @@ import (
 	"log/slog"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/mistralcloud/mistral/internal/cluster"
@@ -159,16 +160,51 @@ type SearchResult struct {
 	Prov *provenance.SearchDigest
 }
 
-// vertex is a node in the search graph.
+// vertex is a node in the search graph. Its configuration shares unchanged
+// maps with its parent's (CloneShared + ApplyDelta), its identity is the
+// O(1) 128-bit fingerprint instead of a sorted key string, and its plan is
+// reconstructed on demand from the parent chain instead of being copied
+// into every child.
 type vertex struct {
 	cfg      cluster.Config
-	key      string
-	plan     []cluster.Action
-	dur      time.Duration // total duration of plan
-	accrued  float64       // utility accrued while executing plan, dollars
-	utility  float64       // priority: accrued + remaining-window bound
-	finished bool          // reached via the "null" action
-	index    int           // heap position
+	fp       cluster.Fingerprint
+	parent   *vertex        // expansion parent; nil at the root
+	act      cluster.Action // action that produced this vertex from parent
+	depth    int            // plan length (root: 0)
+	dur      time.Duration  // total duration of plan
+	accrued  float64        // utility accrued while executing plan, dollars
+	utility  float64        // priority: accrued + remaining-window bound
+	finished bool           // reached via the "null" action
+	index    int            // heap position
+}
+
+// planOf rebuilds the action sequence leading to v by walking the parent
+// chain. Root (and finished-at-root) vertices yield a nil plan, matching
+// the stay-put decision's representation.
+func planOf(v *vertex) []cluster.Action {
+	if v == nil || v.depth == 0 {
+		return nil
+	}
+	plan := make([]cluster.Action, v.depth)
+	for cur := v; cur != nil && cur.depth > 0; cur = cur.parent {
+		plan[cur.depth-1] = cur.act
+	}
+	return plan
+}
+
+// childDesc is a staged child during expansion: everything the dedup,
+// pruning, and priority logic needs, produced without cloning the parent
+// configuration. Only descriptors that survive dedup and pruning are
+// materialized into vertices.
+type childDesc struct {
+	ok      bool
+	act     cluster.Action
+	delta   cluster.Delta
+	fp      cluster.Fingerprint
+	dur     time.Duration
+	accrued float64
+	utility float64
+	dist    float64 // distance to ideal, for pruning/shaping
 }
 
 type vertexHeap []*vertex
@@ -192,6 +228,11 @@ type Searcher struct {
 	eval *Evaluator
 	opts SearchOptions
 
+	// vpool recycles search vertices across expansions and searches.
+	// Stale duplicates popped from the frontier were never expanded, so
+	// nothing references them and they return to the pool immediately.
+	vpool sync.Pool
+
 	// Observability sinks, resolved at construction (see obs.SetDefault)
 	// and rebindable with SetObserver. All are nil-safe no-ops when
 	// observability is disabled.
@@ -210,8 +251,21 @@ type Searcher struct {
 // NewSearcher builds a searcher.
 func NewSearcher(eval *Evaluator, opts SearchOptions) *Searcher {
 	s := &Searcher{eval: eval, opts: opts.withDefaults()}
+	s.vpool.New = func() any { return new(vertex) }
 	s.SetObserver(obs.Default())
 	return s
+}
+
+// getVertex draws a zeroed vertex from the pool.
+func (s *Searcher) getVertex() *vertex {
+	return s.vpool.Get().(*vertex)
+}
+
+// putVertex returns a vertex nothing references anymore. The struct is
+// cleared so pooled vertices do not pin configuration maps or parents.
+func (s *Searcher) putVertex(v *vertex) {
+	*v = vertex{}
+	s.vpool.Put(v)
 }
 
 // SetObserver rebinds the searcher's observability sinks (construction
@@ -265,11 +319,14 @@ func (s *Searcher) search(cfg cluster.Config, rates map[string]float64, cw time.
 		return SearchResult{}, fmt.Errorf("core: non-positive control window %v", cw)
 	}
 	idealRate := ideal.Steady.NetRate()
+	// One workload fingerprint for the whole search: every steady lookup
+	// below shares it instead of re-fingerprinting the rates map per child.
+	rfp := s.eval.RatesFingerprint(rates)
 
 	// As in the paper: if the ideal configuration equals the current one,
 	// no adaptation is worth considering.
 	if ideal.Config.Equal(cfg) {
-		st, err := s.eval.Steady(cfg, rates)
+		st, err := s.eval.SteadyFP(cfg, rates, rfp)
 		if err != nil {
 			return SearchResult{}, err
 		}
@@ -299,29 +356,29 @@ func (s *Searcher) search(cfg cluster.Config, rates map[string]float64, cw time.
 	// frontier toward c* at the price of ε-bounded (rather than exact)
 	// optimality.
 	curRate := 0.0
-	if st, err := s.eval.Steady(cfg, rates); err == nil {
+	if st, err := s.eval.SteadyFP(cfg, rates, rfp); err == nil {
 		curRate = st.NetRate()
 	}
-	rootDist := ConfigDistance(cfg, ideal.Config)
+	// dc folds the same distance as ConfigDistance, bit-for-bit, against
+	// per-search precomputed ideal state — and can measure a staged child
+	// through its Delta overlay before the child exists.
+	dc := newDistancer(s.eval.cat, ideal.Config)
+	rootDist := dc.distance(cfg, nil)
 	var distWeight float64
 	if gain := (idealRate - curRate) * cwSec; gain > 0 && rootDist > 1e-9 {
 		distWeight = opts.ShapingFraction * gain / rootDist
 	}
-	shaped := func(v *vertex) float64 {
-		u := v.accrued + remaining(v.dur)*idealRate
-		if distWeight > 0 {
-			u -= distWeight * ConfigDistance(v.cfg, ideal.Config)
-		}
-		return u
-	}
 
-	root := &vertex{cfg: cfg, key: cfg.Key()}
-	root.utility = shaped(root)
+	root := &vertex{cfg: cfg, fp: cfg.Fingerprint()}
+	root.utility = root.accrued + remaining(root.dur)*idealRate
+	if distWeight > 0 {
+		root.utility -= distWeight * rootDist
+	}
 
 	open := &vertexHeap{}
 	heap.Init(open)
 	heap.Push(open, root)
-	bestByKey := map[string]float64{root.key: root.utility}
+	bestByKey := map[cluster.Fingerprint]float64{root.fp: root.utility}
 
 	res := SearchResult{RootDistance: rootDist, PeakFrontier: 1}
 	var bestCandidate *vertex
@@ -343,7 +400,7 @@ func (s *Searcher) search(cfg cluster.Config, rates map[string]float64, cw time.
 	uh := expected.Total
 	var ut, upwrT float64
 	var elapsed time.Duration
-	curSteady, err := s.eval.Steady(cfg, rates)
+	curSteady, err := s.eval.SteadyFP(cfg, rates, rfp)
 	if err != nil {
 		return SearchResult{}, err
 	}
@@ -355,13 +412,13 @@ func (s *Searcher) search(cfg cluster.Config, rates map[string]float64, cw time.
 	delayThreshold := time.Duration(float64(cw) * opts.DelayFraction)
 
 	finish := func(v *vertex, term string) SearchResult {
-		res.Plan = v.plan
+		res.Plan = planOf(v)
 		res.Utility = v.utility
 		res.SearchTime = elapsed
 		res.SearchCost = upwrT
 		if dig != nil {
 			res.Prov = dig.finalize(term, &res,
-				s.eval.PlanLedger(cfg, rates, cw, v.plan),
+				s.eval.PlanLedger(cfg, rates, cw, res.Plan),
 				harvestRejected(s.eval, open, bestByKey, v, cfg, ideal.Config, rates, cw))
 		}
 		return res
@@ -371,7 +428,7 @@ func (s *Searcher) search(cfg cluster.Config, rates map[string]float64, cw time.
 	// cap fired before any candidate was found): keep the current
 	// configuration for the window.
 	stayPut := func(term string) (SearchResult, error) {
-		st, err := s.eval.Steady(cfg, rates)
+		st, err := s.eval.SteadyFP(cfg, rates, rfp)
 		if err != nil {
 			return SearchResult{}, err
 		}
@@ -386,11 +443,21 @@ func (s *Searcher) search(cfg cluster.Config, rates map[string]float64, cw time.
 		return res, nil
 	}
 
+	// Scratch reused across expansions so the steady-state loop allocates
+	// only for surviving children and heap growth.
+	var descs []childDesc
+	var pruneIdx []int
+	var warm []*vertex
+
 	slack := opts.EpsilonMargin * (math.Abs(idealRate)*cwSec + 1e-9)
 	for open.Len() > 0 {
 		vmax := heap.Pop(open).(*vertex)
-		if vmax.utility < bestByKey[vmax.key]-1e-12 && !vmax.finished {
-			continue // stale duplicate
+		if vmax.utility < bestByKey[vmax.fp]-1e-12 && !vmax.finished {
+			// Stale duplicate: a better path to this configuration was
+			// found after this vertex was pushed. It was never expanded, so
+			// nothing references it and it can be recycled.
+			s.putVertex(vmax)
+			continue
 		}
 		if vmax.finished {
 			return finish(vmax, provenance.TermGoal), nil
@@ -434,48 +501,58 @@ func (s *Searcher) search(cfg cluster.Config, rates map[string]float64, cw time.
 		}
 		res.Expanded++
 		if dig != nil {
-			dig.vertex(res.Expanded, len(vmax.plan), vmax.utility, vmax.accrued,
-				ConfigDistance(vmax.cfg, ideal.Config), open.Len())
+			dig.vertex(res.Expanded, vmax.depth, vmax.utility, vmax.accrued,
+				dc.distance(vmax.cfg, nil), open.Len())
 		}
 		if dbg && res.Expanded%50 == 1 {
 			s.log.Debug("search pop",
 				"expanded", res.Expanded,
 				"utility", vmax.utility,
-				"depth", len(vmax.plan),
+				"depth", vmax.depth,
 				"plan_dur", vmax.dur,
-				"distance", ConfigDistance(vmax.cfg, ideal.Config),
+				"distance", dc.distance(vmax.cfg, nil),
 				"accrued", vmax.accrued,
 				"frontier", open.Len())
 		}
 
-		parentSteady, err := s.eval.Steady(vmax.cfg, rates)
+		parentSteady, err := s.eval.SteadyFP(vmax.cfg, rates, rfp)
 		if err != nil {
 			return SearchResult{}, err
 		}
 
 		// Generate children: every feasible action plus "null" when the
-		// configuration is a candidate. Child evaluation (Apply, transient
-		// cost, shaping) fans out over the worker pool into per-action
-		// slots and merges back in enumeration order, so the frontier —
-		// and with it the plan, pruning, and self-aware accounting — is
-		// byte-identical at every Workers setting.
+		// configuration is a candidate. Children are *staged*, not built:
+		// each worker validates its action (Stage), prices the transient
+		// (against the parent configuration), and derives the child's
+		// fingerprint, distance, and priority through the Delta overlay —
+		// no map is cloned. Workers fill per-action slots merged in
+		// enumeration order, so the frontier — and with it the plan,
+		// pruning, and self-aware accounting — is byte-identical at every
+		// Workers setting. Only children that survive dedup and pruning
+		// are materialized, as copy-on-write clones of the parent.
 		actions := cluster.Enumerate(s.eval.cat, vmax.cfg, space)
-		var children []*vertex
+		var finChild *vertex
 		if vmax.cfg.IsCandidate(s.eval.cat) {
-			child := &vertex{
+			finChild = s.getVertex()
+			*finChild = vertex{
 				cfg:      vmax.cfg,
-				key:      vmax.key + "|fin",
-				plan:     vmax.plan,
+				fp:       vmax.fp,
+				parent:   vmax.parent,
+				act:      vmax.act,
+				depth:    vmax.depth,
 				dur:      vmax.dur,
 				accrued:  vmax.accrued,
 				finished: true,
 			}
-			child.utility = vmax.accrued + remaining(vmax.dur)*parentSteady.NetRate()
-			children = append(children, child)
+			finChild.utility = vmax.accrued + remaining(vmax.dur)*parentSteady.NetRate()
 		}
-		evaluated := make([]*vertex, len(actions))
+		if cap(descs) < len(actions) {
+			descs = make([]childDesc, len(actions))
+		}
+		descs = descs[:len(actions)]
 		par.For(len(actions), opts.Workers, func(i int) {
-			next, filled, err := cluster.Apply(s.eval.cat, vmax.cfg, actions[i])
+			descs[i] = childDesc{}
+			filled, delta, err := cluster.Stage(s.eval.cat, vmax.cfg, actions[i])
 			if err != nil {
 				return
 			}
@@ -487,60 +564,117 @@ func (s *Searcher) search(cfg cluster.Config, rates map[string]float64, cw time.
 			if vmax.dur+ac.Duration > cw {
 				return
 			}
-			child := &vertex{
-				cfg:     next,
-				key:     next.Key(),
-				dur:     vmax.dur + ac.Duration,
-				accrued: vmax.accrued + ac.Duration.Seconds()*ac.Rate,
+			d := &descs[i]
+			d.act = filled
+			d.delta = delta
+			d.fp = vmax.cfg.FingerprintWith(delta)
+			d.dur = vmax.dur + ac.Duration
+			d.accrued = vmax.accrued + ac.Duration.Seconds()*ac.Rate
+			d.dist = dc.distance(vmax.cfg, &d.delta)
+			d.utility = d.accrued + remaining(d.dur)*idealRate
+			if distWeight > 0 {
+				d.utility -= distWeight * d.dist
 			}
-			child.plan = append(append(make([]cluster.Action, 0, len(vmax.plan)+1), vmax.plan...), filled)
-			child.utility = shaped(child)
-			evaluated[i] = child
+			d.ok = true
 		})
-		for _, child := range evaluated {
-			if child != nil {
-				children = append(children, child)
+		nChildren := 0
+		if finChild != nil {
+			nChildren++
+		}
+		for i := range descs {
+			if descs[i].ok {
+				nChildren++
 			}
 		}
-		res.Generated += len(children)
-		s.hBatch.Observe(float64(len(children)))
+		res.Generated += nChildren
+		s.hBatch.Observe(float64(nChildren))
+
+		// order lists the surviving children as descriptor indices (-1 is
+		// the finished candidate), in the sequence they reach the heap:
+		// enumeration order normally, distance-sorted order after a prune —
+		// insertion order breaks heap ties, so it must match what inserting
+		// pruneByDistance's sorted output produced.
+		order := pruneIdx[:0]
+		if finChild != nil {
+			order = append(order, -1)
+		}
+		for i := range descs {
+			if descs[i].ok {
+				order = append(order, i)
+			}
+		}
 
 		// Self-aware accounting: charge the time spent producing this
 		// expansion, then prune if the search has outspent its budget.
-		t := time.Duration(len(children)) * opts.TimePerChild
+		t := time.Duration(nChildren) * opts.TimePerChild
 		elapsed += t
 		upwrT += t.Seconds() * searchRate
 		ut += t.Seconds() * forgoneRate
 		uh -= t.Seconds() * expectedRate
 		if opts.SelfAware && ((ut+upwrT) >= uh || elapsed >= delayThreshold) {
-			before := len(children)
-			children = pruneByDistance(children, ideal.Config, opts.PruneFraction, opts.PruneMinKeep)
-			res.PrunedChildren += before - len(children)
+			before := nChildren
+			keep := int(math.Ceil(float64(nChildren) * opts.PruneFraction))
+			if keep < opts.PruneMinKeep {
+				keep = opts.PruneMinKeep
+			}
+			if keep < nChildren {
+				// Keep the fraction closest to the ideal: the finished
+				// candidate (distance -1) is never pruned, ties keep
+				// enumeration order (stable sort).
+				distAt := func(i int) float64 {
+					if i < 0 {
+						return -1
+					}
+					return descs[i].dist
+				}
+				sort.SliceStable(order, func(a, b int) bool { return distAt(order[a]) < distAt(order[b]) })
+				order = order[:keep]
+				nChildren = keep
+			}
+			res.PrunedChildren += before - nChildren
 			res.Pruned = true
-			if dig != nil && before > len(children) {
+			if dig != nil && before > nChildren {
 				// Algorithm 1 has two triggers; name the one that fired
 				// (budget wins when both hold — it is the stronger signal).
 				reason := provenance.ReasonDelayThreshold
 				if (ut + upwrT) >= uh {
 					reason = provenance.ReasonUtilityBudget
 				}
-				dig.event(res.Expanded, provenance.EventWidthPrune, reason, before-len(children), elapsed)
+				dig.event(res.Expanded, provenance.EventWidthPrune, reason, before-nChildren, elapsed)
 			}
 		}
+		pruneIdx = order[:0]
 
-		var warm []*vertex
-		for _, child := range children {
-			if child.finished {
-				if bestCandidate == nil || child.utility > bestCandidate.utility {
-					bestCandidate = child
+		warm = warm[:0]
+		for _, i := range order {
+			if i < 0 {
+				if bestCandidate == nil || finChild.utility > bestCandidate.utility {
+					bestCandidate = finChild
 				}
-				heap.Push(open, child)
+				heap.Push(open, finChild)
 				continue
 			}
-			if prev, seen := bestByKey[child.key]; seen && child.utility <= prev {
+			d := &descs[i]
+			if prev, seen := bestByKey[d.fp]; seen && d.utility <= prev {
 				continue
 			}
-			bestByKey[child.key] = child.utility
+			bestByKey[d.fp] = d.utility
+			// Materialize the survivor: a copy-on-write clone sharing the
+			// parent's maps, with only the map the delta touches copied.
+			// Done serially — the parent is frozen from here on.
+			ccfg := vmax.cfg.CloneShared()
+			ccfg.ApplyDelta(d.delta)
+			child := s.getVertex()
+			*child = vertex{
+				cfg:     ccfg,
+				fp:      d.fp,
+				parent:  vmax,
+				act:     d.act,
+				depth:   vmax.depth + 1,
+				dur:     d.dur,
+				accrued: d.accrued,
+				utility: d.utility,
+			}
 			heap.Push(open, child)
 			warm = append(warm, child)
 		}
@@ -556,7 +690,7 @@ func (s *Searcher) search(cfg cluster.Config, rates map[string]float64, cw time.
 		// worker, where it could only add work.
 		if opts.Workers > 1 && len(warm) > 1 {
 			par.For(len(warm), opts.Workers, func(i int) {
-				_, _ = s.eval.Steady(warm[i].cfg, rates)
+				_, _ = s.eval.SteadyFP(warm[i].cfg, rates, rfp)
 			})
 		}
 	}
@@ -564,43 +698,6 @@ func (s *Searcher) search(cfg cluster.Config, rates map[string]float64, cw time.
 	// Open set exhausted without a finished vertex (tiny action spaces):
 	// stay put.
 	return stayPut(provenance.TermExhausted)
-}
-
-// pruneByDistance keeps the fraction of children closest to the ideal
-// configuration under the weighted Euclidean distance of §IV-B: per-VM CPU
-// differences weighted by the VM's relative size in the ideal
-// configuration, plus a placement term counting VMs on different hosts.
-func pruneByDistance(children []*vertex, ideal cluster.Config, fraction float64, minKeep int) []*vertex {
-	if len(children) == 0 {
-		return children
-	}
-	keep := int(math.Ceil(float64(len(children)) * fraction))
-	if keep < minKeep {
-		keep = minKeep
-	}
-	if keep >= len(children) {
-		return children
-	}
-	type scored struct {
-		v *vertex
-		d float64
-	}
-	scoredChildren := make([]scored, 0, len(children))
-	for _, c := range children {
-		if c.finished {
-			// Finished candidates are never pruned: they are the states the
-			// search must be able to return.
-			scoredChildren = append(scoredChildren, scored{v: c, d: -1})
-			continue
-		}
-		scoredChildren = append(scoredChildren, scored{v: c, d: ConfigDistance(c.cfg, ideal)})
-	}
-	sort.SliceStable(scoredChildren, func(i, j int) bool { return scoredChildren[i].d < scoredChildren[j].d })
-	out := make([]*vertex, 0, keep)
-	for i := 0; i < keep; i++ {
-		out = append(out, scoredChildren[i].v)
-	}
-	return out
 }
 
 // Distance weights: roughly proportional to the transient cost of the

@@ -305,7 +305,7 @@ func (c *Controller) Decide(now time.Duration, cfg cluster.Config, rates map[str
 	c.bandStart = now
 
 	if !c.opts.RetainCache {
-		c.eval.ResetCache()
+		c.eval.BeginWindow()
 	}
 	tr := c.obsv.Tracer()
 	psp := tr.Start("perfpwr", now, obs.Attr{Key: "controller", Value: c.opts.Name})

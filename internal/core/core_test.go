@@ -22,7 +22,7 @@ type env struct {
 
 // newEnv builds nApps RUBiS applications on nHosts hosts, calibrated to the
 // paper's 400 ms @ 50 req/s operating point.
-func newEnv(t *testing.T, nHosts, nApps int) *env {
+func newEnv(t testing.TB, nHosts, nApps int) *env {
 	t.Helper()
 	apps := make([]*app.Spec, nApps)
 	names := make([]string, nApps)

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math"
+
+	"github.com/mistralcloud/mistral/internal/cluster"
+)
+
+// distancer evaluates ConfigDistance against one fixed ideal configuration
+// without allocating: the per-search constants (sorted ideal VM set, total
+// ideal CPU, membership index) are computed once, and each call folds over
+// the catalog's shared sorted slices plus an optional staged Delta overlay,
+// so a child's distance is available before the child is materialized.
+//
+// The fold order is deliberately identical to ConfigDistance — same terms
+// added in the same sequence — so distances (which the search compares
+// exactly) are bit-identical to the public function. TestDistancerMatches
+// enforces this.
+type distancer struct {
+	cat        *cluster.Catalog
+	ideal      cluster.Config
+	idealVMs   []cluster.VMID
+	idealIn    map[cluster.VMID]bool
+	totalIdeal float64
+}
+
+func newDistancer(cat *cluster.Catalog, ideal cluster.Config) *distancer {
+	d := &distancer{
+		cat:      cat,
+		ideal:    ideal,
+		idealVMs: ideal.ActiveVMs(),
+	}
+	d.idealIn = make(map[cluster.VMID]bool, len(d.idealVMs))
+	for _, id := range d.idealVMs {
+		p, _ := ideal.PlacementOf(id)
+		d.totalIdeal += p.CPUPct
+		d.idealIn[id] = true
+	}
+	return d
+}
+
+// distance is ConfigDistance(cfg+delta, ideal); pass a nil delta to measure
+// cfg itself.
+func (dc *distancer) distance(cfg cluster.Config, delta *cluster.Delta) float64 {
+	var dist float64
+	for _, id := range dc.idealVMs {
+		ip, _ := dc.ideal.PlacementOf(id)
+		p, active := cfg.PlacementOver(delta, id)
+		if !active {
+			dist += distPlaceWeight
+			continue
+		}
+		if p.Host != ip.Host {
+			dist += distPlaceWeight
+		}
+		w := 1.0
+		if dc.totalIdeal > 0 {
+			w = ip.CPUPct / dc.totalIdeal * float64(len(dc.idealVMs))
+		}
+		dist += distCPUWeight * w * math.Abs(p.CPUPct-ip.CPUPct) / 10
+	}
+	// VMs active here but dormant in the ideal. ConfigDistance walks the
+	// configuration's sorted active set; walking the catalog's sorted VM
+	// universe and filtering visits the same VMs in the same order (every
+	// placeable VM is cataloged), adding the same constant each time.
+	for _, id := range dc.cat.VMIDs() {
+		if dc.idealIn[id] {
+			continue
+		}
+		if _, active := cfg.PlacementOver(delta, id); active {
+			dist += distPlaceWeight
+		}
+	}
+	// Host power/frequency mismatches are integer counts folded in once, so
+	// only membership in the active union matters, not visit order.
+	// ConfigDistance unions the two active host sets; restricting the
+	// catalog walk to hosts active on either side reproduces it (an off-off
+	// host with a leftover DVFS entry is skipped there too).
+	var powerMismatch, freqMismatch int
+	for _, h := range dc.cat.HostNames() {
+		on := cfg.HostOnOver(delta, h)
+		ion := dc.ideal.HostOn(h)
+		if !on && !ion {
+			continue
+		}
+		if on != ion {
+			powerMismatch++
+		}
+		if cfg.HostFreqOver(delta, h) != dc.ideal.HostFreq(h) {
+			freqMismatch++
+		}
+	}
+	dist += float64(powerMismatch)*distHostWeight + float64(freqMismatch)*distFreqWeight
+	return dist
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/mistralcloud/mistral/internal/cluster"
+	"github.com/mistralcloud/mistral/internal/sim"
+)
+
+// TestDistancerMatches pins the contract the search relies on: the
+// precomputed distancer folds the exact floating-point result of
+// ConfigDistance — bit-for-bit, not approximately — both when measuring a
+// configuration directly and when measuring a staged child through its
+// Delta overlay.
+func TestDistancerMatches(t *testing.T) {
+	cat := newEnv(t, 4, 2).cat
+	rng := sim.NewRNG(13, 0)
+	for trial := 0; trial < 40; trial++ {
+		ideal, ok := randomCandidate(cat, rng)
+		if !ok {
+			continue
+		}
+		cfg, ok := randomCandidate(cat, rng)
+		if !ok {
+			continue
+		}
+		// Leave a stale DVFS entry on an off host: ConfigDistance skips
+		// hosts off in both configurations even when hostFreq remembers
+		// them, and the distancer must too.
+		for _, h := range cat.HostNames() {
+			if !cfg.HostOn(h) && !ideal.HostOn(h) {
+				cfg.SetHostFreq(h, 0.867)
+				break
+			}
+		}
+		dc := newDistancer(cat, ideal)
+		if got, want := dc.distance(cfg, nil), ConfigDistance(cfg, ideal); got != want {
+			t.Fatalf("trial %d: distancer %.17g != ConfigDistance %.17g", trial, got, want)
+		}
+		for _, a := range cluster.Enumerate(cat, cfg, cluster.ActionSpace{}) {
+			filled, delta, err := cluster.Stage(cat, cfg, a)
+			if err != nil {
+				t.Fatalf("trial %d: stage %s: %v", trial, a, err)
+			}
+			next, _, err := cluster.Apply(cat, cfg, a)
+			if err != nil {
+				t.Fatalf("trial %d: apply %s: %v", trial, a, err)
+			}
+			got := dc.distance(cfg, &delta)
+			want := ConfigDistance(next, ideal)
+			if got != want {
+				t.Fatalf("trial %d action %s: overlay distance %.17g != materialized %.17g", trial, filled, got, want)
+			}
+		}
+	}
+}

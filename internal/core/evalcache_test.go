@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestEvaluatorCrossWindowCache pins the cache lifecycle: BeginWindow keeps
+// memoized solves warm across control windows, ResetCache drops them.
+func TestEvaluatorCrossWindowCache(t *testing.T) {
+	e := newEnv(t, 4, 2)
+	w := rates(e, 50)
+
+	if _, err := e.eval.Steady(e.cfg, w); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.eval.Evals(); got != 1 {
+		t.Fatalf("first lookup: %d solves, want 1", got)
+	}
+
+	e.eval.BeginWindow()
+	if _, err := e.eval.Steady(e.cfg, w); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.eval.Evals(); got != 0 {
+		t.Fatalf("lookup after BeginWindow re-solved (%d solves); cache should persist across windows", got)
+	}
+	if st := e.eval.CacheStats(); st.Hits != 1 {
+		t.Fatalf("lookup after BeginWindow: %d hits, want 1", st.Hits)
+	}
+
+	e.eval.ResetCache()
+	if _, err := e.eval.Steady(e.cfg, w); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.eval.Evals(); got != 1 {
+		t.Fatalf("lookup after ResetCache: %d solves, want 1 (full drop)", got)
+	}
+
+	// A workload outside the fingerprint band must miss even on a warm
+	// cache; one inside the band (same 0.01 req/s bucket) must hit.
+	w2 := rates(e, 50.004)
+	if _, err := e.eval.Steady(e.cfg, w2); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.eval.Evals(); got != 1 {
+		t.Fatalf("same-band workload re-solved (%d solves)", got)
+	}
+	w3 := rates(e, 51)
+	if _, err := e.eval.Steady(e.cfg, w3); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.eval.Evals(); got != 2 {
+		t.Fatalf("different workload did not solve (%d solves, want 2)", got)
+	}
+
+	// The struct key must distinguish configurations too.
+	other := e.cfg.Clone()
+	other.SetHostFreq(e.cat.HostNames()[0], 0.867)
+	if _, err := e.eval.Steady(other, w3); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.eval.Evals(); got != 3 {
+		t.Fatalf("different configuration did not solve (%d solves, want 3)", got)
+	}
+}

@@ -11,8 +11,6 @@ import (
 	"fmt"
 	"log/slog"
 	"sort"
-	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,30 +49,55 @@ func (s Steady) NetRate() float64 { return s.PerfRate + s.PowerRate }
 // keep lock contention negligible for the default worker counts (≤ 8).
 const cacheShards = 16
 
+// cacheMaxEntries bounds the cross-window memo cache (total across shards).
+// At roughly 200 bytes per entry the bound caps the cache near 13 MiB; a
+// replayed day of decisions stays well under it, so eviction only fires
+// under pathological workload churn.
+const cacheMaxEntries = 1 << 16
+
+// steadyKey identifies one steady evaluation: the configuration's
+// incremental 128-bit fingerprint plus the workload vector's fingerprint.
+// Comparing and hashing the 24-byte struct replaces the Key()+ratesKey
+// string build (two sorted string joins per lookup) the cache used before.
+type steadyKey struct {
+	fp  cluster.Fingerprint
+	rfp RatesFP
+}
+
 // cacheEntry is one memoized (or in-flight) steady evaluation. The
 // goroutine that inserts the entry owns the solve; done is closed when s
 // and err are final, and concurrent lookups of the same key wait on it
-// instead of duplicating the LQN solve (singleflight).
+// instead of duplicating the LQN solve (singleflight). gen is the cache
+// generation of the entry's last hit (guarded by the shard mutex); the
+// generational sweep in BeginWindow evicts cold entries by comparing it to
+// the current generation.
 type cacheEntry struct {
 	done chan struct{}
 	s    Steady
 	err  error
+	gen  uint64
 }
 
 // evalShard is one mutex-guarded segment of the memo cache.
 type evalShard struct {
 	mu      sync.Mutex
-	entries map[string]*cacheEntry
+	entries map[steadyKey]*cacheEntry
 }
 
 // Evaluator bundles the predictor modules of Figure 2 — the Performance
 // Manager (LQN model), the Power Consolidation Manager (power model), and
 // the Cost Manager (cost tables) — behind the two operations the optimizer
 // needs: steady-state evaluation of a configuration and transient
-// evaluation of an action. Steady evaluations are memoized by configuration
-// key; the cache is retained until ResetCache (workload change).
+// evaluation of an action. Steady evaluations are memoized by
+// (configuration fingerprint, workload fingerprint); the cache persists
+// across control windows — configurations revisited by consecutive
+// searches under an unchanged workload band cost two word compares instead
+// of an LQN solve — with BeginWindow advancing a generation and sweeping
+// cold entries once the cache exceeds its size bound. ResetCache remains
+// the full drop (model or catalog change).
 //
-// Thread safety: Steady, Action, CacheStats, Evals, ResetCache, and the
+// Thread safety: Steady, Action, CacheStats, Evals, BeginWindow,
+// ResetCache, and the
 // read-only accessors are safe for concurrent use — the memo cache is
 // sharded behind per-shard mutexes with singleflight dedup of identical
 // in-flight solves, the underlying predictor modules are read-only
@@ -87,14 +110,24 @@ type Evaluator struct {
 	util  *utility.Params
 	costs *cost.Manager
 
-	// appNames is the sorted application universe, fixed at construction;
-	// it keys workload fingerprints without per-call sorting.
+	// appNames is the sorted application universe of the LQN model, fixed
+	// at construction; it keys workload fingerprints without per-call
+	// sorting.
 	appNames []string
+	// utilNames is the sorted application universe of the utility params:
+	// the fold order PerfRateAll uses. Cached here so the hot paths can sum
+	// Eq. 1 in the identical order without the per-call sort.
+	utilNames []string
 
 	shards    [cacheShards]evalShard
+	gen       atomic.Uint64
 	cacheHits atomic.Int64
 	evals     atomic.Int64
 	dedups    atomic.Int64
+
+	// actScratch pools the per-call response-time delta maps of Action so
+	// the search's per-child transient evaluation allocates nothing.
+	actScratch sync.Pool
 
 	// Observability sinks, resolved at construction (see obs.SetDefault)
 	// and rebindable with SetObserver. Cache statistics are fed into the
@@ -126,15 +159,22 @@ func NewEvaluator(cat *cluster.Catalog, model *lqn.Model, util *utility.Params, 
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	e := &Evaluator{
-		cat:      cat,
-		model:    model,
-		util:     util,
-		costs:    costs,
-		appNames: names,
+	utilNames := make([]string, 0, len(util.Apps))
+	for name := range util.Apps {
+		utilNames = append(utilNames, name)
 	}
+	sort.Strings(utilNames)
+	e := &Evaluator{
+		cat:       cat,
+		model:     model,
+		util:      util,
+		costs:     costs,
+		appNames:  names,
+		utilNames: utilNames,
+	}
+	e.actScratch.New = func() any { return make(map[string]float64, len(utilNames)) }
 	for i := range e.shards {
-		e.shards[i].entries = make(map[string]*cacheEntry)
+		e.shards[i].entries = make(map[steadyKey]*cacheEntry)
 	}
 	e.SetObserver(obs.Default())
 	return e, nil
@@ -197,22 +237,61 @@ func (e *Evaluator) Utility() *utility.Params { return e.util }
 // Costs returns the cost manager.
 func (e *Evaluator) Costs() *cost.Manager { return e.costs }
 
-// ResetCache drops memoized steady evaluations; call it when the workload
-// changes. The generation's cache statistics are flushed into the metrics
-// registry here, keeping the per-lookup path free of instrumentation.
-// Safe to call concurrently with Steady: the cache is workload-keyed, so
-// resetting mid-flight costs at most redundant solves, never correctness
-// (a concurrent leader finishing after the reset publishes into a shard
-// map that was already swapped out, which only forfeits its memoization).
+// ResetCache drops every memoized steady evaluation. Use it when the
+// predictor modules themselves change meaning (model swap, catalog edit,
+// fault injection mutating the world); per-decision callers should use
+// BeginWindow, which keeps the cache warm across windows. Safe to call
+// concurrently with Steady: the cache is workload-keyed, so resetting
+// mid-flight costs at most redundant solves, never correctness (a
+// concurrent leader finishing after the reset publishes into a shard map
+// that was already swapped out, which only forfeits its memoization).
 func (e *Evaluator) ResetCache() {
 	var entries int
 	for i := range e.shards {
 		sh := &e.shards[i]
 		sh.mu.Lock()
 		entries += len(sh.entries)
-		sh.entries = make(map[string]*cacheEntry)
+		sh.entries = make(map[steadyKey]*cacheEntry)
 		sh.mu.Unlock()
 	}
+	e.flushStats(entries)
+}
+
+// BeginWindow marks a control-window boundary: the cache generation
+// advances, the window's cache statistics are flushed into the metrics
+// registry (keeping the per-lookup path free of instrumentation), and —
+// only once the cache exceeds its size bound — entries not touched since
+// the previous window are swept. Evaluations are pure functions of their
+// key, so cross-window reuse changes which solves run, never their
+// results; the sweep is likewise invisible to decisions.
+func (e *Evaluator) BeginWindow() {
+	gen := e.gen.Add(1)
+	var entries int
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		if len(sh.entries) > cacheMaxEntries/cacheShards {
+			for k, ent := range sh.entries {
+				// gen was just advanced: ent.gen == gen-1 means the entry
+				// was hit in the window that just ended. Keep those, sweep
+				// older; if one overfull window produced them all, drop the
+				// shard outright rather than grow without bound.
+				if ent.gen+1 < gen {
+					delete(sh.entries, k)
+				}
+			}
+			if len(sh.entries) > cacheMaxEntries/cacheShards {
+				sh.entries = make(map[steadyKey]*cacheEntry)
+			}
+		}
+		entries += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	e.flushStats(entries)
+}
+
+// flushStats publishes and zeroes the window's cache counters.
+func (e *Evaluator) flushStats(entries int) {
 	evals := e.evals.Swap(0)
 	e.cHits.Add(e.cacheHits.Swap(0))
 	e.cMisses.Add(evals)
@@ -225,29 +304,37 @@ func (e *Evaluator) ResetCache() {
 // the last reset (a proxy for model-solving work).
 func (e *Evaluator) Evals() int { return int(e.evals.Load()) }
 
-// ratesKey fingerprints a workload vector for cache keying, iterating the
-// fixed application universe (apps absent from rates fingerprint as zero,
-// matching how the model treats them).
-func (e *Evaluator) ratesKey(rates map[string]float64) string {
-	var b strings.Builder
-	b.Grow(16 * len(e.appNames))
+// RatesFP is a 64-bit fingerprint of a workload vector, the rate-band half
+// of the steady-cache key. Callers on the search hot path compute it once
+// per decision with RatesFingerprint and thread it through SteadyFP; the
+// per-lookup alternative — rebuilding a sorted key string for every child —
+// was measured as a top allocation source in the expansion loop.
+type RatesFP uint64
+
+// RatesFingerprint fingerprints a workload vector (FNV-1a over the fixed
+// application universe in sorted order; apps absent from rates fingerprint
+// as zero, matching how the model treats them). Rates are bucketed at 0.01
+// req/s, the same band the old string key rounded to.
+func (e *Evaluator) RatesFingerprint(rates map[string]float64) RatesFP {
+	h := uint64(14695981039346656037)
+	fold := func(b byte) { h = (h ^ uint64(b)) * 1099511628211 }
 	for _, name := range e.appNames {
-		b.WriteString(name)
-		b.WriteByte('=')
-		b.WriteString(strconv.FormatInt(int64(rates[name]*100+0.5), 10))
-		b.WriteByte(';')
+		for i := 0; i < len(name); i++ {
+			fold(name[i])
+		}
+		fold(0xff)
+		u := uint64(int64(rates[name]*100 + 0.5))
+		for i := 0; i < 8; i++ {
+			fold(byte(u >> (8 * i)))
+		}
 	}
-	return b.String()
+	return RatesFP(h)
 }
 
-// shardOf hashes a cache key (FNV-1a) to its shard index.
-func shardOf(key string) uint32 {
-	h := uint32(2166136261)
-	for i := 0; i < len(key); i++ {
-		h ^= uint32(key[i])
-		h *= 16777619
-	}
-	return h & (cacheShards - 1)
+// shardOf maps a cache key to its shard index. Both halves of the key are
+// already well-mixed hashes, so folding their words is enough.
+func shardOf(k steadyKey) uint32 {
+	return uint32(k.fp[0]^k.fp[1]^uint64(k.rfp)) & (cacheShards - 1)
 }
 
 // Steady evaluates a configuration's steady-state utility rates under the
@@ -255,10 +342,19 @@ func shardOf(key string) uint32 {
 // concurrent lookups dedup onto a single LQN solve (singleflight); failed
 // solves are not cached, so every later lookup of that key retries.
 func (e *Evaluator) Steady(cfg cluster.Config, rates map[string]float64) (Steady, error) {
-	key := cfg.Key() + "|" + e.ratesKey(rates)
+	return e.SteadyFP(cfg, rates, e.RatesFingerprint(rates))
+}
+
+// SteadyFP is Steady for callers that evaluate many configurations under
+// one workload vector: rfp is RatesFingerprint(rates), computed once per
+// decision and threaded through, so each lookup costs a 24-byte key build
+// and a map probe.
+func (e *Evaluator) SteadyFP(cfg cluster.Config, rates map[string]float64, rfp RatesFP) (Steady, error) {
+	key := steadyKey{fp: cfg.Fingerprint(), rfp: rfp}
 	sh := &e.shards[shardOf(key)]
 	sh.mu.Lock()
 	if ent, ok := sh.entries[key]; ok {
+		ent.gen = e.gen.Load()
 		sh.mu.Unlock()
 		select {
 		case <-ent.done:
@@ -273,7 +369,7 @@ func (e *Evaluator) Steady(cfg cluster.Config, rates map[string]float64) (Steady
 		}
 		return ent.s, ent.err
 	}
-	ent := &cacheEntry{done: make(chan struct{})}
+	ent := &cacheEntry{done: make(chan struct{}), gen: e.gen.Load()}
 	sh.entries[key] = ent
 	sh.mu.Unlock()
 
@@ -313,8 +409,19 @@ func (e *Evaluator) solve(cfg cluster.Config, rates map[string]float64) (Steady,
 			s.Saturated = true
 		}
 	}
-	s.PerfRate = e.util.PerfRateAll(rates, s.RTSec)
+	s.PerfRate = e.perfRateFold(rates, s.RTSec)
 	return s, nil
+}
+
+// perfRateFold sums Eq. 1 across the utility application universe in the
+// cached sorted order: the identical floating-point fold PerfRateAll
+// performs, without its per-call name sort and allocation.
+func (e *Evaluator) perfRateFold(rates, rtSec map[string]float64) float64 {
+	var sum float64
+	for _, name := range e.utilNames {
+		sum += e.util.PerfRate(name, rates[name], rtSec[name])
+	}
+	return sum
 }
 
 // ActionCost is the transient evaluation of one action executed from a
@@ -329,15 +436,27 @@ type ActionCost struct {
 
 // Action evaluates the transient cost of executing a from cfg, whose steady
 // state is base (pass the memoized Steady of cfg). Safe for concurrent use:
-// the cost tables and utility parameters are read-only.
+// the cost tables and utility parameters are read-only, and the
+// response-time scratch map is pooled per call. The Eq. 1 fold visits the
+// same applications with the same values in the same order as building the
+// degraded rt map and summing it would, so the rate is bit-identical to
+// the allocating formulation it replaced.
 func (e *Evaluator) Action(cfg cluster.Config, base Steady, a cluster.Action, rates map[string]float64) ActionCost {
-	pred := e.costs.Predict(cfg, a, rates)
-	rt := make(map[string]float64, len(base.RTSec))
-	for name, v := range base.RTSec {
-		rt[name] = v + pred.DeltaRTSec[name]
+	deltaRT := e.actScratch.Get().(map[string]float64)
+	dur, deltaWatts := e.costs.PredictInto(cfg, a, rates, deltaRT)
+	var perf float64
+	for _, name := range e.utilNames {
+		// The degraded rt map had keys only for applications the model
+		// evaluated: others read as zero even when a delta exists.
+		rt, ok := base.RTSec[name]
+		if ok {
+			rt += deltaRT[name]
+		}
+		perf += e.util.PerfRate(name, rates[name], rt)
 	}
-	rate := e.util.PerfRateAll(rates, rt) + e.util.PowerRate(base.Watts+pred.DeltaWatts)
-	return ActionCost{Duration: pred.Duration, Rate: rate}
+	rate := perf + e.util.PowerRate(base.Watts+deltaWatts)
+	e.actScratch.Put(deltaRT)
+	return ActionCost{Duration: dur, Rate: rate}
 }
 
 // Model exposes the LQN model (used by scenario assembly).

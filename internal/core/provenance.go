@@ -90,28 +90,30 @@ func (b *digestBuilder) finalize(term string, res *SearchResult, chosen provenan
 // records are byte-identical at every Workers setting — the heap's
 // internal slice order for equal priorities is not guaranteed stable
 // across runs.
-func harvestRejected(e *Evaluator, open *vertexHeap, bestByKey map[string]float64, chosen *vertex, root, ideal cluster.Config, rates map[string]float64, cw time.Duration) []provenance.Alternative {
+func harvestRejected(e *Evaluator, open *vertexHeap, bestByKey map[cluster.Fingerprint]float64, chosen *vertex, root, ideal cluster.Config, rates map[string]float64, cw time.Duration) []provenance.Alternative {
 	type cand struct {
-		v    *vertex
-		plan string
+		v       *vertex
+		actions []cluster.Action
+		plan    string
 	}
 	var cands []cand
 	for _, v := range *open {
 		if v == chosen {
 			continue
 		}
-		if !v.finished && v.utility < bestByKey[v.key]-1e-12 {
+		if !v.finished && v.utility < bestByKey[v.fp]-1e-12 {
 			continue // stale duplicate; a better path to this config exists
 		}
-		cands = append(cands, cand{v: v, plan: cluster.PlanString(v.plan)})
+		actions := planOf(v)
+		cands = append(cands, cand{v: v, actions: actions, plan: cluster.PlanString(actions)})
 	}
 	sort.SliceStable(cands, func(i, j int) bool {
 		a, b := cands[i], cands[j]
 		if a.v.utility != b.v.utility {
 			return a.v.utility > b.v.utility
 		}
-		if len(a.v.plan) != len(b.v.plan) {
-			return len(a.v.plan) < len(b.v.plan)
+		if a.v.depth != b.v.depth {
+			return a.v.depth < b.v.depth
 		}
 		return a.plan < b.plan
 	})
@@ -121,13 +123,13 @@ func harvestRejected(e *Evaluator, open *vertexHeap, bestByKey map[string]float6
 	out := make([]provenance.Alternative, 0, len(cands))
 	for _, c := range cands {
 		out = append(out, provenance.Alternative{
-			Depth:    len(c.v.plan),
+			Depth:    c.v.depth,
 			F:        c.v.utility,
 			G:        c.v.accrued,
 			H:        c.v.utility - c.v.accrued,
 			Distance: ConfigDistance(c.v.cfg, ideal),
 			Complete: c.v.finished,
-			Ledger:   e.PlanLedger(root, rates, cw, c.v.plan),
+			Ledger:   e.PlanLedger(root, rates, cw, c.actions),
 		})
 	}
 	return out

@@ -268,6 +268,17 @@ type Prediction struct {
 // suffers the target delta; applications sharing the action's source or
 // destination hosts suffer the co-located delta.
 func (m *Manager) Predict(cfg cluster.Config, a cluster.Action, rates map[string]float64) Prediction {
+	deltaRT := make(map[string]float64)
+	dur, watts := m.PredictInto(cfg, a, rates, deltaRT)
+	return Prediction{Duration: dur, DeltaRTSec: deltaRT, DeltaWatts: watts}
+}
+
+// PredictInto is Predict with caller-owned scratch: deltaRT is cleared and
+// refilled with the per-application response-time deltas, and the duration
+// and power delta are returned directly. The search evaluates one action
+// per generated child, so this path must not allocate.
+func (m *Manager) PredictInto(cfg cluster.Config, a cluster.Action, rates map[string]float64, deltaRT map[string]float64) (time.Duration, float64) {
+	clear(deltaRT)
 	key := KeyFor(m.cat, a)
 	targetApp := ""
 	if vm, ok := m.cat.VM(a.VM); ok {
@@ -281,51 +292,38 @@ func (m *Manager) Predict(cfg cluster.Config, a cluster.Action, rates map[string
 	if !ok {
 		// Unmeasured action: assume instantaneous and free rather than
 		// blocking the search; the optimizer treats it as cost-neutral.
-		return Prediction{DeltaRTSec: map[string]float64{}}
-	}
-
-	p := Prediction{
-		Duration:   entry.Duration,
-		DeltaRTSec: make(map[string]float64),
-		DeltaWatts: entry.DeltaWatts,
+		return 0, 0
 	}
 	if targetApp == "" {
-		return p
+		return entry.Duration, entry.DeltaWatts
 	}
-	p.DeltaRTSec[targetApp] = entry.DeltaRTTargetSec
+	deltaRT[targetApp] = entry.DeltaRTTargetSec
 	if entry.DeltaRTColocatedSec > 0 {
-		for _, other := range m.colocatedApps(cfg, a, targetApp) {
-			p.DeltaRTSec[other] = entry.DeltaRTColocatedSec
-		}
+		m.colocatedInto(cfg, a, targetApp, deltaRT, entry.DeltaRTColocatedSec)
 	}
-	return p
+	return entry.Duration, entry.DeltaWatts
 }
 
-// colocatedApps lists applications (other than targetApp) with VMs on the
-// hosts the action touches.
-func (m *Manager) colocatedApps(cfg cluster.Config, a cluster.Action, targetApp string) []string {
-	hosts := make(map[string]bool, 2)
-	if a.Host != "" {
-		hosts[a.Host] = true
-	}
-	if a.FromHost != "" {
-		hosts[a.FromHost] = true
-	}
+// colocatedInto charges the co-located delta to every application (other
+// than targetApp) with a VM on a host the action touches: its source, its
+// destination, and the adapted VM's current host. All charged applications
+// receive the same delta, so insertion order is immaterial and the scan
+// runs allocation-free over the catalog's fixed VM universe.
+func (m *Manager) colocatedInto(cfg cluster.Config, a cluster.Action, targetApp string, deltaRT map[string]float64, delta float64) {
+	h1, h2 := a.Host, a.FromHost
+	h3 := ""
 	if p, ok := cfg.PlacementOf(a.VM); ok {
-		hosts[p.Host] = true
+		h3 = p.Host
 	}
-	seen := make(map[string]bool)
-	var out []string
-	for h := range hosts {
-		for _, id := range cfg.VMsOnHost(h) {
-			vm, ok := m.cat.VM(id)
-			if !ok || vm.App == targetApp || seen[vm.App] {
-				continue
-			}
-			seen[vm.App] = true
-			out = append(out, vm.App)
+	for _, id := range m.cat.VMIDs() {
+		p, ok := cfg.PlacementOf(id)
+		if !ok || (p.Host != h1 && p.Host != h2 && p.Host != h3) || p.Host == "" {
+			continue
 		}
+		vm, ok := m.cat.VM(id)
+		if !ok || vm.App == targetApp {
+			continue
+		}
+		deltaRT[vm.App] = delta
 	}
-	sort.Strings(out)
-	return out
 }

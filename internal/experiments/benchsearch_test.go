@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBenchSearchSnapshot runs the bench harness on a short cycle and
+// checks the snapshot is sane, its work counters are deterministic for a
+// seed, and the baseline gate trips exactly when it should.
+func TestBenchSearchSnapshot(t *testing.T) {
+	r, err := BenchSearch(42, BenchOptions{Windows: 8, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Expansions <= 0 || r.Generated <= r.Expansions {
+		t.Fatalf("implausible work counters: %d expansions, %d generated", r.Expansions, r.Generated)
+	}
+	if r.NsPerExpansion <= 0 || r.AllocsPerExpansion <= 0 {
+		t.Fatalf("missing per-expansion figures: %+v", r)
+	}
+	if r.CacheHitPct < 0 || r.CacheHitPct > 100 {
+		t.Fatalf("cache hit %% out of range: %v", r.CacheHitPct)
+	}
+	if r.DecideP99Ms < r.DecideP50Ms {
+		t.Fatalf("p99 %vms below p50 %vms", r.DecideP99Ms, r.DecideP50Ms)
+	}
+
+	again, err := BenchSearch(42, BenchOptions{Windows: 8, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Expansions != r.Expansions || again.Generated != r.Generated {
+		t.Errorf("work counters not deterministic: %d/%d vs %d/%d expansions/generated",
+			r.Expansions, r.Generated, again.Expansions, again.Generated)
+	}
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := r.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	// Against its own snapshot the run is exactly at 1.00x: inside any
+	// non-negative tolerance.
+	if verdict, err := r.CompareBaseline(path, 20); err != nil {
+		t.Fatalf("self-comparison failed: %v", err)
+	} else if !strings.Contains(verdict, "1.00x") {
+		t.Errorf("unexpected verdict %q", verdict)
+	}
+	// An impossible baseline must trip the gate.
+	tight := *r
+	tight.NsPerExpansion = r.NsPerExpansion / 10
+	tightPath := filepath.Join(t.TempDir(), "tight.json")
+	if err := tight.WriteJSON(tightPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.CompareBaseline(tightPath, 20); err == nil {
+		t.Error("10x regression passed the 20% gate")
+	}
+}

@@ -160,7 +160,7 @@ func IdealUtility(lab *Lab, duration time.Duration) (float64, error) {
 	var total float64
 	for t := time.Duration(0); t < duration; t += interval {
 		rates := lab.Traces.At(t)
-		eval.ResetCache()
+		eval.BeginWindow()
 		ideal, err := core.PerfPwr(eval, rates, core.PerfPwrOptions{})
 		if err != nil {
 			return 0, err

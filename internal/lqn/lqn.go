@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"github.com/mistralcloud/mistral/internal/app"
 	"github.com/mistralcloud/mistral/internal/cluster"
@@ -92,9 +93,84 @@ type Model struct {
 	names []string
 	cat   *cluster.Catalog
 	opts  Options
+
+	// skel holds the per-application solver inputs that depend only on the
+	// specs — mix probabilities, mean tier demands, per-transaction demand
+	// vectors, VM identities — aligned with names. The solve is closed-form
+	// (one pass per application, no fixed-point iteration), so once these
+	// are precomputed the only per-call state left is the scratch below.
+	skel []appSkel
+	// scratch pools per-solve working state (host accumulation maps and
+	// per-tier replica/factor buffers) so concurrent Evaluates allocate
+	// only the Result they return.
+	scratch sync.Pool
 }
 
-// NewModel builds a model over the given applications and catalog.
+// appSkel is the precomputed, read-only solver input for one application.
+type appSkel struct {
+	spec  *app.Spec
+	probs []float64 // normalized transaction mix, aligned with spec.Txns
+	// dom0Sec is the Dom-0 CPU seconds consumed per tier visit.
+	dom0Sec float64
+	tiers   []tierSkel
+	// txnDemandSec[i][ti] is transaction i's CPU demand in seconds on tier
+	// ti (spec.Txns[i].DemandMS[tier]/1000, hoisted out of the hot loop).
+	txnDemandSec [][]float64
+}
+
+// tierSkel is the fixed part of one tier: its mean demand and the identity
+// of every potential replica VM.
+type tierSkel struct {
+	demandMS float64
+	vmIDs    []cluster.VMID
+}
+
+// repFactor is the per-replica residence multiplier of pass 3.
+type repFactor struct {
+	weight   float64 // fraction of tier load on this replica
+	frac     float64
+	stretch  float64 // 1/(1-rho_eff)
+	dom0Add  float64 // seconds per visit added by Dom-0
+	overload float64 // extra seconds per request from overload
+}
+
+// tierScratch is the per-solve mutable state of one tier.
+type tierScratch struct {
+	replicas []replicaState
+	sumFrac  float64
+	rho      float64
+	factors  []repFactor
+}
+
+// solveScratch is one Evaluate call's working state, pooled on the model.
+type solveScratch struct {
+	hostAlloc     map[string]float64
+	hostScale     map[string]float64
+	dom0DemandCPU map[string]float64
+	hostVMUtil    map[string]float64
+	dom0Util      map[string]float64
+	tiers         [][]tierScratch // aligned with skel / spec.Tiers
+}
+
+func (m *Model) newScratch() *solveScratch {
+	sc := &solveScratch{
+		hostAlloc:     make(map[string]float64),
+		hostScale:     make(map[string]float64),
+		dom0DemandCPU: make(map[string]float64),
+		hostVMUtil:    make(map[string]float64),
+		dom0Util:      make(map[string]float64),
+		tiers:         make([][]tierScratch, len(m.skel)),
+	}
+	for ai := range m.skel {
+		sc.tiers[ai] = make([]tierScratch, len(m.skel[ai].tiers))
+	}
+	return sc
+}
+
+// NewModel builds a model over the given applications and catalog. The
+// specs' demands, mix, and tier structure are baked into per-application
+// solver skeletons here: mutating a spec after construction (ScaleDemands)
+// is not observed — rebuild the model, as calibration does.
 func NewModel(cat *cluster.Catalog, apps []*app.Spec, opts Options) (*Model, error) {
 	m := &Model{
 		apps: make(map[string]*app.Spec, len(apps)),
@@ -112,6 +188,32 @@ func NewModel(cat *cluster.Catalog, apps []*app.Spec, opts Options) (*Model, err
 		m.names = append(m.names, a.Name)
 	}
 	sort.Strings(m.names)
+	for _, name := range m.names {
+		spec := m.apps[name]
+		sk := appSkel{
+			spec:    spec,
+			probs:   spec.MixProbabilities(),
+			dom0Sec: spec.Dom0OverheadMS / 1000,
+			tiers:   make([]tierSkel, len(spec.Tiers)),
+		}
+		for ti, t := range spec.Tiers {
+			ts := tierSkel{demandMS: spec.MeanDemandMS(t.Name)}
+			for r := 0; r < t.MaxReplicas; r++ {
+				ts.vmIDs = append(ts.vmIDs, spec.VMIDFor(t.Name, r))
+			}
+			sk.tiers[ti] = ts
+		}
+		sk.txnDemandSec = make([][]float64, len(spec.Txns))
+		for i, txn := range spec.Txns {
+			row := make([]float64, len(spec.Tiers))
+			for ti, t := range spec.Tiers {
+				row[ti] = txn.DemandMS[t.Name] / 1000
+			}
+			sk.txnDemandSec[i] = row
+		}
+		m.skel = append(m.skel, sk)
+	}
+	m.scratch.New = func() any { return m.newScratch() }
 	return m, nil
 }
 
@@ -187,17 +289,27 @@ func (m *Model) Evaluate(cfg cluster.Config, load map[string]float64, dom0Backgr
 		Hosts:  make(map[string]HostResult, len(m.cat.HostNames())),
 		VMUtil: make(map[cluster.VMID]float64),
 	}
+	sc := m.scratch.Get().(*solveScratch)
+	clear(sc.hostAlloc)
+	clear(sc.hostScale)
+	clear(sc.dom0DemandCPU)
+	clear(sc.hostVMUtil)
+	clear(sc.dom0Util)
 
 	// Pass 0: hosts whose allocations are oversubscribed scale every VM's
 	// effective rate proportionally, as Xen's credit scheduler would. This
 	// keeps intermediate configurations (legal inputs during optimization)
 	// from evaluating better than any physically feasible configuration.
-	hostScale := make(map[string]float64)
+	// The catalog's sorted VM universe visits each host's VMs in the same
+	// order a sorted active-VM list would, so the per-host allocation folds
+	// are bit-identical to that (allocating) formulation.
+	hostScale := sc.hostScale
 	{
-		hostAlloc := make(map[string]float64)
-		for _, id := range cfg.ActiveVMs() {
-			p, _ := cfg.PlacementOf(id)
-			hostAlloc[p.Host] += p.CPUPct
+		hostAlloc := sc.hostAlloc
+		for _, id := range m.cat.VMIDs() {
+			if p, ok := cfg.PlacementOf(id); ok {
+				hostAlloc[p.Host] += p.CPUPct
+			}
 		}
 		for h, alloc := range hostAlloc {
 			spec, ok := m.cat.Host(h)
@@ -211,25 +323,19 @@ func (m *Model) Evaluate(cfg cluster.Config, load map[string]float64, dom0Backgr
 	}
 
 	// Pass 1: per-tier replica states, utilizations, Dom-0 demand per host.
-	type tierState struct {
-		replicas []replicaState
-		sumFrac  float64
-		demandMS float64 // mix-weighted demand per request
-		rho      float64 // per-replica utilization (equal under weighted LB)
-	}
-	states := make(map[string]map[string]*tierState, len(m.apps)) // app -> tier
-	dom0DemandCPU := make(map[string]float64)                     // host -> absolute CPU fraction demanded by Dom-0 work
-	hostVMUtil := make(map[string]float64)                        // host -> absolute CPU fraction used by VMs
+	dom0DemandCPU := sc.dom0DemandCPU // host -> absolute CPU fraction demanded by Dom-0 work
+	hostVMUtil := sc.hostVMUtil       // host -> absolute CPU fraction used by VMs
 
-	for _, name := range m.names {
-		spec := m.apps[name]
+	for ai, name := range m.names {
+		sk := &m.skel[ai]
 		lambda := load[name]
-		tiers := make(map[string]*tierState, len(spec.Tiers))
-		states[name] = tiers
-		for _, t := range spec.Tiers {
-			ts := &tierState{demandMS: spec.MeanDemandMS(t.Name)}
-			for r := 0; r < t.MaxReplicas; r++ {
-				id := spec.VMIDFor(t.Name, r)
+		for ti := range sk.tiers {
+			tsk := &sk.tiers[ti]
+			ts := &sc.tiers[ai][ti]
+			ts.replicas = ts.replicas[:0]
+			ts.sumFrac = 0
+			ts.rho = 0
+			for _, id := range tsk.vmIDs {
 				if p, ok := cfg.PlacementOf(id); ok {
 					// DVFS scales the host's compute: a VM's effective rate
 					// is its allocation times the frequency fraction.
@@ -241,8 +347,7 @@ func (m *Model) Evaluate(cfg cluster.Config, load map[string]float64, dom0Backgr
 					ts.sumFrac += frac
 				}
 			}
-			tiers[t.Name] = ts
-			if lambda <= 0 || ts.demandMS <= 0 {
+			if lambda <= 0 || tsk.demandMS <= 0 {
 				continue
 			}
 			if ts.sumFrac <= 0 {
@@ -252,24 +357,24 @@ func (m *Model) Evaluate(cfg cluster.Config, load map[string]float64, dom0Backgr
 			}
 			// Weighted load balancing yields equal per-replica utilization:
 			// rho_i = (lambda*f_i/sumF)*D/f_i = lambda*D/sumF.
-			ts.rho = lambda * (ts.demandMS / 1000) / ts.sumFrac
+			ts.rho = lambda * (tsk.demandMS / 1000) / ts.sumFrac
 			for _, rep := range ts.replicas {
 				lambdaI := lambda * rep.frac / ts.sumFrac
-				used := lambdaI * (ts.demandMS / 1000) // absolute CPU fraction
+				used := lambdaI * (tsk.demandMS / 1000) // absolute CPU fraction
 				if used > rep.frac {
 					used = rep.frac // work-conserving cap at the allocation
 				}
 				hostVMUtil[rep.host] += used
 				res.VMUtil[rep.vm] = ts.rho
 				// Dom-0 demand: one visit per tier per request.
-				dom0DemandCPU[rep.host] += lambdaI * (spec.Dom0OverheadMS / 1000)
+				dom0DemandCPU[rep.host] += lambdaI * sk.dom0Sec
 			}
 		}
 	}
 
 	// Pass 2: Dom-0 utilizations per host (shared by all apps on the host).
 	// The Dom-0 share slows with the host's DVFS frequency too.
-	dom0Util := make(map[string]float64)
+	dom0Util := sc.dom0Util
 	for _, h := range m.cat.HostNames() {
 		if !cfg.HostOn(h) {
 			continue
@@ -280,39 +385,31 @@ func (m *Model) Evaluate(cfg cluster.Config, load map[string]float64, dom0Backgr
 	}
 
 	// Pass 3: per-application response times.
-	for _, name := range m.names {
-		spec := m.apps[name]
+	for ai, name := range m.names {
+		sk := &m.skel[ai]
+		spec := sk.spec
 		lambda := load[name]
-		tiers := states[name]
 		ar := AppResult{
 			TxnRTSec: make(map[string]float64, len(spec.Txns)),
 			TierUtil: make(map[string]float64, len(spec.Tiers)),
 		}
-		probs := spec.MixProbabilities()
 
 		// Residence multiplier per tier replica: 1/(1-rho) with soft cap,
 		// plus Dom-0 residence on the replica's host.
-		type repFactor struct {
-			weight   float64 // fraction of tier load on this replica
-			frac     float64
-			stretch  float64 // 1/(1-rho_eff)
-			dom0Add  float64 // seconds per visit added by Dom-0
-			overload float64 // extra seconds per request from overload
-		}
-		factors := make(map[string][]repFactor, len(spec.Tiers))
-		for _, t := range spec.Tiers {
-			ts := tiers[t.Name]
+		for ti, t := range spec.Tiers {
+			tsk := &sk.tiers[ti]
+			ts := &sc.tiers[ai][ti]
+			ts.factors = ts.factors[:0]
 			ar.TierUtil[t.Name] = ts.rho
-			if lambda <= 0 || ts.demandMS <= 0 {
+			if lambda <= 0 || tsk.demandMS <= 0 {
 				continue
 			}
 			if ts.sumFrac <= 0 {
 				ar.Saturated = true
 				// Unserved tier: charge the full overload penalty.
-				factors[t.Name] = []repFactor{{weight: 1, frac: 1, stretch: 1, overload: m.opts.OverloadPenaltySec}}
+				ts.factors = append(ts.factors, repFactor{weight: 1, frac: 1, stretch: 1, overload: m.opts.OverloadPenaltySec})
 				continue
 			}
-			var fs []repFactor
 			for _, rep := range ts.replicas {
 				rho := ts.rho
 				var overload float64
@@ -328,8 +425,8 @@ func (m *Model) Evaluate(cfg cluster.Config, load map[string]float64, dom0Backgr
 					d0rho = m.opts.MaxRho
 					ar.Saturated = true
 				}
-				dom0Visit := (spec.Dom0OverheadMS / 1000) / m.opts.Dom0CPUShare / (1 - d0rho)
-				fs = append(fs, repFactor{
+				dom0Visit := sk.dom0Sec / m.opts.Dom0CPUShare / (1 - d0rho)
+				ts.factors = append(ts.factors, repFactor{
 					weight:   rep.frac / ts.sumFrac,
 					frac:     rep.frac,
 					stretch:  1 / (1 - rho),
@@ -337,7 +434,6 @@ func (m *Model) Evaluate(cfg cluster.Config, load map[string]float64, dom0Backgr
 					overload: overload,
 				})
 			}
-			factors[t.Name] = fs
 		}
 
 		// WAN penalty: the expected number of tier hops crossing zones,
@@ -345,8 +441,8 @@ func (m *Model) Evaluate(cfg cluster.Config, load map[string]float64, dom0Backgr
 		var crossZoneSec float64
 		if m.opts.CrossZoneLatencyMS > 0 && lambda > 0 {
 			for i := 0; i+1 < len(spec.Tiers); i++ {
-				up := tiers[spec.Tiers[i].Name]
-				down := tiers[spec.Tiers[i+1].Name]
+				up := &sc.tiers[ai][i]
+				down := &sc.tiers[ai][i+1]
 				if up.sumFrac <= 0 || down.sumFrac <= 0 {
 					continue
 				}
@@ -365,9 +461,9 @@ func (m *Model) Evaluate(cfg cluster.Config, load map[string]float64, dom0Backgr
 		var meanRT float64
 		for i, txn := range spec.Txns {
 			rt := txn.LatencyMS/1000 + crossZoneSec // CPU-free I/O and WAN waits
-			for _, t := range spec.Tiers {
-				demand := txn.DemandMS[t.Name] / 1000
-				fs := factors[t.Name]
+			for ti := range spec.Tiers {
+				demand := sk.txnDemandSec[i][ti]
+				fs := sc.tiers[ai][ti].factors
 				if len(fs) == 0 {
 					continue
 				}
@@ -380,7 +476,7 @@ func (m *Model) Evaluate(cfg cluster.Config, load map[string]float64, dom0Backgr
 				}
 			}
 			ar.TxnRTSec[txn.Name] = rt
-			meanRT += probs[i] * rt
+			meanRT += sk.probs[i] * rt
 		}
 		ar.MeanRTSec = meanRT
 		res.Apps[name] = ar
@@ -400,5 +496,6 @@ func (m *Model) Evaluate(cfg cluster.Config, load map[string]float64, dom0Backgr
 		}
 		res.Hosts[h] = HostResult{CPUUtil: util, Dom0Util: dom0Util[h]}
 	}
+	m.scratch.Put(sc)
 	return res, nil
 }

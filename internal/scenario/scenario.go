@@ -190,6 +190,11 @@ type Result struct {
 	TotalActions int
 	// Invocations counts decision-procedure runs.
 	Invocations int
+	// DecideWall records each decision procedure's wall-clock (not
+	// virtual) duration, in call order — the raw samples behind
+	// mistral-sim's -bench-json latency percentiles. Wall time is
+	// observational only; it never feeds back into decisions.
+	DecideWall []time.Duration
 	// MeanSearchTime averages SearchTime over invocations.
 	MeanSearchTime time.Duration
 	// TargetViolations counts app-windows whose measured RT missed the
@@ -432,7 +437,9 @@ func Run(tb *testbed.Testbed, d Decider, cfg RunConfig) (*Result, error) {
 		var provs []*provenance.DecisionProv
 		if !busy {
 			sp := tr.Start("decide", t, obs.Attr{Key: "strategy", Value: d.Name()})
+			wallT0 := time.Now()
 			dec, err := safeDecide(d, t, tb.Config(), rates)
+			res.DecideWall = append(res.DecideWall, time.Since(wallT0))
 			if err != nil {
 				sp.End(t, obs.Attr{Key: "error", Value: err.Error()})
 				olog.Warn("decide failed; degrading to no adaptation",

@@ -285,7 +285,7 @@ func (m *Mistral) Decide(now time.Duration, cfg cluster.Config, rates map[string
 	// slots and merge in controller order, so plans, the SearchCost sum
 	// (float addition is order-sensitive), and the returned error are
 	// byte-identical to the serial path.
-	m.eval.ResetCache()
+	m.eval.BeginWindow()
 	type l1Result struct {
 		d   core.Decision
 		err error

@@ -37,7 +37,7 @@ func (p *PerfPwr) Decide(now time.Duration, cfg cluster.Config, rates map[string
 	}
 	p.remember(rates)
 
-	p.eval.ResetCache()
+	p.eval.BeginWindow()
 	ideal, err := core.PerfPwr(p.eval, rates, core.PerfPwrOptions{})
 	if err != nil {
 		return scenario.Decision{}, err

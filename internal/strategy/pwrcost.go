@@ -60,7 +60,7 @@ func (p *PwrCost) Decide(now time.Duration, cfg cluster.Config, rates map[string
 		cw = 2 * time.Minute
 	}
 
-	p.eval.ResetCache()
+	p.eval.BeginWindow()
 	target, err := core.PerfPwrMeetingTargets(p.eval, rates)
 	if err != nil {
 		// Targets unreachable even at maximum capacity: fall back to the

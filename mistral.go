@@ -258,3 +258,10 @@ func RunTable1(seed uint64, opts experiments.Table1Options) (*experiments.Table1
 func RunFaultSweep(opts experiments.FaultSweepOptions) (*experiments.FaultSweepResult, error) {
 	return experiments.FaultSweep(opts)
 }
+
+// RunBenchSearch measures the decide hot path (per-window cache boundary,
+// Perf-Pwr ideal, Self-Aware A* search) over the paper's workload scenario
+// and returns the perf snapshot emitted as BENCH_search.json.
+func RunBenchSearch(seed uint64, opts experiments.BenchOptions) (*experiments.BenchResult, error) {
+	return experiments.BenchSearch(seed, opts)
+}
