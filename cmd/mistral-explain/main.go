@@ -8,17 +8,29 @@
 // against the search's reported utility within the 1e-9 tolerance) and
 // exits non-zero on the first inconsistency.
 //
+// Every window carries a deterministic trace ID (obs.TraceID of its
+// index, e.g. "w000042") shared with the span trace, SLO alerts, and the
+// ops plane. Pass -trace FILE (the JSONL from mistral-sim -trace) and
+// -window N to stitch the window's full causal chain — decide → perfpwr →
+// search (with expansion batches and cache stats) → actions → retries —
+// under the provenance record. -format json emits machine-readable output
+// for the ops plane and scripts.
+//
 // Usage:
 //
-//	mistral-explain [-window N] [-top K] [-check] FILE
+//	mistral-explain [-window N] [-top K] [-check] [-format text|json]
+//	                [-trace SPANS.jsonl] FILE
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
+	"github.com/mistralcloud/mistral/internal/obs"
 	"github.com/mistralcloud/mistral/internal/provenance"
 )
 
@@ -31,13 +43,18 @@ func main() {
 
 func run() error {
 	var (
-		window = flag.Int("window", -1, "explain this window in full (default: summary of all windows)")
-		topK   = flag.Int("top", 3, "rejected alternatives to show with -window")
-		check  = flag.Bool("check", false, "validate the stream (schema, sequencing, ledger arithmetic) and exit")
+		window    = flag.Int("window", -1, "explain this window in full (default: summary of all windows)")
+		topK      = flag.Int("top", 3, "rejected alternatives to show with -window")
+		check     = flag.Bool("check", false, "validate the stream (schema, sequencing, ledger arithmetic) and exit")
+		format    = flag.String("format", "text", "output format: text or json")
+		tracePath = flag.String("trace", "", "span JSONL (from mistral-sim -trace) to stitch the window's causal chain from")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		return fmt.Errorf("usage: mistral-explain [-window N] [-top K] [-check] FILE")
+		return fmt.Errorf("usage: mistral-explain [-window N] [-top K] [-check] [-format text|json] [-trace SPANS.jsonl] FILE")
+	}
+	if *format != "text" && *format != "json" {
+		return fmt.Errorf("-format %q: want text or json", *format)
 	}
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
@@ -50,6 +67,19 @@ func run() error {
 	}
 	if len(recs) == 0 {
 		return fmt.Errorf("%s: no records", flag.Arg(0))
+	}
+
+	var spans []obs.SpanRecord
+	if *tracePath != "" {
+		tf, err := os.Open(*tracePath)
+		if err != nil {
+			return err
+		}
+		spans, err = obs.ReadSpans(tf)
+		tf.Close()
+		if err != nil {
+			return err
+		}
 	}
 
 	if *check {
@@ -73,15 +103,103 @@ func run() error {
 	if *window >= 0 {
 		for i := range recs {
 			if recs[i].Window == *window {
+				tid := obs.TraceID(recs[i].Window)
+				wspans := obs.SpansForTrace(spans, tid)
+				if *format == "json" {
+					return writeJSON(windowDoc{Trace: tid, Record: &recs[i], Spans: wspans})
+				}
 				explain(&recs[i], *topK)
+				if *tracePath != "" {
+					causalChain(tid, wspans, *tracePath)
+				}
 				return nil
 			}
 		}
 		return fmt.Errorf("window %d not in stream (have %d records)", *window, len(recs))
 	}
 
+	if *format == "json" {
+		return writeJSON(summaryRows(recs))
+	}
 	summarize(recs)
 	return nil
+}
+
+// writeJSON emits v as indented JSON on stdout.
+func writeJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// windowDoc is the -window -format json document: the provenance record
+// joined with its trace ID and (when -trace was given) its spans.
+type windowDoc struct {
+	Trace  string             `json:"trace"`
+	Record *provenance.Record `json:"record"`
+	Spans  []obs.SpanRecord   `json:"spans,omitempty"`
+}
+
+// summaryRow is one window of the -format json summary.
+type summaryRow struct {
+	Window            int      `json:"window"`
+	Trace             string   `json:"trace"`
+	TimeSec           float64  `json:"t_sec"`
+	Strategy          string   `json:"strategy"`
+	State             string   `json:"state"`
+	Actions           int      `json:"actions"`
+	UtilityDollars    float64  `json:"utility_dollars"`
+	CumUtilityDollars float64  `json:"cum_utility_dollars"`
+	Watts             float64  `json:"watts"`
+	Terminations      []string `json:"terminations,omitempty"`
+	DegradedReason    string   `json:"degraded_reason,omitempty"`
+}
+
+// windowState classifies a record the way the text summary does.
+func windowState(r *Record) string {
+	switch {
+	case r.Degraded:
+		return "degraded"
+	case r.Busy:
+		return "busy"
+	case r.Invoked:
+		return "invoked"
+	}
+	return "idle"
+}
+
+// terminations lists each controller's outcome ("L2:goal", "L1-0:degraded").
+func terminations(r *Record) []string {
+	var terms []string
+	for _, d := range r.Decisions {
+		if d.Degraded {
+			terms = append(terms, d.Controller+":degraded")
+		} else if d.Search != nil {
+			terms = append(terms, d.Controller+":"+d.Search.Termination)
+		}
+	}
+	return terms
+}
+
+func summaryRows(recs []Record) []summaryRow {
+	rows := make([]summaryRow, 0, len(recs))
+	for i := range recs {
+		r := &recs[i]
+		rows = append(rows, summaryRow{
+			Window:            r.Window,
+			Trace:             obs.TraceID(r.Window),
+			TimeSec:           r.TimeSec,
+			Strategy:          r.Strategy,
+			State:             windowState(r),
+			Actions:           r.Actions,
+			UtilityDollars:    r.UtilityDollars,
+			CumUtilityDollars: r.CumUtilityDollars,
+			Watts:             r.Watts,
+			Terminations:      terminations(r),
+			DegradedReason:    r.DegradedReason,
+		})
+	}
+	return rows
 }
 
 // summarize prints the one-line-per-window overview.
@@ -90,32 +208,20 @@ func summarize(recs []Record) {
 		"window", "t", "strategy", "state", "act", "utility($)", "cum($)", "watts", "termination")
 	for i := range recs {
 		r := &recs[i]
-		state := "idle"
-		switch {
-		case r.Degraded:
+		state := windowState(r)
+		if state == "degraded" {
 			state = "DEGRADED"
-		case r.Busy:
-			state = "busy"
-		case r.Invoked:
-			state = "invoked"
-		}
-		var terms []string
-		for _, d := range r.Decisions {
-			if d.Degraded {
-				terms = append(terms, d.Controller+":degraded")
-			} else if d.Search != nil {
-				terms = append(terms, d.Controller+":"+d.Search.Termination)
-			}
 		}
 		fmt.Printf("%-6d  %8.0fs  %-22s  %-8s  %3d  %10.3f  %10.1f  %7.0f  %s\n",
 			r.Window, r.TimeSec, r.Strategy, state, r.Actions,
-			r.UtilityDollars, r.CumUtilityDollars, r.Watts, strings.Join(terms, " "))
+			r.UtilityDollars, r.CumUtilityDollars, r.Watts, strings.Join(terminations(r), " "))
 	}
 }
 
 // explain renders one window's full provenance.
 func explain(r *Record, topK int) {
-	fmt.Printf("window %d  t=%.0fs  strategy=%s\n", r.Window, r.TimeSec, r.Strategy)
+	fmt.Printf("window %d  trace %s  t=%.0fs  strategy=%s\n",
+		r.Window, obs.TraceID(r.Window), r.TimeSec, r.Strategy)
 	switch {
 	case r.Busy:
 		fmt.Println("state: busy — a previous plan was still executing; no decision this window")
@@ -181,6 +287,77 @@ func explain(r *Record, topK int) {
 			fmt.Println("\nno rejected alternatives: the frontier was empty when the search committed")
 		}
 	}
+}
+
+// causalChain renders the window's spans as a parent/child tree in
+// virtual-time order: decide → perfpwr → search (expansion batches,
+// cache stats) → action/retry events, all sharing one trace ID.
+func causalChain(tid string, spans []obs.SpanRecord, tracePath string) {
+	fmt.Printf("\n── causal trace %s ", tid)
+	fmt.Println(strings.Repeat("─", max(0, 60-len(tid))))
+	if len(spans) == 0 {
+		fmt.Printf("no spans for %s in %s (was the run traced with -trace?)\n", tid, tracePath)
+		return
+	}
+	byID := make(map[uint64]int, len(spans))
+	children := make(map[uint64][]int, len(spans))
+	for i, s := range spans {
+		byID[s.ID] = i
+	}
+	var roots []int
+	for i, s := range spans {
+		if _, ok := byID[s.Parent]; ok && s.Parent != s.ID {
+			children[s.Parent] = append(children[s.Parent], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	order := func(idx []int) {
+		sort.Slice(idx, func(a, b int) bool {
+			sa, sb := spans[idx[a]], spans[idx[b]]
+			if sa.VStartUS != sb.VStartUS {
+				return sa.VStartUS < sb.VStartUS
+			}
+			return sa.ID < sb.ID
+		})
+	}
+	order(roots)
+	var render func(i, depth int)
+	render = func(i, depth int) {
+		s := spans[i]
+		fmt.Printf("%s%s%s  [%.1fs → %.1fs", strings.Repeat("  ", depth+1), s.Name,
+			spanAttrs(s), float64(s.VStartUS)/1e6, float64(s.VEndUS)/1e6)
+		if s.WallUS > 0 {
+			fmt.Printf(", wall %.1fms", float64(s.WallUS)/1e3)
+		}
+		fmt.Println("]")
+		kids := children[s.ID]
+		order(kids)
+		for _, k := range kids {
+			render(k, depth+1)
+		}
+	}
+	for _, r := range roots {
+		render(r, 0)
+	}
+}
+
+// spanAttrs formats a span's interesting attributes, skipping the join
+// keys already displayed structurally.
+func spanAttrs(s obs.SpanRecord) string {
+	keys := make([]string, 0, len(s.Attrs))
+	for k := range s.Attrs {
+		if k == "trace" || k == "span" {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%v", k, s.Attrs[k])
+	}
+	return b.String()
 }
 
 // ledger renders one plan's Eq. 3 decomposition.

@@ -8,6 +8,7 @@
 //	            [-dvfs] [-csv] [-fault-rate P] [-fault-seed N]
 //	            [-provenance FILE] [-trace FILE] [-metrics FILE]
 //	            [-log-level LEVEL] [-pprof ADDR] [-bench-json FILE]
+//	            [-slo] [-profile-dir DIR] [-profile-budget D] [-profile-max N]
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"github.com/mistralcloud/mistral/internal/experiments"
 	"github.com/mistralcloud/mistral/internal/fault"
 	"github.com/mistralcloud/mistral/internal/obs"
+	"github.com/mistralcloud/mistral/internal/obs/slo"
 	"github.com/mistralcloud/mistral/internal/provenance"
 	"github.com/mistralcloud/mistral/internal/scenario"
 	"github.com/mistralcloud/mistral/internal/strategy"
@@ -53,6 +55,10 @@ func run() (err error) {
 		logLevel     = flag.String("log-level", "", "structured logging to stderr: debug, info, warn, error")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof and expvar (/debug/vars) on ADDR, e.g. localhost:6060")
 		benchJSON    = flag.String("bench-json", "", "write the run's perf counters as JSON to FILE (BENCH_search.json schema: expansions, ns/expansion, allocs/expansion, cache hit %, decide latency percentiles)")
+		sloReport    = flag.Bool("slo", false, "run the SLO self-monitoring engine and print the objective/error-budget report to stderr at exit")
+		profileDir   = flag.String("profile-dir", "", "capture pprof CPU/heap artifacts into DIR when a decide blows its wall-clock latency budget")
+		profileBud   = flag.Duration("profile-budget", 500*time.Millisecond, "wall-clock decide budget that triggers pprof capture (with -profile-dir)")
+		profileMax   = flag.Int("profile-max", 8, "maximum pprof artifacts written (with -profile-dir)")
 	)
 	flag.Parse()
 
@@ -60,9 +66,9 @@ func run() (err error) {
 	if err != nil {
 		return err
 	}
-	if *benchJSON != "" {
-		// The perf counters ride the metrics registry; make sure one exists
-		// even when no other observability knob is set.
+	if *benchJSON != "" || *sloReport {
+		// The perf counters and SLO gauges ride the metrics registry; make
+		// sure one exists even when no other observability knob is set.
 		if ob == nil {
 			ob = &obs.Observer{Metrics: obs.NewRegistry()}
 		} else if ob.Metrics == nil {
@@ -135,6 +141,22 @@ func run() (err error) {
 		return err
 	}
 
+	// Self-monitoring: an explicit engine when -slo asked for the report
+	// (scenario.Run otherwise builds its own whenever an observer is
+	// active), plus optional latency-triggered pprof capture.
+	var eng *slo.Engine
+	if *sloReport {
+		eng = slo.New(slo.Config{Interval: lab.Util.MonitoringInterval}, ob)
+	}
+	var prof *obs.Profiler
+	if *profileDir != "" {
+		prof, err = obs.NewProfiler(*profileDir, *profileBud, *profileMax)
+		if err != nil {
+			return err
+		}
+		defer prof.Close()
+	}
+
 	var mem0 runtime.MemStats
 	if *benchJSON != "" {
 		runtime.GC()
@@ -148,6 +170,8 @@ func run() (err error) {
 		Workers:    *workers,
 		Fault:      inj,
 		Provenance: rec,
+		SLO:        eng,
+		Profile:    prof,
 	})
 	if err != nil {
 		return err
@@ -196,6 +220,27 @@ func run() (err error) {
 			*faultRate*100, *faultSeed, counts.Injected,
 			res.DegradedWindows, res.FailedActions, res.Retries, res.SkippedActions,
 			res.HostCrashes, res.SensorDrops)
+	}
+	if eng != nil {
+		snap := eng.Snapshot()
+		fmt.Fprintf(os.Stderr, "slo: %d windows observed, %d alerts\n", snap.Windows, snap.TotalAlerts)
+		for _, o := range snap.Objectives {
+			status := "ok"
+			if !o.Healthy {
+				status = "BUDGET EXHAUSTED"
+			}
+			last := ""
+			if o.LastBreachWindow >= 0 {
+				last = fmt.Sprintf(", last breach %s", o.LastBreachTrace)
+			}
+			fmt.Fprintf(os.Stderr, "  %-16s %s: %d/%d windows breached (budget %.0f%%, used %.0f%%, burn %.2f)%s\n",
+				o.Name, status, o.Breaches, o.Windows, o.Budget*100, o.BudgetUsed*100, o.BurnRate, last)
+		}
+	}
+	if prof != nil {
+		if arts := prof.Artifacts(); len(arts) > 0 {
+			fmt.Fprintf(os.Stderr, "profiling: %d pprof artifact(s) in %s (budget %v)\n", len(arts), *profileDir, *profileBud)
+		}
 	}
 	if *benchJSON != "" {
 		var mem1 runtime.MemStats

@@ -1,0 +1,294 @@
+// Command mistral-top is the live ops view for a Mistral run: a
+// refreshing terminal rendering of controller health, SLO error-budget
+// state, recent alerts, and the slowest decision windows.
+//
+// Two sources, one view:
+//
+//   - Live: -addr HOST:PORT polls the /ops JSON endpoint that
+//     mistral-sim/mistral-exp serve next to /metrics when -pprof is set.
+//   - Recorded: a positional provenance JSONL file (mistral-sim
+//     -provenance) is replayed through a fresh SLO engine each refresh,
+//     so a still-growing file behaves like a live tail. Wall-clock
+//     fields are unavailable in this mode (provenance records only
+//     virtual time); the slowest-window board ranks by virtual search
+//     time instead, the cache objective shows as unmeasured, and
+//     retries replay as zero (the record does not carry them).
+//
+// -check validates the source against the published schemas
+// (mistral.ops/v1, mistral.slo/v1) and exits non-zero on mismatch —
+// the CI contract for the observability endpoints.
+//
+// Usage:
+//
+//	mistral-top -addr 127.0.0.1:6060 [-refresh 2s] [-once] [-check]
+//	mistral-top [-refresh 2s] [-once] [-check] PROVENANCE.jsonl
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/mistralcloud/mistral/internal/obs"
+	"github.com/mistralcloud/mistral/internal/obs/slo"
+	"github.com/mistralcloud/mistral/internal/provenance"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mistral-top:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", "", "poll a live /ops endpoint at HOST:PORT (mistral-sim -pprof address)")
+		refresh = flag.Duration("refresh", 2*time.Second, "refresh interval")
+		once    = flag.Bool("once", false, "render one frame and exit")
+		check   = flag.Bool("check", false, "validate the source against the ops/SLO schemas and exit")
+	)
+	flag.Parse()
+	if (*addr == "") == (flag.NArg() != 1) {
+		return fmt.Errorf("usage: mistral-top -addr HOST:PORT | mistral-top PROVENANCE.jsonl")
+	}
+
+	fetch := func() (*frame, error) { return fetchLive(*addr) }
+	source := "live " + *addr
+	if *addr == "" {
+		path := flag.Arg(0)
+		fetch = func() (*frame, error) { return replayFile(path) }
+		source = "replay " + path
+	}
+
+	if *check {
+		f, err := fetch()
+		if err != nil {
+			return err
+		}
+		if err := f.validate(); err != nil {
+			return err
+		}
+		fmt.Printf("ok: %s — schemas %s + %s, %d windows, %d objectives, %d alerts\n",
+			source, obs.OpsSchema, slo.Schema, f.ops.Windows, len(f.slo.Objectives), f.slo.TotalAlerts)
+		return nil
+	}
+
+	for {
+		f, err := fetch()
+		if err != nil {
+			return err
+		}
+		if !*once {
+			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		f.render(os.Stdout, source)
+		if *once {
+			return nil
+		}
+		time.Sleep(*refresh)
+	}
+}
+
+// frame is one rendered snapshot: the ops document plus its decoded SLO
+// sub-document.
+type frame struct {
+	ops obs.OpsSnapshot
+	slo slo.Snapshot
+}
+
+// validate enforces the -check schema contract.
+func (f *frame) validate() error {
+	if f.ops.Schema != obs.OpsSchema {
+		return fmt.Errorf("ops schema %q, want %q", f.ops.Schema, obs.OpsSchema)
+	}
+	if f.ops.Windows > 0 && f.ops.Window < 0 {
+		return fmt.Errorf("ops snapshot has %d windows but no current window", f.ops.Windows)
+	}
+	if f.ops.Windows > 0 && f.ops.Trace == "" {
+		return fmt.Errorf("ops snapshot window %d missing trace ID", f.ops.Window)
+	}
+	if len(f.ops.SLO) > 0 || f.slo.Schema != "" {
+		if f.slo.Schema != slo.Schema {
+			return fmt.Errorf("slo schema %q, want %q", f.slo.Schema, slo.Schema)
+		}
+		for _, ob := range f.slo.Objectives {
+			if ob.Name == "" {
+				return fmt.Errorf("slo objective with empty name")
+			}
+			if ob.Breaches > ob.Windows {
+				return fmt.Errorf("slo objective %s: %d breaches over %d windows", ob.Name, ob.Breaches, ob.Windows)
+			}
+		}
+		for _, a := range f.slo.Alerts {
+			if a.Trace != obs.TraceID(a.Window) {
+				return fmt.Errorf("alert window %d carries trace %q, want %q", a.Window, a.Trace, obs.TraceID(a.Window))
+			}
+			if a.Severity != slo.SeverityWarn && a.Severity != slo.SeverityPage {
+				return fmt.Errorf("alert severity %q", a.Severity)
+			}
+		}
+	}
+	return nil
+}
+
+// fetchLive pulls one /ops document from a running observer.
+func fetchLive(addr string) (*frame, error) {
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	if !strings.HasSuffix(url, "/ops") {
+		url = strings.TrimSuffix(url, "/") + "/ops"
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	var f frame
+	if err := json.Unmarshal(body, &f.ops); err != nil {
+		return nil, fmt.Errorf("%s: %w", url, err)
+	}
+	if len(f.ops.SLO) > 0 {
+		if err := json.Unmarshal(f.ops.SLO, &f.slo); err != nil {
+			return nil, fmt.Errorf("%s slo: %w", url, err)
+		}
+	}
+	return &f, nil
+}
+
+// replayFile reconstructs the ops view from a recorded provenance
+// stream, running every window through a fresh SLO engine. Re-reading
+// the whole file per refresh keeps the replay deterministic and lets a
+// growing file act as a live tail.
+func replayFile(path string) (*frame, error) {
+	fd, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fd.Close()
+	recs, err := provenance.ReadAll(fd)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("%s: no records", path)
+	}
+
+	eng := slo.New(slo.Config{}, nil)
+	f := &frame{ops: obs.OpsSnapshot{Schema: obs.OpsSchema, Strategy: recs[0].Strategy, Window: -1}}
+	for i := range recs {
+		r := &recs[i]
+		eng.ObserveWindow(slo.WindowObs{
+			Window:     r.Window,
+			Time:       time.Duration(r.TimeSec * float64(time.Second)),
+			Invoked:    r.Invoked,
+			Degraded:   r.Degraded,
+			SearchTime: time.Duration(r.SearchTimeSec * float64(time.Second)),
+		})
+		f.ops.Window = r.Window
+		f.ops.Trace = obs.TraceID(r.Window)
+		f.ops.TimeSec = r.TimeSec
+		f.ops.Windows++
+		f.ops.CumUtility = r.CumUtilityDollars
+		if r.Degraded {
+			f.ops.DegradedWindows++
+		}
+		f.ops.SlowestWindows = append(f.ops.SlowestWindows, obs.SlowWindow{
+			Window:        r.Window,
+			Trace:         obs.TraceID(r.Window),
+			SearchTimeSec: r.SearchTimeSec,
+			Degraded:      r.Degraded,
+		})
+	}
+	sort.SliceStable(f.ops.SlowestWindows, func(i, j int) bool {
+		return f.ops.SlowestWindows[i].SearchTimeSec > f.ops.SlowestWindows[j].SearchTimeSec
+	})
+	if len(f.ops.SlowestWindows) > obs.DefaultSlowWindows {
+		f.ops.SlowestWindows = f.ops.SlowestWindows[:obs.DefaultSlowWindows]
+	}
+	f.slo = eng.Snapshot()
+	raw, err := json.Marshal(f.slo)
+	if err != nil {
+		return nil, err
+	}
+	f.ops.SLO = raw
+	return f, nil
+}
+
+// render writes one terminal frame.
+func (f *frame) render(w io.Writer, source string) {
+	o := &f.ops
+	fmt.Fprintf(w, "mistral-top — %s\n", source)
+	fmt.Fprintf(w, "strategy %s  window %d (%s)  t=%.0fs  windows=%d  cum=$%.2f\n",
+		orDash(o.Strategy), o.Window, orDash(o.Trace), o.TimeSec, o.Windows, o.CumUtility)
+	fmt.Fprintf(w, "degraded=%d  decide_errors=%d  retries=%d  host_crashes=%d  last_decide_wall=%.1fms\n",
+		o.DegradedWindows, o.DecideErrors, o.Retries, o.HostCrashes, o.LastDecideWallMS)
+
+	fmt.Fprintf(w, "\nSLO objectives (%s)\n", orDash(f.slo.Schema))
+	fmt.Fprintf(w, "  %-16s %-8s %9s %11s %8s  %s\n",
+		"objective", "state", "breaches", "budget used", "burn", "last breach")
+	for _, ob := range f.slo.Objectives {
+		state := "ok"
+		if !ob.Healthy {
+			state = "PAGE"
+		} else if ob.Breaches > 0 {
+			state = "warn"
+		}
+		last := "-"
+		if ob.LastBreachTrace != "" {
+			last = ob.LastBreachTrace
+		}
+		fmt.Fprintf(w, "  %-16s %-8s %4d/%-4d %10.0f%% %8.2f  %s\n",
+			ob.Name, state, ob.Breaches, ob.Windows, ob.BudgetUsed*100, ob.BurnRate, last)
+	}
+	if len(f.slo.Objectives) == 0 {
+		fmt.Fprintln(w, "  (no SLO data)")
+	}
+
+	fmt.Fprintf(w, "\nalerts (%d total, last %d)\n", f.slo.TotalAlerts, min(len(f.slo.Alerts), 8))
+	start := max(0, len(f.slo.Alerts)-8)
+	for _, a := range f.slo.Alerts[start:] {
+		fmt.Fprintf(w, "  [%s] %s t=%.0fs %s: %s\n", a.Severity, a.Trace, a.TimeSec, a.Objective, a.Message)
+	}
+	if len(f.slo.Alerts) == 0 {
+		fmt.Fprintln(w, "  (none)")
+	}
+
+	fmt.Fprintf(w, "\nslowest windows (top %d)\n", len(o.SlowestWindows))
+	for _, s := range o.SlowestWindows {
+		mark := ""
+		if s.Degraded {
+			mark = "  DEGRADED"
+		}
+		if s.WallMS > 0 {
+			fmt.Fprintf(w, "  %s  wall %7.1fms  search %6.2fs%s\n", s.Trace, s.WallMS, s.SearchTimeSec, mark)
+		} else {
+			fmt.Fprintf(w, "  %s  search %6.2fs%s\n", s.Trace, s.SearchTimeSec, mark)
+		}
+	}
+	if len(o.SlowestWindows) == 0 {
+		fmt.Fprintln(w, "  (none)")
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

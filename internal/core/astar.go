@@ -237,6 +237,7 @@ type Searcher struct {
 	// and rebindable with SetObserver. All are nil-safe no-ops when
 	// observability is disabled.
 	log         *slog.Logger
+	tr          *obs.Tracer
 	cInvoked    *obs.Counter
 	cExpanded   *obs.Counter
 	cGenerated  *obs.Counter
@@ -246,6 +247,27 @@ type Searcher struct {
 	hSearchMS   *obs.Histogram
 	hBatch      *obs.Histogram
 	gWorkers    *obs.Gauge
+
+	// Trace context for expansion-batch events: tc identifies the
+	// window, tcName the owning controller (span-ID uniqueness across
+	// parallel 1st-level searches), traceBase the search's virtual start
+	// time (set by the controller each Decide). Observational only.
+	tc        obs.TraceContext
+	tcName    string
+	traceBase time.Duration
+}
+
+// expandBatchEvery is how many expansions one "search:batch" trace
+// event covers — coarse enough that a 2 500-expansion search stays
+// under ~40 events, fine enough to localize a stall inside the search.
+const expandBatchEvery = 64
+
+// SetTrace installs the current window's trace context under the given
+// controller name; subsequent searches emit "search:batch" events
+// carrying the shared trace ID.
+func (s *Searcher) SetTrace(tc obs.TraceContext, name string) {
+	s.tc = tc
+	s.tcName = name
 }
 
 // NewSearcher builds a searcher.
@@ -272,6 +294,7 @@ func (s *Searcher) putVertex(v *vertex) {
 // resolves the process default); pass nil to disable.
 func (s *Searcher) SetObserver(o *obs.Observer) {
 	s.log = o.Logger()
+	s.tr = o.Tracer()
 	s.cInvoked = o.Counter("search_invocations_total")
 	s.cExpanded = o.Counter("search_expansions_total")
 	s.cGenerated = o.Counter("search_generated_total")
@@ -448,6 +471,7 @@ func (s *Searcher) search(cfg cluster.Config, rates map[string]float64, cw time.
 	var descs []childDesc
 	var pruneIdx []int
 	var warm []*vertex
+	var batchStart time.Duration // virtual start of the current trace batch
 
 	slack := opts.EpsilonMargin * (math.Abs(idealRate)*cwSec + 1e-9)
 	for open.Len() > 0 {
@@ -500,6 +524,19 @@ func (s *Searcher) search(cfg cluster.Config, rates map[string]float64, cw time.
 			return stayPut(term)
 		}
 		res.Expanded++
+		// Expansion-batch trace events: every expandBatchEvery expansions
+		// close one "search:batch" span carrying the window's trace ID,
+		// so a slow search localizes to a batch on the causal timeline.
+		if s.tr != nil && s.tc.Enabled() && res.Expanded%expandBatchEvery == 0 {
+			s.tr.Event("search:batch", s.traceBase+batchStart, s.traceBase+elapsed,
+				s.tc.Attr(),
+				obs.Attr{Key: "span", Value: s.tc.SpanID(s.tcName, "search", fmt.Sprintf("batch%04d", res.Expanded/expandBatchEvery))},
+				obs.Attr{Key: "controller", Value: s.tcName},
+				obs.Attr{Key: "expanded", Value: res.Expanded},
+				obs.Attr{Key: "generated", Value: res.Generated},
+				obs.Attr{Key: "frontier", Value: open.Len()})
+			batchStart = elapsed
+		}
 		if dig != nil {
 			dig.vertex(res.Expanded, vmax.depth, vmax.utility, vmax.accrued,
 				dc.distance(vmax.cfg, nil), open.Len())

@@ -136,6 +136,19 @@ type Controller struct {
 	log        *slog.Logger
 	cDecides   *obs.Counter
 	cFallbacks *obs.Counter
+	tc         obs.TraceContext
+}
+
+// SetTraceContext installs the current monitoring window's trace
+// context, shared with the scenario loop's root span and the window's
+// provenance record. The controller stamps its spans with the trace ID
+// and deterministic span IDs composed from its (unique) name, and
+// forwards the context to its searcher so expansion-batch events join
+// the same story. Purely observational; decisions are identical with
+// or without it.
+func (c *Controller) SetTraceContext(tc obs.TraceContext) {
+	c.tc = tc
+	c.searcher.SetTrace(tc, c.opts.Name)
 }
 
 // NewController builds a controller over an evaluator.
@@ -308,7 +321,12 @@ func (c *Controller) Decide(now time.Duration, cfg cluster.Config, rates map[str
 		c.eval.BeginWindow()
 	}
 	tr := c.obsv.Tracer()
-	psp := tr.Start("perfpwr", now, obs.Attr{Key: "controller", Value: c.opts.Name})
+	pattrs := []obs.Attr{{Key: "controller", Value: c.opts.Name}}
+	if c.tc.Enabled() {
+		pattrs = append(pattrs, c.tc.Attr(),
+			obs.Attr{Key: "span", Value: c.tc.SpanID(c.opts.Name, "perfpwr")})
+	}
+	psp := tr.Start("perfpwr", now, pattrs...)
 	var ideal Ideal
 	switch c.opts.Scope {
 	case ScopeTune:
@@ -332,20 +350,42 @@ func (c *Controller) Decide(now time.Duration, cfg cluster.Config, rates map[str
 	if c.opts.AppHostPools != nil {
 		space.AppPools = c.opts.AppHostPools
 	}
-	ssp := tr.Start("search", now,
-		obs.Attr{Key: "controller", Value: c.opts.Name},
-		obs.Attr{Key: "cw_s", Value: cw.Seconds()})
+	sattrs := []obs.Attr{
+		{Key: "controller", Value: c.opts.Name},
+		{Key: "cw_s", Value: cw.Seconds()},
+	}
+	if c.tc.Enabled() {
+		sattrs = append(sattrs, c.tc.Attr(),
+			obs.Attr{Key: "span", Value: c.tc.SpanID(c.opts.Name, "search")})
+	}
+	ssp := tr.Start("search", now, sattrs...)
+	c.searcher.traceBase = now
+	// Snapshot the evaluator's cache counters around the search so the
+	// span records this decision's cache behavior (tracer-gated: the
+	// snapshot walks the shard locks).
+	var st0 CacheStats
+	if tr != nil {
+		st0 = c.eval.CacheStats()
+	}
 	sr, err := c.searcher.Search(cfg, rates, cw, ideal, c.expected(cw), space)
 	if err != nil {
 		ssp.End(now)
 		return c.fallback(now, "search", err), nil
 	}
-	ssp.End(now+sr.SearchTime,
-		obs.Attr{Key: "expanded", Value: sr.Expanded},
-		obs.Attr{Key: "generated", Value: sr.Generated},
-		obs.Attr{Key: "pruned_children", Value: sr.PrunedChildren},
-		obs.Attr{Key: "plan_len", Value: len(sr.Plan)},
-		obs.Attr{Key: "utility", Value: sr.Utility})
+	endAttrs := []obs.Attr{
+		{Key: "expanded", Value: sr.Expanded},
+		{Key: "generated", Value: sr.Generated},
+		{Key: "pruned_children", Value: sr.PrunedChildren},
+		{Key: "plan_len", Value: len(sr.Plan)},
+		{Key: "utility", Value: sr.Utility},
+	}
+	if tr != nil {
+		st1 := c.eval.CacheStats()
+		endAttrs = append(endAttrs,
+			obs.Attr{Key: "cache_hits", Value: st1.Hits - st0.Hits},
+			obs.Attr{Key: "cache_misses", Value: st1.Misses - st0.Misses})
+	}
+	ssp.End(now+sr.SearchTime, endAttrs...)
 	c.cDecides.Inc()
 	if c.log.Enabled(context.Background(), slog.LevelDebug) {
 		c.log.Debug("decide",

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"expvar"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramExemplar checks an exemplar-tagged observation lands in
+// the JSON snapshot (value + trace join key) but stays out of the
+// Prometheus text exposition, which the 0.0.4 format cannot carry.
+func TestHistogramExemplar(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("window_utility", []float64{1, 10})
+	h.Observe(0.5)
+	h.ObserveExemplar(2.5, TraceID(3))
+	h.ObserveExemplar(7.5, "") // empty trace: counted, no exemplar update
+
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count %d, want 3", s.Count)
+	}
+	if s.Exemplar == nil || s.Exemplar.Trace != "w000003" || s.Exemplar.Value != 2.5 {
+		t.Fatalf("exemplar %+v", s.Exemplar)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if ex := snap.Histograms["window_utility"].Exemplar; ex == nil || ex.Trace != "w000003" {
+		t.Fatalf("JSON exemplar %+v", ex)
+	}
+
+	buf.Reset()
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "w000003") {
+		t.Fatalf("exemplar leaked into text exposition:\n%s", buf.String())
+	}
+}
+
+// TestHistogramDuplicateRegistration pins the return-existing guard:
+// re-registering a histogram under the same name — even with different
+// bounds — hands back the first collector instead of panicking or
+// resetting counts.
+func TestHistogramDuplicateRegistration(t *testing.T) {
+	r := NewRegistry()
+	h1 := r.Histogram("h", []float64{1, 2, 3})
+	h1.Observe(1)
+	h2 := r.Histogram("h", []float64{100}) // different bounds: first wins
+	if h1 != h2 {
+		t.Fatal("duplicate registration returned a different collector")
+	}
+	if got := len(h2.Snapshot().Bounds); got != 3 {
+		t.Fatalf("bounds overwritten: %d", got)
+	}
+	if c1, c2 := r.Counter("c"), r.Counter("c"); c1 != c2 {
+		t.Fatal("duplicate counter registration returned a different collector")
+	}
+	if g1, g2 := r.Gauge("g"), r.Gauge("g"); g1 != g2 {
+		t.Fatal("duplicate gauge registration returned a different collector")
+	}
+}
+
+// TestPublishConcurrentDuplicate hammers Publish with the same expvar
+// name from many goroutines and registries. expvar itself panics on
+// re-publication; the registry guard must make every call after the
+// first a silent no-op — run with -race this also proves the
+// check-then-act window is closed.
+func TestPublishConcurrentDuplicate(t *testing.T) {
+	const name = "mistral_test_publish_dup"
+	regs := []*Registry{NewRegistry(), NewRegistry()}
+	regs[0].Counter("who").Add(1)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			regs[i%len(regs)].Publish(name)
+		}(i)
+	}
+	wg.Wait()
+
+	v := expvar.Get(name)
+	if v == nil {
+		t.Fatal("nothing published")
+	}
+	// Whichever registry won, the export must serve a valid snapshot.
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(v.String()), &snap); err != nil {
+		t.Fatalf("published value is not a snapshot: %v", err)
+	}
+}

@@ -32,6 +32,12 @@ type Observer struct {
 	Trace *Tracer
 	// Log receives structured log records; nil means the no-op logger.
 	Log *slog.Logger
+	// Ops is the live controller-health surface served at /ops; nil
+	// disables it.
+	Ops *OpsState
+	// HTTPAddr is the bound address of the pprof/metrics/ops HTTP
+	// server when one is running ("" otherwise). Informational only.
+	HTTPAddr string
 }
 
 // Counter returns the named counter from the observer's registry, or nil

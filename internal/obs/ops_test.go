@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestOpsStateFold feeds windows through the state and checks the
+// aggregates, the slowest-window leaderboard ordering and cap, and the
+// snapshot's copy semantics.
+func TestOpsStateFold(t *testing.T) {
+	s := NewOpsState()
+	s.BeginRun("Mistral", 2*time.Minute)
+	for i := 0; i < DefaultSlowWindows+5; i++ {
+		s.RecordWindow(OpsWindow{
+			Window:     i,
+			Trace:      TraceID(i),
+			TimeSec:    float64(i) * 120,
+			CumUtility: float64(i),
+			Degraded:   i == 3,
+			Error:      i == 3,
+			Retries:    i % 2,
+			Crashes:    btoi(i == 7),
+			WallMS:     float64(100 - i), // strictly decreasing: window 0 slowest
+		})
+	}
+	snap := s.Snapshot()
+	if snap.Schema != OpsSchema || snap.Strategy != "Mistral" || snap.IntervalSec != 120 {
+		t.Fatalf("header %+v", snap)
+	}
+	if snap.Windows != DefaultSlowWindows+5 || snap.Window != DefaultSlowWindows+4 {
+		t.Fatalf("windows %d current %d", snap.Windows, snap.Window)
+	}
+	if snap.DegradedWindows != 1 || snap.DecideErrors != 1 || snap.HostCrashes != 1 {
+		t.Fatalf("aggregates %+v", snap)
+	}
+	if len(snap.SlowestWindows) != DefaultSlowWindows {
+		t.Fatalf("leaderboard len %d", len(snap.SlowestWindows))
+	}
+	for i, sw := range snap.SlowestWindows {
+		if sw.Window != i { // wall decreases with index, so slowest-first = index order
+			t.Fatalf("leaderboard[%d] = window %d", i, sw.Window)
+		}
+	}
+	if snap.UpdatedUnixMS == 0 {
+		t.Fatal("snapshot missing update stamp")
+	}
+
+	// Mutating the returned slice must not reach the live state.
+	snap.SlowestWindows[0].Window = -99
+	if s.Snapshot().SlowestWindows[0].Window == -99 {
+		t.Fatal("snapshot shares leaderboard backing array with state")
+	}
+
+	// BeginRun resets per-run aggregates (experiment grids reuse one state).
+	s.BeginRun("Naive", time.Minute)
+	if got := s.Snapshot(); got.Windows != 0 || got.Strategy != "Naive" || len(got.SlowestWindows) != 0 {
+		t.Fatalf("BeginRun did not reset: %+v", got)
+	}
+}
+
+// TestOpsNilSafe proves the nil state is fully inert and its handler
+// still serves the empty document, so /ops can always be mounted.
+func TestOpsNilSafe(t *testing.T) {
+	var s *OpsState
+	s.BeginRun("x", time.Minute)
+	s.RecordWindow(OpsWindow{Window: 1})
+	s.SetSLO([]byte(`{}`))
+	if snap := s.Snapshot(); snap.Schema != OpsSchema || snap.Window != -1 {
+		t.Fatalf("nil snapshot %+v", snap)
+	}
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/ops", nil))
+	var doc OpsSnapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &doc); err != nil || doc.Schema != OpsSchema {
+		t.Fatalf("nil handler served %q (err %v)", rr.Body.String(), err)
+	}
+	var o *Observer
+	if o.OpsState() != nil {
+		t.Fatal("nil observer returned ops state")
+	}
+}
+
+// TestOpsSLOAttachment checks the raw SLO document rides the snapshot.
+func TestOpsSLOAttachment(t *testing.T) {
+	s := NewOpsState()
+	s.SetSLO(json.RawMessage(`{"schema":"mistral.slo/v1"}`))
+	if got := string(s.Snapshot().SLO); got != `{"schema":"mistral.slo/v1"}` {
+		t.Fatalf("slo %q", got)
+	}
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sync"
+	"time"
+)
+
+// Profiler captures pprof artifacts automatically when a decide call
+// blows its wall-clock latency budget. The first breach writes a heap
+// profile immediately and arms a CPU profile for the *next* decide
+// (CPU profiling must bracket the work, so the breach that reveals the
+// problem schedules capture of its successor — in a steady-state
+// controller loop the successor exhibits the same pathology). Artifact
+// count is capped so a persistently slow run cannot fill the disk.
+//
+// Profiling is wall-clock territory by definition and never touches
+// decision state: a nil *Profiler is a valid disabled profiler, and
+// an enabled one only reads timings and writes files.
+type Profiler struct {
+	mu      sync.Mutex
+	dir     string
+	budget  time.Duration
+	max     int
+	written []string
+	armCPU  bool
+	cpuFile *os.File
+}
+
+// NewProfiler builds a profiler writing at most maxArtifacts files to
+// dir (created if missing), triggering when a decide exceeds budget.
+func NewProfiler(dir string, budget time.Duration, maxArtifacts int) (*Profiler, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("obs: profiler needs a directory")
+	}
+	if budget <= 0 {
+		return nil, fmt.Errorf("obs: profiler budget must be positive, got %v", budget)
+	}
+	if maxArtifacts <= 0 {
+		maxArtifacts = 8
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: profiler dir: %w", err)
+	}
+	return &Profiler{dir: dir, budget: budget, max: maxArtifacts}, nil
+}
+
+// BeginDecide starts a CPU profile for this window when the previous
+// window's breach armed one. The trace ID lands in the file name so the
+// artifact joins the causal record.
+func (p *Profiler) BeginDecide(window int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.armCPU || len(p.written) >= p.max {
+		p.armCPU = false
+		return
+	}
+	p.armCPU = false
+	path := filepath.Join(p.dir, fmt.Sprintf("cpu_%s.pprof", TraceID(window)))
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	// StartCPUProfile fails if another CPU profile is already running
+	// (e.g. the binary's own -cpuprofile flag); just drop ours.
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		return
+	}
+	p.cpuFile = f
+	p.written = append(p.written, path)
+}
+
+// EndDecide finishes an in-flight CPU profile and, when the decide's
+// wall duration exceeded the budget, writes a heap profile and arms CPU
+// capture for the next decide. Returns the paths written this call.
+func (p *Profiler) EndDecide(window int, wall time.Duration) []string {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []string
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		p.cpuFile.Close()
+		out = append(out, p.written[len(p.written)-1])
+		p.cpuFile = nil
+	}
+	if wall <= p.budget {
+		return out
+	}
+	if len(p.written) < p.max {
+		path := filepath.Join(p.dir, fmt.Sprintf("heap_%s.pprof", TraceID(window)))
+		if f, err := os.Create(path); err == nil {
+			if err := pprof.WriteHeapProfile(f); err == nil {
+				p.written = append(p.written, path)
+				out = append(out, path)
+			}
+			f.Close()
+		}
+	}
+	if len(p.written) < p.max {
+		p.armCPU = true
+	}
+	return out
+}
+
+// Close stops any in-flight CPU profile (a breach on the final window
+// arms one that never gets an EndDecide).
+func (p *Profiler) Close() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		p.cpuFile.Close()
+		p.cpuFile = nil
+	}
+}
+
+// Artifacts lists every profile path written so far.
+func (p *Profiler) Artifacts() []string {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.written...)
+}
+
+// Budget returns the configured wall-clock decide budget.
+func (p *Profiler) Budget() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return p.budget
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestProfilerBreachWritesHeapAndArmsCPU walks the arming protocol: a
+// budget breach writes a heap profile immediately and schedules a CPU
+// profile bracketing the next decide, with trace IDs in the file names.
+func TestProfilerBreachWritesHeapAndArmsCPU(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NewProfiler(dir, 10*time.Millisecond, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	p.BeginDecide(0) // nothing armed yet
+	if got := p.EndDecide(0, time.Millisecond); len(got) != 0 {
+		t.Fatalf("under-budget decide wrote %v", got)
+	}
+
+	p.BeginDecide(1)
+	wrote := p.EndDecide(1, 50*time.Millisecond) // breach: heap now, CPU armed
+	if len(wrote) != 1 || filepath.Base(wrote[0]) != "heap_w000001.pprof" {
+		t.Fatalf("breach wrote %v", wrote)
+	}
+
+	p.BeginDecide(2) // armed: CPU profile brackets this decide
+	wrote = p.EndDecide(2, time.Millisecond)
+	if len(wrote) != 1 || filepath.Base(wrote[0]) != "cpu_w000002.pprof" {
+		t.Fatalf("armed decide wrote %v", wrote)
+	}
+
+	arts := p.Artifacts()
+	if len(arts) != 2 {
+		t.Fatalf("artifacts %v", arts)
+	}
+	for _, a := range arts {
+		if !strings.HasPrefix(a, dir) {
+			t.Fatalf("artifact %s escaped %s", a, dir)
+		}
+	}
+}
+
+// TestProfilerArtifactCap proves a persistently slow run stops writing
+// at the cap instead of filling the disk.
+func TestProfilerArtifactCap(t *testing.T) {
+	p, err := NewProfiler(t.TempDir(), time.Millisecond, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for w := 0; w < 10; w++ {
+		p.BeginDecide(w)
+		p.EndDecide(w, time.Second) // every decide breaches
+	}
+	if got := len(p.Artifacts()); got != 2 {
+		t.Fatalf("wrote %d artifacts past cap 2", got)
+	}
+}
+
+// TestProfilerConfig pins the constructor's validation and nil safety.
+func TestProfilerConfig(t *testing.T) {
+	if _, err := NewProfiler("", time.Second, 1); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	if _, err := NewProfiler(t.TempDir(), 0, 1); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	var p *Profiler
+	p.BeginDecide(0)
+	if p.EndDecide(0, time.Hour) != nil || p.Artifacts() != nil || p.Budget() != 0 {
+		t.Fatal("nil profiler not inert")
+	}
+	p.Close()
+}

@@ -1,13 +1,17 @@
 package obs
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"strings"
+	"time"
 )
 
 // CLI carries the observability flags shared by the cmd/ binaries.
@@ -21,15 +25,26 @@ type CLI struct {
 	// LogLevel enables structured logging to stderr at debug, info,
 	// warn, or error.
 	LogLevel string
-	// PprofAddr serves net/http/pprof, expvar (/debug/vars), and the live
-	// Prometheus exposition (/metrics) on this address, e.g.
-	// "localhost:6060".
+	// PprofAddr serves net/http/pprof, expvar (/debug/vars), the live
+	// Prometheus exposition (/metrics), and the ops-plane snapshot
+	// (/ops) on this address, e.g. "localhost:6060". Use ":0" forms to
+	// bind an ephemeral port; the bound address lands in
+	// Observer.HTTPAddr.
 	PprofAddr string
 }
 
+// shutdownTimeout bounds how long the closer waits for in-flight HTTP
+// requests before forcing the listener shut.
+const shutdownTimeout = 2 * time.Second
+
 // Build assembles an Observer from the CLI knobs plus a close function
-// that flushes the trace and writes the metrics dump. When every knob is
-// empty it returns (nil, no-op, nil): observability fully disabled.
+// that flushes the trace, shuts the HTTP server down gracefully, and
+// writes the metrics dump. When every knob is empty it returns
+// (nil, no-op, nil): observability fully disabled.
+//
+// The HTTP listener is bound synchronously, so an unusable PprofAddr
+// (port in use, bad host) surfaces as an error here instead of a
+// stray goroutine log line after the run already started.
 func (c CLI) Build() (*Observer, func() error, error) {
 	nop := func() error { return nil }
 	if c.TracePath == "" && c.MetricsPath == "" && c.LogLevel == "" && c.PprofAddr == "" {
@@ -61,23 +76,47 @@ func (c CLI) Build() (*Observer, func() error, error) {
 		}
 		o.Log = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 	}
+	var srv *http.Server
+	var serveErr chan error
 	if c.PprofAddr != "" {
+		o.Ops = NewOpsState()
 		// pprof and expvar register on the default mux; wrap it so the
-		// Prometheus endpoint rides the same listener.
+		// Prometheus and ops endpoints ride the same listener.
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", o.Metrics.MetricsHandler())
+		mux.Handle("/ops", o.Ops.Handler())
 		mux.Handle("/", http.DefaultServeMux)
-		go func() {
-			if err := http.ListenAndServe(c.PprofAddr, mux); err != nil {
-				fmt.Fprintf(os.Stderr, "obs: pprof server: %v\n", err)
+		ln, err := net.Listen("tcp", c.PprofAddr)
+		if err != nil {
+			if traceFile != nil {
+				traceFile.Close()
 			}
-		}()
+			return nil, nop, fmt.Errorf("obs: http listen %s: %w", c.PprofAddr, err)
+		}
+		o.HTTPAddr = ln.Addr().String()
+		srv = &http.Server{Handler: mux}
+		serveErr = make(chan error, 1)
+		go func() { serveErr <- srv.Serve(ln) }()
 	}
 
 	closer := func() error {
 		var first error
+		if srv != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+			err := srv.Shutdown(ctx)
+			cancel()
+			if err != nil {
+				err = srv.Close()
+			}
+			if err != nil && first == nil {
+				first = err
+			}
+			if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) && first == nil {
+				first = err
+			}
+		}
 		if o.Trace != nil {
-			if err := o.Trace.Close(); err != nil {
+			if err := o.Trace.Close(); err != nil && first == nil {
 				first = err
 			}
 			if err := traceFile.Close(); err != nil && first == nil {

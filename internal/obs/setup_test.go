@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBuildHTTPGracefulShutdown exercises the full HTTP life cycle: an
+// ephemeral-port bind lands the real address in Observer.HTTPAddr, the
+// /metrics and /ops endpoints serve while the run is live, and the
+// closer shuts the listener down cleanly (no leaked serve goroutine,
+// no error from the drained channel).
+func TestBuildHTTPGracefulShutdown(t *testing.T) {
+	ob, closer, err := CLI{PprofAddr: "127.0.0.1:0"}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ob == nil || ob.HTTPAddr == "" {
+		t.Fatalf("observer %v addr %q", ob, ob.HTTPAddr)
+	}
+	if ob.OpsState() == nil {
+		t.Fatal("PprofAddr set but no ops state")
+	}
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + ob.HTTPAddr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	ob.Metrics.Counter("windows_total").Inc()
+	if body := get("/metrics"); !strings.Contains(body, "windows_total 1") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	var snap OpsSnapshot
+	if err := json.Unmarshal([]byte(get("/ops")), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema != OpsSchema {
+		t.Fatalf("/ops schema %q, want %q", snap.Schema, OpsSchema)
+	}
+
+	if err := closer(); err != nil {
+		t.Fatalf("closer: %v", err)
+	}
+	// The listener must actually be gone, not just draining.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, err := http.Get("http://" + ob.HTTPAddr + "/ops")
+		if err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/ops still serving after close")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestBuildHTTPListenError pins the fix for the silent-failure mode:
+// binding a port that is already taken must surface as an error from
+// Build, not a log line from a goroutine after the run started.
+func TestBuildHTTPListenError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	ob, closer, err := CLI{PprofAddr: ln.Addr().String()}.Build()
+	if err == nil {
+		closer()
+		t.Fatalf("Build bound an occupied port, observer %+v", ob)
+	}
+	if ob != nil {
+		t.Fatalf("error path returned observer %+v", ob)
+	}
+	if closer == nil || closer() != nil {
+		t.Fatal("error path must return a working no-op closer")
+	}
+}

@@ -1,0 +1,419 @@
+// Package slo is Mistral's self-monitoring engine: declarative service
+// level objectives over the controller's own behavior — decision
+// latency budget per window, degraded-window burn rate, eval-cache hit
+// floor, fault-retry ceiling — evaluated online with SRE-style error
+// budget accounting.
+//
+// Determinism is a design constraint, not an accident: every input the
+// engine folds into its state is virtual-time or a deterministic count
+// (search time on the simulation clock, degraded flags, retry counts,
+// cache counters that are scheduling-independent at a fixed worker
+// setting). Wall-clock latency never enters; the Profiler in package
+// obs owns that side. Two runs with the same seed and workers produce
+// byte-identical Snapshots, which the determinism test asserts.
+package slo
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/mistralcloud/mistral/internal/obs"
+)
+
+// Schema versions the Snapshot JSON for consumers (ops plane,
+// mistral-top, CI golden-schema validation).
+const Schema = "mistral.slo/v1"
+
+// Severity levels for alerts.
+const (
+	// SeverityWarn marks a single objective breach.
+	SeverityWarn = "warn"
+	// SeverityPage marks an exhausted error budget — the objective has
+	// breached more often than its budget allows.
+	SeverityPage = "page"
+)
+
+// Config declares the objectives. Zero fields take defaults derived
+// from the monitoring interval.
+type Config struct {
+	// Interval is the monitoring interval M (required; used to derive
+	// the default decide budget).
+	Interval time.Duration
+	// DecideBudget is the virtual-time budget for one decide
+	// (search+plan on the simulation clock). Default Interval/4.
+	DecideBudget time.Duration
+	// DecideBudgetFrac is the allowed fraction of invoked windows that
+	// may exceed DecideBudget. Default 0.10.
+	DecideBudgetFrac float64
+	// DegradedFrac is the allowed fraction of windows that may run
+	// degraded (fallback decisions). Default 0.05.
+	DegradedFrac float64
+	// CacheHitFloor is the minimum per-window eval-cache hit rate.
+	// The evaluator cache is a within-search dedup structure, so healthy
+	// hit rates are low single digits; the floor catches pathological
+	// cold-cache windows, not cache inefficiency. Default 0.001 (0.1%).
+	CacheHitFloor float64
+	// CacheHitFrac is the allowed fraction of measurable windows below
+	// the floor. Default 0.50.
+	CacheHitFrac float64
+	// RetryCeiling is the maximum fault retries per window before the
+	// objective breaches. Default 2.
+	RetryCeiling int
+	// RetryFrac is the allowed fraction of windows above the ceiling.
+	// Default 0.10.
+	RetryFrac float64
+	// BurnWindows is the trailing-window span for burn-rate estimation.
+	// Default 16.
+	BurnWindows int
+	// AlertCap bounds the in-memory alert ring. Default 64.
+	AlertCap int
+}
+
+func (c Config) withDefaults() Config {
+	if c.DecideBudget <= 0 {
+		if c.Interval > 0 {
+			c.DecideBudget = c.Interval / 4
+		} else {
+			c.DecideBudget = 30 * time.Second
+		}
+	}
+	if c.DecideBudgetFrac <= 0 {
+		c.DecideBudgetFrac = 0.10
+	}
+	if c.DegradedFrac <= 0 {
+		c.DegradedFrac = 0.05
+	}
+	if c.CacheHitFloor <= 0 {
+		c.CacheHitFloor = 0.001
+	}
+	if c.CacheHitFrac <= 0 {
+		c.CacheHitFrac = 0.50
+	}
+	if c.RetryCeiling <= 0 {
+		c.RetryCeiling = 2
+	}
+	if c.RetryFrac <= 0 {
+		c.RetryFrac = 0.10
+	}
+	if c.BurnWindows <= 0 {
+		c.BurnWindows = 16
+	}
+	if c.AlertCap <= 0 {
+		c.AlertCap = 64
+	}
+	return c
+}
+
+// WindowObs is one completed monitoring window's observations. All
+// fields are virtual-time or deterministic counts.
+type WindowObs struct {
+	// Window is the 0-based window index (the trace identity).
+	Window int
+	// Time is the virtual timestamp of the window start.
+	Time time.Duration
+	// Invoked reports whether the controller actually ran (adaptive
+	// strategies may skip stable windows).
+	Invoked bool
+	// Degraded reports a fallback decision (search failed or panicked).
+	Degraded bool
+	// SearchTime is the decide duration on the simulation clock.
+	SearchTime time.Duration
+	// Retries is how many queued fault retries executed this window.
+	Retries int
+	// CacheHits/CacheMisses are cumulative evaluator cache counters;
+	// the engine diffs them per window. Zero deltas mark the window
+	// unmeasurable for the cache objective (skipped, not breached).
+	CacheHits, CacheMisses int64
+}
+
+// ObjectiveState is one objective's error-budget accounting.
+type ObjectiveState struct {
+	Name string `json:"name"`
+	// Windows is how many windows were measurable for this objective.
+	Windows int `json:"windows"`
+	// Breaches is how many measurable windows violated it.
+	Breaches int `json:"breaches"`
+	// Budget is the allowed breaching fraction.
+	Budget float64 `json:"budget"`
+	// BudgetUsed is Breaches / (Budget * Windows): 1.0 = budget
+	// exhausted.
+	BudgetUsed float64 `json:"budget_used"`
+	// BurnRate is the trailing-window breach fraction divided by the
+	// budget (SRE burn rate: sustained >1 exhausts the budget).
+	BurnRate float64 `json:"burn_rate"`
+	// Healthy is false while the budget is exhausted (it recovers as
+	// clean windows dilute the breach fraction).
+	Healthy bool `json:"healthy"`
+	// LastBreachWindow is the most recent breaching window (-1 never),
+	// i.e. the trace to pull up first.
+	LastBreachWindow int    `json:"last_breach_window"`
+	LastBreachTrace  string `json:"last_breach_trace,omitempty"`
+}
+
+// Alert is one ring entry. TimeSec is virtual; the Trace field joins
+// the alert to spans and the provenance record of the same window.
+type Alert struct {
+	Window    int     `json:"window"`
+	Trace     string  `json:"trace"`
+	TimeSec   float64 `json:"t_sec"`
+	Objective string  `json:"objective"`
+	Severity  string  `json:"severity"`
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+	Message   string  `json:"message"`
+}
+
+// Snapshot is the engine's full serialized state.
+type Snapshot struct {
+	Schema      string           `json:"schema"`
+	Windows     int              `json:"windows"`
+	Objectives  []ObjectiveState `json:"objectives"`
+	Alerts      []Alert          `json:"alerts"`
+	TotalAlerts int              `json:"total_alerts"`
+}
+
+// objective is one declarative rule: measure extracts (value,
+// threshold, measurable); breach is value vs threshold in the rule's
+// direction.
+type objective struct {
+	name    string
+	budget  float64
+	measure func(e *Engine, w WindowObs) (value, threshold float64, measurable bool)
+	breach  func(value, threshold float64) bool
+	format  func(value, threshold float64) string
+
+	windows, breaches int
+	lastBreach        int
+	ring              []bool // trailing breach flags, BurnWindows cap
+	paged             bool
+}
+
+// Engine evaluates the objectives window by window. Safe for one
+// writer (the scenario loop) plus concurrent Snapshot readers (the ops
+// endpoint). A nil *Engine is valid and inert.
+type Engine struct {
+	mu         sync.Mutex
+	cfg        Config
+	objectives []*objective
+	windows    int
+	alerts     []Alert
+	total      int
+	lastHits   int64
+	lastMisses int64
+
+	breachCount *obs.Counter
+	alertCount  *obs.Counter
+	reg         *obs.Registry
+}
+
+// New builds an engine over cfg, registering its metrics on the
+// observer's registry (nil-safe).
+func New(cfg Config, o *obs.Observer) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{cfg: cfg}
+	if o != nil {
+		e.reg = o.Metrics
+	}
+	e.breachCount = e.reg.Counter("slo_breaches_total")
+	e.alertCount = e.reg.Counter("slo_alerts_total")
+	e.objectives = []*objective{
+		{
+			name:   "decide-latency",
+			budget: cfg.DecideBudgetFrac,
+			measure: func(_ *Engine, w WindowObs) (float64, float64, bool) {
+				return w.SearchTime.Seconds(), cfg.DecideBudget.Seconds(), w.Invoked
+			},
+			breach: func(v, t float64) bool { return v > t },
+			format: func(v, t float64) string {
+				return fmt.Sprintf("decide took %.2fs virtual, budget %.2fs", v, t)
+			},
+		},
+		{
+			name:   "degraded-burn",
+			budget: cfg.DegradedFrac,
+			measure: func(_ *Engine, w WindowObs) (float64, float64, bool) {
+				v := 0.0
+				if w.Degraded {
+					v = 1
+				}
+				return v, 0.5, true
+			},
+			breach: func(v, t float64) bool { return v > t },
+			format: func(_, _ float64) string { return "window ran degraded (fallback decision)" },
+		},
+		{
+			name:   "eval-cache-hit",
+			budget: cfg.CacheHitFrac,
+			measure: func(e *Engine, w WindowObs) (float64, float64, bool) {
+				dh := w.CacheHits - e.lastHits
+				dm := w.CacheMisses - e.lastMisses
+				if dh+dm <= 0 {
+					return 0, cfg.CacheHitFloor, false
+				}
+				return float64(dh) / float64(dh+dm), cfg.CacheHitFloor, true
+			},
+			breach: func(v, t float64) bool { return v < t },
+			format: func(v, t float64) string {
+				return fmt.Sprintf("eval-cache hit rate %.1f%%, floor %.1f%%", v*100, t*100)
+			},
+		},
+		{
+			name:   "fault-retry",
+			budget: cfg.RetryFrac,
+			measure: func(_ *Engine, w WindowObs) (float64, float64, bool) {
+				return float64(w.Retries), float64(cfg.RetryCeiling), true
+			},
+			breach: func(v, t float64) bool { return v > t },
+			format: func(v, t float64) string {
+				return fmt.Sprintf("%d fault retries, ceiling %d", int(v), int(t))
+			},
+		},
+	}
+	for _, ob := range e.objectives {
+		ob.lastBreach = -1
+	}
+	return e
+}
+
+// ObserveWindow folds one window into every objective and returns the
+// alerts it raised (already appended to the ring).
+func (e *Engine) ObserveWindow(w WindowObs) []Alert {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.windows++
+	var fired []Alert
+	for _, ob := range e.objectives {
+		value, threshold, measurable := ob.measure(e, w)
+		if !measurable {
+			continue
+		}
+		ob.windows++
+		bad := ob.breach(value, threshold)
+		ob.ring = append(ob.ring, bad)
+		if len(ob.ring) > e.cfg.BurnWindows {
+			ob.ring = ob.ring[1:]
+		}
+		if bad {
+			ob.breaches++
+			ob.lastBreach = w.Window
+			e.breachCount.Inc()
+			e.reg.Counter("slo_breach_" + metricName(ob.name) + "_total").Inc()
+			fired = append(fired, e.alertLocked(ob, w, SeverityWarn, value, threshold))
+		}
+		// Page on sustained exhaustion, evaluated every measurable window:
+		// a grace period of BurnWindows keeps a single cold-start breach
+		// (1 breach / budget*1 window always exceeds 1) from latching the
+		// page, and a budget that recovers below 1 re-arms it.
+		switch used := budgetUsed(ob); {
+		case used >= 1 && !ob.paged && ob.windows >= e.cfg.BurnWindows:
+			ob.paged = true
+			fired = append(fired, e.alertLocked(ob, w, SeverityPage, value, threshold))
+		case used < 1:
+			ob.paged = false
+		}
+	}
+	e.lastHits, e.lastMisses = w.CacheHits, w.CacheMisses
+	e.publishGaugesLocked()
+	return fired
+}
+
+func (e *Engine) alertLocked(ob *objective, w WindowObs, severity string, value, threshold float64) Alert {
+	msg := ob.format(value, threshold)
+	if severity == SeverityPage {
+		msg = fmt.Sprintf("error budget exhausted (%d/%d windows breached, budget %.0f%%)",
+			ob.breaches, ob.windows, ob.budget*100)
+	}
+	a := Alert{
+		Window:    w.Window,
+		Trace:     obs.TraceID(w.Window),
+		TimeSec:   w.Time.Seconds(),
+		Objective: ob.name,
+		Severity:  severity,
+		Value:     value,
+		Threshold: threshold,
+		Message:   msg,
+	}
+	e.alerts = append(e.alerts, a)
+	if len(e.alerts) > e.cfg.AlertCap {
+		e.alerts = e.alerts[len(e.alerts)-e.cfg.AlertCap:]
+	}
+	e.total++
+	e.alertCount.Inc()
+	return a
+}
+
+func budgetUsed(ob *objective) float64 {
+	allowed := ob.budget * float64(ob.windows)
+	if allowed <= 0 {
+		if ob.breaches > 0 {
+			return float64(ob.breaches)
+		}
+		return 0
+	}
+	return float64(ob.breaches) / allowed
+}
+
+func burnRate(ob *objective) float64 {
+	if len(ob.ring) == 0 || ob.budget <= 0 {
+		return 0
+	}
+	bad := 0
+	for _, b := range ob.ring {
+		if b {
+			bad++
+		}
+	}
+	return (float64(bad) / float64(len(ob.ring))) / ob.budget
+}
+
+// metricName maps an objective name into the metric-name alphabet.
+func metricName(s string) string { return strings.ReplaceAll(s, "-", "_") }
+
+func (e *Engine) publishGaugesLocked() {
+	if e.reg == nil {
+		return
+	}
+	for _, ob := range e.objectives {
+		n := metricName(ob.name)
+		e.reg.Gauge("slo_budget_used_" + n).Set(budgetUsed(ob))
+		e.reg.Gauge("slo_burn_rate_" + n).Set(burnRate(ob))
+	}
+}
+
+// Snapshot returns the engine's deterministic serialized state.
+func (e *Engine) Snapshot() Snapshot {
+	if e == nil {
+		return Snapshot{Schema: Schema, Objectives: []ObjectiveState{}, Alerts: []Alert{}}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := Snapshot{
+		Schema:      Schema,
+		Windows:     e.windows,
+		Objectives:  make([]ObjectiveState, 0, len(e.objectives)),
+		Alerts:      append([]Alert{}, e.alerts...),
+		TotalAlerts: e.total,
+	}
+	for _, ob := range e.objectives {
+		st := ObjectiveState{
+			Name:             ob.name,
+			Windows:          ob.windows,
+			Breaches:         ob.breaches,
+			Budget:           ob.budget,
+			BudgetUsed:       budgetUsed(ob),
+			BurnRate:         burnRate(ob),
+			Healthy:          budgetUsed(ob) < 1,
+			LastBreachWindow: ob.lastBreach,
+		}
+		if ob.lastBreach >= 0 {
+			st.LastBreachTrace = obs.TraceID(ob.lastBreach)
+		}
+		s.Objectives = append(s.Objectives, st)
+	}
+	return s
+}

@@ -1,0 +1,188 @@
+package slo
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/mistralcloud/mistral/internal/obs"
+)
+
+// windows synthesizes a deterministic observation stream: mostly
+// healthy, with latency breaches, degraded windows, retry storms, and
+// evolving cache counters at fixed indices.
+func windows(n int) []WindowObs {
+	var out []WindowObs
+	hits, misses := int64(0), int64(0)
+	for i := 0; i < n; i++ {
+		w := WindowObs{
+			Window:     i,
+			Time:       time.Duration(i) * 2 * time.Minute,
+			Invoked:    i%4 != 3,
+			SearchTime: 5 * time.Second,
+		}
+		if i%7 == 2 {
+			w.SearchTime = 45 * time.Second // breaches the 30s budget
+		}
+		if i%11 == 5 {
+			w.Degraded = true
+		}
+		if i%13 == 6 {
+			w.Retries = 4
+		}
+		if w.Invoked {
+			hits += int64(10 + i%3)
+			misses += int64(i % 4)
+		}
+		w.CacheHits, w.CacheMisses = hits, misses
+		out = append(out, w)
+	}
+	return out
+}
+
+// TestEngineDeterminism is the contract the package doc promises: two
+// engines fed the same observation stream produce deeply equal
+// snapshots — same breaches, budgets, burn rates, and alert rings.
+func TestEngineDeterminism(t *testing.T) {
+	run := func() Snapshot {
+		e := New(Config{}, nil)
+		for _, w := range windows(100) {
+			e.ObserveWindow(w)
+		}
+		return e.Snapshot()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("identical streams diverged:\n%+v\n%+v", a, b)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatal("serialized snapshots differ")
+	}
+	if a.Schema != Schema || a.Windows != 100 || len(a.Objectives) != 4 {
+		t.Fatalf("snapshot shape %+v", a)
+	}
+}
+
+// TestDecideLatencyObjective pins the budget accounting on the latency
+// objective: breaches only on invoked windows over budget, warn alerts
+// per breach, and a single page once the error budget exhausts.
+func TestDecideLatencyObjective(t *testing.T) {
+	e := New(Config{DecideBudget: 30 * time.Second, DecideBudgetFrac: 0.10}, nil)
+	var pages, warns int
+	for i := 0; i < 20; i++ {
+		w := WindowObs{Window: i, Invoked: true, SearchTime: 5 * time.Second}
+		if i < 3 {
+			w.SearchTime = time.Minute // breach 3 of 20
+		}
+		for _, a := range e.ObserveWindow(w) {
+			if a.Objective != "decide-latency" {
+				continue
+			}
+			switch a.Severity {
+			case SeverityWarn:
+				warns++
+			case SeverityPage:
+				pages++
+			}
+			if a.Trace != obs.TraceID(a.Window) {
+				t.Fatalf("alert trace %q for window %d", a.Trace, a.Window)
+			}
+		}
+	}
+	if warns != 3 {
+		t.Fatalf("%d warns, want 3", warns)
+	}
+	// 3 breaches vs a budget of 0.10*N: exhausted well before window 20,
+	// and the page must fire exactly once.
+	if pages != 1 {
+		t.Fatalf("%d pages, want 1", pages)
+	}
+	var st *ObjectiveState
+	snap := e.Snapshot()
+	for i := range snap.Objectives {
+		if snap.Objectives[i].Name == "decide-latency" {
+			st = &snap.Objectives[i]
+		}
+	}
+	if st == nil || st.Healthy || st.Breaches != 3 || st.Windows != 20 {
+		t.Fatalf("state %+v", st)
+	}
+	if st.LastBreachWindow != 2 || st.LastBreachTrace != "w000002" {
+		t.Fatalf("last breach %d %q", st.LastBreachWindow, st.LastBreachTrace)
+	}
+	if st.BudgetUsed <= 1 {
+		t.Fatalf("budget used %v, want >1 (exhausted)", st.BudgetUsed)
+	}
+}
+
+// TestCacheObjectiveMeasurability: zero counter deltas mark a window
+// unmeasurable (skipped, not breached); a low-hit window breaches.
+func TestCacheObjectiveMeasurability(t *testing.T) {
+	e := New(Config{CacheHitFloor: 0.60}, nil)
+	e.ObserveWindow(WindowObs{Window: 0})                                  // no delta: skip
+	e.ObserveWindow(WindowObs{Window: 1, CacheHits: 90, CacheMisses: 10})  // 90%: ok
+	e.ObserveWindow(WindowObs{Window: 2, CacheHits: 91, CacheMisses: 109}) // 1/100: breach
+	e.ObserveWindow(WindowObs{Window: 3, CacheHits: 91, CacheMisses: 109}) // no delta: skip
+	for _, st := range e.Snapshot().Objectives {
+		if st.Name != "eval-cache-hit" {
+			continue
+		}
+		if st.Windows != 2 || st.Breaches != 1 || st.LastBreachWindow != 2 {
+			t.Fatalf("cache objective %+v", st)
+		}
+		return
+	}
+	t.Fatal("eval-cache-hit objective missing")
+}
+
+// TestAlertRingCap bounds the in-memory ring while TotalAlerts keeps
+// the true count.
+func TestAlertRingCap(t *testing.T) {
+	e := New(Config{AlertCap: 5, DegradedFrac: 0.9}, nil)
+	for i := 0; i < 30; i++ {
+		e.ObserveWindow(WindowObs{Window: i, Degraded: true})
+	}
+	s := e.Snapshot()
+	if len(s.Alerts) != 5 {
+		t.Fatalf("ring %d, want 5", len(s.Alerts))
+	}
+	if s.TotalAlerts < 30 {
+		t.Fatalf("total %d, want >=30", s.TotalAlerts)
+	}
+	// The ring keeps the most recent alerts.
+	if got := s.Alerts[len(s.Alerts)-1].Window; got != 29 {
+		t.Fatalf("newest ring alert window %d", got)
+	}
+}
+
+// TestEngineMetrics checks breaches land on the observer's registry
+// under per-objective names.
+func TestEngineMetrics(t *testing.T) {
+	o := &obs.Observer{Metrics: obs.NewRegistry()}
+	e := New(Config{}, o)
+	e.ObserveWindow(WindowObs{Window: 0, Degraded: true})
+	if got := o.Metrics.CounterValue("slo_breach_degraded_burn_total"); got != 1 {
+		t.Fatalf("breach counter %d", got)
+	}
+	if got := o.Metrics.CounterValue("slo_breaches_total"); got != 1 {
+		t.Fatalf("total breach counter %d", got)
+	}
+	if got := o.Metrics.CounterValue("slo_alerts_total"); got < 1 {
+		t.Fatalf("alert counter %d", got)
+	}
+}
+
+// TestNilEngine proves the disabled engine is inert.
+func TestNilEngine(t *testing.T) {
+	var e *Engine
+	if e.ObserveWindow(WindowObs{}) != nil {
+		t.Fatal("nil engine fired alerts")
+	}
+	s := e.Snapshot()
+	if s.Schema != Schema || s.Objectives == nil || s.Alerts == nil {
+		t.Fatalf("nil snapshot %+v", s)
+	}
+}

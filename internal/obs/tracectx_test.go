@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTraceIDScheme pins the canonical window→trace mapping that every
+// consumer (provenance readers, SLO alerts, ops plane, profiler file
+// names) recomputes independently.
+func TestTraceIDScheme(t *testing.T) {
+	if got := TraceID(0); got != "w000000" {
+		t.Fatalf("TraceID(0) = %q", got)
+	}
+	if got := TraceID(42); got != "w000042" {
+		t.Fatalf("TraceID(42) = %q", got)
+	}
+	tc := WindowTrace(7)
+	if tc.Window != 7 || tc.TraceID != "w000007" || !tc.Enabled() {
+		t.Fatalf("WindowTrace(7) = %+v", tc)
+	}
+	if got := tc.SpanID("mistral/L2", "search"); got != "w000007/mistral/L2/search" {
+		t.Fatalf("SpanID = %q", got)
+	}
+	if got := tc.SpanID(); got != "w000007" {
+		t.Fatalf("SpanID() = %q", got)
+	}
+	if a := tc.Attr(); a.Key != "trace" || a.Value != "w000007" {
+		t.Fatalf("Attr = %+v", a)
+	}
+}
+
+// TestTraceContextZeroValueDisabled proves the zero value is inert —
+// the guarantee that lets instrumented code thread contexts without
+// checking whether tracing is on.
+func TestTraceContextZeroValueDisabled(t *testing.T) {
+	var tc TraceContext
+	if tc.Enabled() {
+		t.Fatal("zero TraceContext reports enabled")
+	}
+	if tc.ID() != "" || tc.SpanID("a", "b") != "" {
+		t.Fatalf("disabled context leaked IDs: %q %q", tc.ID(), tc.SpanID("a", "b"))
+	}
+}
+
+// TestReadSpansRoundTrip writes spans through the real tracer with
+// trace attributes and reads them back, checking the window filter
+// reconstructs exactly the traced window's spans.
+func TestReadSpansRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, FormatJSONL)
+
+	for win := 0; win < 2; win++ {
+		tc := WindowTrace(win)
+		base := time.Duration(win) * time.Minute
+		sp := tr.Start("decide", base, tc.Attr(), Attr{Key: "span", Value: tc.SpanID("decide")})
+		child := tr.Start("search", base, tc.Attr(), Attr{Key: "span", Value: tc.SpanID("L2", "search")})
+		child.End(base + time.Second)
+		sp.End(base + 2*time.Second)
+	}
+	tr.Event("untraced", 0, time.Second) // no trace attr: filtered out
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	spans, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 5 {
+		t.Fatalf("read %d spans, want 5", len(spans))
+	}
+	w1 := SpansForTrace(spans, TraceID(1))
+	if len(w1) != 2 {
+		t.Fatalf("window 1 has %d spans, want 2", len(w1))
+	}
+	for _, s := range w1 {
+		if s.TraceID() != "w000001" {
+			t.Fatalf("span %s carries trace %q", s.Name, s.TraceID())
+		}
+	}
+	// Parent/child linkage survives the round trip: the search span's
+	// parent is the decide span of the same window.
+	byName := map[string]SpanRecord{}
+	for _, s := range w1 {
+		byName[s.Name] = s
+	}
+	if byName["search"].Parent != byName["decide"].ID {
+		t.Fatalf("search parent %d, decide id %d", byName["search"].Parent, byName["decide"].ID)
+	}
+}
+
+// TestReadSpansMalformed rejects broken JSONL with the line number.
+func TestReadSpansMalformed(t *testing.T) {
+	_, err := ReadSpans(strings.NewReader("{\"name\":\"ok\",\"id\":1,\"v_start_us\":0,\"v_end_us\":1,\"wall_us\":0}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want line-2 parse failure", err)
+	}
+}

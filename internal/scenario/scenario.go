@@ -6,12 +6,14 @@
 package scenario
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 
 	"github.com/mistralcloud/mistral/internal/cluster"
 	"github.com/mistralcloud/mistral/internal/fault"
 	"github.com/mistralcloud/mistral/internal/obs"
+	"github.com/mistralcloud/mistral/internal/obs/slo"
 	"github.com/mistralcloud/mistral/internal/par"
 	"github.com/mistralcloud/mistral/internal/provenance"
 	"github.com/mistralcloud/mistral/internal/testbed"
@@ -41,6 +43,16 @@ type Decision struct {
 	// run several 1st-level controllers in one opportunity). Nil unless the
 	// decider was built with provenance enabled.
 	Provs []*provenance.DecisionProv
+}
+
+// TraceAware is an optional Decider extension: a strategy implementing it
+// receives each window's trace context before Decide, so its spans and
+// provenance-adjacent attributes share the window's causal identity. The
+// replay loop detects it by type assertion — the Decider interface itself
+// (re-exported from the root package) is unchanged, and strategies that
+// don't care never see it.
+type TraceAware interface {
+	SetTraceContext(tc obs.TraceContext)
 }
 
 // Decider is a control strategy. Implementations: the Mistral hierarchy and
@@ -88,6 +100,14 @@ type RunConfig struct {
 	// Nil — the default — records nothing and leaves the replay
 	// byte-identical to an unrecorded one.
 	Provenance *provenance.Recorder
+	// SLO overrides the self-monitoring engine. Nil builds a default
+	// engine whenever an observer is active (SLO state is observational
+	// and deterministic under virtual time); with observability fully
+	// off, no engine runs.
+	SLO *slo.Engine
+	// Profile, when non-nil, captures pprof artifacts for decide calls
+	// that blow their wall-clock latency budget. Observational only.
+	Profile *obs.Profiler
 }
 
 // RetryPolicy bounds retry-with-backoff for actions the fault plane failed
@@ -330,6 +350,24 @@ func Run(tb *testbed.Testbed, d Decider, cfg RunConfig) (*Result, error) {
 	gCumUtil := o.Gauge("scenario_cum_utility_dollars")
 	o.Gauge("scenario_workers").Set(float64(par.Workers(cfg.Workers)))
 
+	// Causal identity: each window gets a deterministic trace context
+	// (obs.WindowTrace) shared by spans, SLO alerts, the ops plane, and —
+	// by recomputation from Record.Window — provenance. The SLO engine
+	// defaults on whenever an observer is active; it reads only
+	// virtual-time quantities, so its state is deterministic and the
+	// decision stream is untouched.
+	var reg *obs.Registry
+	if o != nil {
+		reg = o.Metrics
+	}
+	eng := cfg.SLO
+	if eng == nil && o != nil {
+		eng = slo.New(slo.Config{Interval: cfg.Interval}, o)
+	}
+	ops := o.OpsState()
+	ops.BeginRun(d.Name(), cfg.Interval)
+	ta, _ := d.(TraceAware)
+
 	// countExec folds one ExecReport into the window and result totals and
 	// queues retryable failures. attempt is how many times the report's
 	// actions have now been executed.
@@ -350,8 +388,11 @@ func Run(tb *testbed.Testbed, d Decider, cfg RunConfig) (*Result, error) {
 	}
 
 	// record emits one provenance record for a completed (or aborted)
-	// window; window indices count every window, busy ones included.
-	win := 0
+	// window; window indices count every window, busy ones included. The
+	// same index seeds the window's trace context, so provenance readers
+	// recover the trace ID with obs.TraceID(Record.Window) — no new
+	// serialized field, no byte-level drift.
+	winIdx := 0
 	record := func(log *WindowLog, busy bool, searchCost float64, provs []*provenance.DecisionProv) {
 		if !cfg.Provenance.Enabled() {
 			return
@@ -360,7 +401,7 @@ func Run(tb *testbed.Testbed, d Decider, cfg RunConfig) (*Result, error) {
 		// the replay ends; the replay itself never aborts mid-window over a
 		// provenance write.
 		_ = cfg.Provenance.Append(&provenance.Record{
-			Window:            win,
+			Window:            winIdx,
 			TimeSec:           log.Time.Seconds(),
 			Strategy:          res.Strategy,
 			Invoked:           log.Invoked,
@@ -375,16 +416,26 @@ func Run(tb *testbed.Testbed, d Decider, cfg RunConfig) (*Result, error) {
 			Watts:             log.Watts,
 			Decisions:         provs,
 		})
-		win++
 	}
 
-	for t := time.Duration(0); t < cfg.Duration; t += cfg.Interval {
+	for t := time.Duration(0); t < cfg.Duration; t, winIdx = t+cfg.Interval, winIdx+1 {
 		rates := cfg.Traces.At(t)
 		if err := tb.SetRates(rates); err != nil {
 			return res, fmt.Errorf("scenario: %w", err)
 		}
 
 		log := WindowLog{Time: t + cfg.Interval, Rates: rates}
+
+		// The window's causal identity: spans, alerts, ops entries, and
+		// log lines below all carry tc's trace ID, and the provenance
+		// record's Window field pins the same identity.
+		tc := obs.WindowTrace(winIdx)
+		if tr != nil {
+			if ta != nil {
+				ta.SetTraceContext(tc)
+			}
+			tb.SetTrace(tc)
+		}
 
 		// Host crashes land first, and only while no plan is in flight (so
 		// executing phases stay consistent): the strategy plans against the
@@ -419,6 +470,10 @@ func Run(tb *testbed.Testbed, d Decider, cfg RunConfig) (*Result, error) {
 				cRetries.Inc()
 				log.Retried++
 				log.degrade(fmt.Sprintf("retry of failed %s", rt.action.Kind))
+				tr.Event("retry", t, t, tc.Attr(),
+					obs.Attr{Key: "span", Value: tc.SpanID("retry", fmt.Sprint(rt.action.Kind))},
+					obs.Attr{Key: "kind", Value: fmt.Sprint(rt.action.Kind)},
+					obs.Attr{Key: "attempt", Value: rt.attempt + 1})
 				rep, err := tb.Execute([]cluster.Action{rt.action})
 				if err != nil {
 					// The cluster moved on (host crashed, VM re-placed);
@@ -435,12 +490,25 @@ func Run(tb *testbed.Testbed, d Decider, cfg RunConfig) (*Result, error) {
 		busy := tb.Busy()
 		var searchCost float64
 		var provs []*provenance.DecisionProv
+		var decideWall time.Duration
+		decideErred := false
 		if !busy {
-			sp := tr.Start("decide", t, obs.Attr{Key: "strategy", Value: d.Name()})
+			sp := tr.Start("decide", t,
+				obs.Attr{Key: "strategy", Value: d.Name()},
+				tc.Attr(),
+				obs.Attr{Key: "span", Value: tc.SpanID("decide")})
+			cfg.Profile.BeginDecide(winIdx)
 			wallT0 := time.Now()
 			dec, err := safeDecide(d, t, tb.Config(), rates)
-			res.DecideWall = append(res.DecideWall, time.Since(wallT0))
+			decideWall = time.Since(wallT0)
+			res.DecideWall = append(res.DecideWall, decideWall)
+			if paths := cfg.Profile.EndDecide(winIdx, decideWall); len(paths) > 0 {
+				olog.Warn("decide blew latency budget; pprof captured",
+					"trace", tc.ID(), "wall", decideWall,
+					"budget", cfg.Profile.Budget(), "artifacts", paths)
+			}
 			if err != nil {
+				decideErred = true
 				sp.End(t, obs.Attr{Key: "error", Value: err.Error()})
 				olog.Warn("decide failed; degrading to no adaptation",
 					"strategy", d.Name(), "t", t, "err", err)
@@ -542,10 +610,11 @@ func Run(tb *testbed.Testbed, d Decider, cfg RunConfig) (*Result, error) {
 		}
 		cWindows.Inc()
 		cViolations.Add(int64(res.TargetViolations - violationsBefore))
-		hWindowUtil.Observe(log.Utility)
+		hWindowUtil.ObserveExemplar(log.Utility, tc.ID())
 		gCumUtil.Set(res.CumUtility)
 		olog.Info("window",
 			"strategy", d.Name(),
+			"trace", tc.ID(),
 			"t", log.Time,
 			"watts", w.Watts,
 			"utility", log.Utility,
@@ -558,6 +627,48 @@ func Run(tb *testbed.Testbed, d Decider, cfg RunConfig) (*Result, error) {
 		res.HostHours += float64(log.ActiveHosts) * cfg.Interval.Hours()
 		res.Windows = append(res.Windows, log)
 		record(&log, busy, searchCost, provs)
+
+		// Self-monitoring: the SLO engine folds the window's virtual-time
+		// facts in; any alerts surface on the log with the window's trace
+		// ID, and the ops plane gets the refreshed health snapshot.
+		if eng != nil {
+			alerts := eng.ObserveWindow(slo.WindowObs{
+				Window:      winIdx,
+				Time:        log.Time,
+				Invoked:     log.Invoked,
+				Degraded:    log.Degraded,
+				SearchTime:  log.SearchTime,
+				Retries:     log.Retried,
+				CacheHits:   reg.CounterValue("eval_cache_hits_total"),
+				CacheMisses: reg.CounterValue("eval_cache_misses_total"),
+			})
+			for _, a := range alerts {
+				olog.Warn("slo alert",
+					"objective", a.Objective,
+					"severity", a.Severity,
+					"trace", a.Trace,
+					"msg", a.Message)
+			}
+		}
+		if ops != nil {
+			ops.RecordWindow(obs.OpsWindow{
+				Window:        winIdx,
+				Trace:         tc.ID(),
+				TimeSec:       log.Time.Seconds(),
+				CumUtility:    res.CumUtility,
+				Degraded:      log.Degraded,
+				Error:         decideErred,
+				Retries:       log.Retried,
+				Crashes:       log.HostCrashes,
+				WallMS:        float64(decideWall.Microseconds()) / 1000,
+				SearchTimeSec: log.SearchTime.Seconds(),
+			})
+			if eng != nil {
+				if raw, err := json.Marshal(eng.Snapshot()); err == nil {
+					ops.SetSLO(raw)
+				}
+			}
+		}
 	}
 	if res.Invocations > 0 {
 		res.MeanSearchTime = totalSearch / time.Duration(res.Invocations)

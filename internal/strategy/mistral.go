@@ -203,6 +203,22 @@ func NewMistral(eval *core.Evaluator, cfg MistralConfig) (*Mistral, error) {
 // Name implements scenario.Decider.
 func (m *Mistral) Name() string { return m.name }
 
+// SetTraceContext implements scenario.TraceAware: the window's causal
+// identity fans out to every controller in the hierarchy, so their
+// spans — including parallel 1st-level searches — carry the same trace
+// ID as the scenario's root decide span and the window's provenance
+// record. Called once per window before Decide, never concurrently
+// with it.
+func (m *Mistral) SetTraceContext(tc obs.TraceContext) {
+	if m.l3 != nil {
+		m.l3.SetTraceContext(tc)
+	}
+	m.l2.SetTraceContext(tc)
+	for _, l1 := range m.l1 {
+		l1.SetTraceContext(tc)
+	}
+}
+
 // Stats returns per-level search statistics: level 1 (aggregated across its
 // controllers) and level 2.
 func (m *Mistral) Stats() (l1, l2 LevelStats) {

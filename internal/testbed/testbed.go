@@ -168,7 +168,14 @@ type Testbed struct {
 	cActions *obs.Counter
 	hActionS *obs.Histogram
 	cByKind  map[cluster.ActionKind]*obs.Counter
+	trace    obs.TraceContext // current window's causal identity
 }
+
+// SetTrace installs the current monitoring window's trace context; the
+// testbed's action and crash trace events carry its ID so they join the
+// window's causal story. The scenario loop calls it once per window
+// (the testbed is driven single-threaded).
+func (tb *Testbed) SetTrace(tc obs.TraceContext) { tb.trace = tc }
 
 // New builds a testbed in the given initial configuration and workload.
 func New(cat *cluster.Catalog, apps []*app.Spec, initial cluster.Config, rates map[string]float64, costTable *cost.Table, opts Options) (*Testbed, error) {
@@ -461,6 +468,9 @@ func (tb *Testbed) recordPhases(phases []phase) {
 		}
 		if ph.failed {
 			attrs = append(attrs, obs.Attr{Key: "failed", Value: true})
+		}
+		if tb.trace.Enabled() {
+			attrs = append(attrs, tb.trace.Attr())
 		}
 		tr.Event("action:"+kind.String(), ph.start, ph.end, attrs...)
 	}
@@ -955,10 +965,15 @@ func (tb *Testbed) CrashHost(host string) (CrashReport, error) {
 		})
 	}
 	tb.obsv.Counter("testbed_host_crashes_total").Inc()
-	tb.obsv.Tracer().Event("host-crash", tb.now, tb.now+merged.Duration,
-		obs.Attr{Key: "host", Value: host},
-		obs.Attr{Key: "displaced", Value: len(rep.Displaced)},
-		obs.Attr{Key: "stranded", Value: len(rep.Stranded)})
+	crashAttrs := []obs.Attr{
+		{Key: "host", Value: host},
+		{Key: "displaced", Value: len(rep.Displaced)},
+		{Key: "stranded", Value: len(rep.Stranded)},
+	}
+	if tb.trace.Enabled() {
+		crashAttrs = append(crashAttrs, tb.trace.Attr())
+	}
+	tb.obsv.Tracer().Event("host-crash", tb.now, tb.now+merged.Duration, crashAttrs...)
 	return rep, nil
 }
 
