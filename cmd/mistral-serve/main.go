@@ -1,0 +1,577 @@
+// Command mistral-serve runs the Mistral controller as a long-lived HTTP
+// daemon instead of a batch replay: workload samples stream in over JSON,
+// decisions and provenance stream out, the fleet can grow or shrink at
+// runtime, and the whole engine checkpoints to disk so the process can
+// restart mid-trace without losing calibration.
+//
+// The control API rides the same listener as the observability plane —
+// /metrics (Prometheus), /ops (poll with mistral-top), and /debug/pprof —
+// so one address serves both operators and automation:
+//
+//	POST /v1/window      {"rates":{"rubis1":55}} | {"windows":3} | {}
+//	GET  /v1/state
+//	GET  /v1/decisions?from=N
+//	GET  /v1/provenance
+//	POST /v1/fleet       {"apps":3,"hosts":6}
+//	POST /v1/apps/admit    POST /v1/apps/remove
+//	POST /v1/hosts/admit   POST /v1/hosts/remove
+//	POST /v1/checkpoint  {"path":"ck.json"}
+//	POST /v1/restore     {"path":"ck.json"}
+//
+// Admitting or removing capacity rebuilds the lab (catalog, models, cost
+// tables) declaratively and resets control state — calibration is
+// per-fleet. Checkpoint/restore, by contrast, preserves every byte of
+// control state: a daemon restarted with -resume (or sent /v1/restore)
+// continues the decision stream exactly where the checkpoint left it.
+//
+// Usage:
+//
+//	mistral-serve [-addr localhost:7070]
+//	              [-strategy mistral|naive|perf-pwr|perf-cost|pwr-cost]
+//	              [-apps N] [-hosts N] [-seed N] [-zones N] [-workers N]
+//	              [-dvfs] [-fault-rate P] [-fault-seed N]
+//	              [-log-level LEVEL] [-resume FILE]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+
+	"github.com/mistralcloud/mistral"
+	"github.com/mistralcloud/mistral/internal/checkpoint"
+	"github.com/mistralcloud/mistral/internal/experiments"
+	"github.com/mistralcloud/mistral/internal/fault"
+	"github.com/mistralcloud/mistral/internal/obs"
+	"github.com/mistralcloud/mistral/internal/provenance"
+	"github.com/mistralcloud/mistral/internal/scenario"
+	"github.com/mistralcloud/mistral/internal/strategy"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mistral-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() (err error) {
+	var (
+		addr         = flag.String("addr", "localhost:7070", "HTTP listen address for the control API, /metrics, /ops, and /debug/pprof")
+		strategyName = flag.String("strategy", "mistral", "control strategy: mistral, naive, perf-pwr, perf-cost, pwr-cost")
+		numApps      = flag.Int("apps", 2, "number of RUBiS applications admitted at start (1-4)")
+		numHosts     = flag.Int("hosts", 0, "number of application hosts (0 = 2 per app)")
+		seed         = flag.Uint64("seed", 42, "random seed")
+		zones        = flag.Int("zones", 1, "number of data centers (>1 enables the WAN extension; mistral/naive only)")
+		workers      = flag.Int("workers", 0, "evaluation concurrency (0 = min(GOMAXPROCS, 8), 1 = serial)")
+		dvfs         = flag.Bool("dvfs", false, "equip hosts with 60/80% DVFS levels")
+		faultRate    = flag.Float64("fault-rate", 0, "action-failure probability in [0,1]; >0 enables the fault plane")
+		faultSeed    = flag.Uint64("fault-seed", 0, "fault schedule seed (0 = use -seed)")
+		logLevel     = flag.String("log-level", "", "structured logging to stderr: debug, info, warn, error")
+		resumePath   = flag.String("resume", "", "restore the engine from a checkpoint FILE at startup; the checkpoint's recorded environment overrides the corresponding flags")
+	)
+	flag.Parse()
+	if *faultRate < 0 || *faultRate > 1 {
+		return fmt.Errorf("-fault-rate %v out of [0,1]", *faultRate)
+	}
+	if *faultSeed == 0 {
+		*faultSeed = *seed
+	}
+
+	s := &server{
+		strategyName: strings.ToLower(*strategyName),
+		workers:      *workers,
+		faultRate:    *faultRate,
+		faultSeed:    *faultSeed,
+		labOpts:      experiments.LabOptions{NumApps: *numApps, NumHosts: *numHosts, Seed: *seed, Zones: *zones},
+	}
+	if *dvfs {
+		s.labOpts.DVFSLevels = []float64{0.6, 0.8}
+	}
+
+	// The control API mounts next to /metrics//ops on one listener; the
+	// handlers hold the server pointer, so they serve correctly once the
+	// engine below is in place (requests beat it only during startup and
+	// get a clean 503).
+	ob, closeObs, err := obs.CLI{
+		LogLevel:  *logLevel,
+		PprofAddr: *addr,
+		Handlers:  s.routes(),
+	}.Build()
+	if err != nil {
+		return err
+	}
+	obs.SetDefault(ob)
+	defer func() {
+		if cerr := closeObs(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	s.ob = ob
+
+	if *resumePath != "" {
+		ck, err := checkpoint.Read(*resumePath)
+		if err != nil {
+			return err
+		}
+		if err := s.restoreFrom(ck); err != nil {
+			return err
+		}
+	} else if err := s.rebuild(); err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	fmt.Fprintf(os.Stderr, "mistral-serve: %s strategy, %d apps on %d hosts, interval %s, window %d — control API on http://%s/v1/\n",
+		s.engine.Result().Strategy, s.lab.Opts.NumApps, s.lab.Opts.NumHosts,
+		s.engine.Interval(), s.engine.WindowIndex(), ob.HTTPAddr)
+	s.mu.Unlock()
+
+	// Serve until interrupted; the obs closer shuts the listener down.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "mistral-serve: shutting down")
+	return nil
+}
+
+// server is the daemon: one engine plus the declarative fleet recipe it
+// was built from, all guarded by a single mutex (control decisions are
+// inherently serial — each window's decision depends on the last).
+type server struct {
+	mu sync.Mutex
+
+	ob *obs.Observer
+
+	// Environment recipe (what a checkpoint records).
+	strategyName string
+	workers      int
+	faultRate    float64
+	faultSeed    uint64
+	labOpts      experiments.LabOptions
+
+	// Live engine state, rebuilt on fleet changes and restores.
+	lab     *experiments.Lab
+	inj     *fault.Injector
+	decider mistral.Decider
+	engine  *scenario.Engine
+	provBuf *lockedBuffer
+	rec     *provenance.Recorder
+	windows []windowResp
+}
+
+// lockedBuffer is the in-memory provenance sink: the recorder appends
+// JSONL under the engine lock, GET /v1/provenance snapshots it under its
+// own.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]byte, b.buf.Len())
+	copy(out, b.buf.Bytes())
+	return out
+}
+
+// rebuild constructs a fresh lab, testbed, strategy, and engine from the
+// current recipe, dropping all prior control state. Callers hold s.mu or
+// are single-threaded startup.
+func (s *server) rebuild() error {
+	lab, err := experiments.NewLab(s.labOpts)
+	if err != nil {
+		return err
+	}
+	inj := fault.New(fault.Profile(s.faultRate, s.faultSeed))
+	tb, err := lab.NewTestbedWithFaults(inj)
+	if err != nil {
+		return err
+	}
+	eval, err := lab.NewEvaluator()
+	if err != nil {
+		return err
+	}
+	provBuf := &lockedBuffer{}
+	rec := provenance.NewRecorder(provBuf)
+	var decider mistral.Decider
+	switch s.strategyName {
+	case "mistral", "naive":
+		decider, err = strategy.NewMistral(eval, strategy.MistralConfig{
+			HostGroups:         lab.HostGroups(),
+			Naive:              s.strategyName == "naive",
+			MonitoringInterval: lab.Util.MonitoringInterval,
+			Workers:            s.workers,
+			Provenance:         true,
+		})
+	case "perf-pwr":
+		decider = strategy.NewPerfPwr(eval)
+	case "perf-cost":
+		decider, err = strategy.NewPerfCost(eval, lab.Util)
+	case "pwr-cost":
+		decider = strategy.NewPwrCost(eval)
+	default:
+		return fmt.Errorf("unknown strategy %q", s.strategyName)
+	}
+	if err != nil {
+		return err
+	}
+	engine, err := scenario.NewEngine(tb, decider, scenario.RunConfig{
+		Traces:     lab.Traces,
+		Interval:   lab.Util.MonitoringInterval,
+		Utility:    lab.Util,
+		Workers:    s.workers,
+		Obs:        s.ob,
+		Fault:      inj,
+		Provenance: rec,
+	})
+	if err != nil {
+		return err
+	}
+	s.lab, s.inj, s.decider, s.engine = lab, inj, decider, engine
+	s.provBuf, s.rec = provBuf, rec
+	s.windows = nil
+	return nil
+}
+
+// restoreFrom adopts a checkpoint's recipe, rebuilds the environment from
+// it, and restores the engine state.
+func (s *server) restoreFrom(ck *checkpoint.File) error {
+	s.strategyName = ck.Strategy
+	s.workers = ck.Workers
+	s.faultRate = ck.FaultRate
+	s.faultSeed = ck.FaultSeed
+	s.labOpts = ck.Lab
+	if err := s.rebuild(); err != nil {
+		return err
+	}
+	return s.engine.Restore(ck.Scenario)
+}
+
+// windowResp is one completed window in API form.
+type windowResp struct {
+	Window         int                `json:"window"`
+	TimeSec        float64            `json:"time_sec"`
+	Rates          map[string]float64 `json:"rates,omitempty"`
+	RTSec          map[string]float64 `json:"rt_sec,omitempty"`
+	Watts          float64            `json:"watts"`
+	Utility        float64            `json:"utility"`
+	CumUtility     float64            `json:"cum_utility"`
+	Actions        int                `json:"actions"`
+	Invoked        bool               `json:"invoked"`
+	SearchTimeSec  float64            `json:"search_time_sec,omitempty"`
+	ActiveHosts    int                `json:"active_hosts"`
+	Degraded       bool               `json:"degraded,omitempty"`
+	DegradedReason string             `json:"degraded_reason,omitempty"`
+	ProvErr        string             `json:"prov_err,omitempty"`
+}
+
+func toResp(sr scenario.StepResult) windowResp {
+	w := sr.Window
+	r := windowResp{
+		Window:         sr.Index,
+		TimeSec:        w.Time.Seconds(),
+		Rates:          w.Rates,
+		RTSec:          w.RTSec,
+		Watts:          w.Watts,
+		Utility:        w.Utility,
+		CumUtility:     w.CumUtility,
+		Actions:        w.Actions,
+		Invoked:        w.Invoked,
+		SearchTimeSec:  w.SearchTime.Seconds(),
+		ActiveHosts:    w.ActiveHosts,
+		Degraded:       w.Degraded,
+		DegradedReason: w.DegradedReason,
+	}
+	if sr.ProvErr != nil {
+		r.ProvErr = sr.ProvErr.Error()
+	}
+	return r
+}
+
+// stateResp is GET /v1/state.
+type stateResp struct {
+	Strategy    string   `json:"strategy"`
+	Apps        []string `json:"apps"`
+	Hosts       int      `json:"hosts"`
+	Window      int      `json:"window"`
+	NowSec      float64  `json:"now_sec"`
+	IntervalSec float64  `json:"interval_sec"`
+	CumUtility  float64  `json:"cum_utility"`
+	FaultRate   float64  `json:"fault_rate,omitempty"`
+	Workers     int      `json:"workers"`
+}
+
+func (s *server) routes() map[string]http.Handler {
+	return map[string]http.Handler{
+		"/v1/state":        s.handler(s.handleState),
+		"/v1/window":       s.handler(s.handleWindow),
+		"/v1/decisions":    s.handler(s.handleDecisions),
+		"/v1/provenance":   http.HandlerFunc(s.handleProvenance),
+		"/v1/fleet":        s.handler(s.handleFleet),
+		"/v1/apps/admit":   s.handler(s.deltaHandler(1, 0)),
+		"/v1/apps/remove":  s.handler(s.deltaHandler(-1, 0)),
+		"/v1/hosts/admit":  s.handler(s.deltaHandler(0, 1)),
+		"/v1/hosts/remove": s.handler(s.deltaHandler(0, -1)),
+		"/v1/checkpoint":   s.handler(s.handleCheckpoint),
+		"/v1/restore":      s.handler(s.handleRestore),
+	}
+}
+
+// apiError carries an HTTP status through the handler plumbing.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// handler wraps an endpoint with the engine lock, JSON encoding, and
+// uniform error reporting.
+func (s *server) handler(fn func(r *http.Request) (any, error)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		if s.engine == nil {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]string{"error": "engine not ready"})
+			return
+		}
+		out, err := fn(r)
+		if err != nil {
+			status := http.StatusInternalServerError
+			var ae *apiError
+			if e, ok := err.(*apiError); ok {
+				ae = e
+				status = ae.status
+			}
+			w.WriteHeader(status)
+			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+			return
+		}
+		json.NewEncoder(w).Encode(out)
+	})
+}
+
+func (s *server) stateLocked() stateResp {
+	return stateResp{
+		Strategy:    s.engine.Result().Strategy,
+		Apps:        append([]string(nil), s.lab.AppNames...),
+		Hosts:       s.lab.Opts.NumHosts,
+		Window:      s.engine.WindowIndex(),
+		NowSec:      s.engine.Now().Seconds(),
+		IntervalSec: s.engine.Interval().Seconds(),
+		CumUtility:  s.engine.Result().CumUtility,
+		FaultRate:   s.faultRate,
+		Workers:     s.workers,
+	}
+}
+
+func (s *server) handleState(r *http.Request) (any, error) {
+	return s.stateLocked(), nil
+}
+
+// handleWindow advances the engine: {"rates":{...}} runs one window under
+// the given rates, {"windows":N} runs N windows off the configured traces,
+// and {} runs one trace window.
+func (s *server) handleWindow(r *http.Request) (any, error) {
+	if r.Method != http.MethodPost {
+		return nil, &apiError{status: http.StatusMethodNotAllowed, msg: "POST required"}
+	}
+	var req struct {
+		Rates   map[string]float64 `json:"rates"`
+		Windows int                `json:"windows"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return nil, badRequest("bad request body: %v", err)
+	}
+	if req.Rates != nil && req.Windows > 1 {
+		return nil, badRequest("rates and windows are mutually exclusive")
+	}
+	n := req.Windows
+	if n <= 0 {
+		n = 1
+	}
+	out := make([]windowResp, 0, n)
+	for i := 0; i < n; i++ {
+		var sr scenario.StepResult
+		var err error
+		if req.Rates != nil {
+			sr, err = s.engine.StepRates(req.Rates)
+		} else {
+			sr, err = s.engine.Step()
+		}
+		if err != nil {
+			return nil, badRequest("window %d: %v", sr.Index, err)
+		}
+		resp := toResp(sr)
+		s.windows = append(s.windows, resp)
+		out = append(out, resp)
+	}
+	return out, nil
+}
+
+func (s *server) handleDecisions(r *http.Request) (any, error) {
+	from := 0
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return nil, badRequest("bad from=%q", v)
+		}
+		from = n
+	}
+	// Window indices are absolute; s.windows[0] is the first window this
+	// process ran (a restored daemon's earlier windows live in the
+	// checkpoint's result, served via /ops and the resumed provenance).
+	base := 0
+	if len(s.windows) > 0 {
+		base = s.windows[0].Window
+	}
+	if from < base {
+		from = base
+	}
+	i := from - base
+	if i > len(s.windows) {
+		i = len(s.windows)
+	}
+	return s.windows[i:], nil
+}
+
+func (s *server) handleProvenance(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	buf := s.provBuf
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if buf != nil {
+		w.Write(buf.Bytes())
+	}
+}
+
+// handleFleet declaratively resizes the fleet: {"apps":N,"hosts":M}.
+// Rebuilding resets control state — calibration is per-fleet.
+func (s *server) handleFleet(r *http.Request) (any, error) {
+	if r.Method != http.MethodPost {
+		return nil, &apiError{status: http.StatusMethodNotAllowed, msg: "POST required"}
+	}
+	var req struct {
+		Apps  int `json:"apps"`
+		Hosts int `json:"hosts"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return nil, badRequest("bad request body: %v", err)
+	}
+	if req.Apps == 0 {
+		req.Apps = s.lab.Opts.NumApps
+	}
+	return s.resize(req.Apps, req.Hosts)
+}
+
+// deltaHandler returns an endpoint that admits or removes one app or host.
+func (s *server) deltaHandler(dApps, dHosts int) func(r *http.Request) (any, error) {
+	return func(r *http.Request) (any, error) {
+		if r.Method != http.MethodPost {
+			return nil, &apiError{status: http.StatusMethodNotAllowed, msg: "POST required"}
+		}
+		apps := s.lab.Opts.NumApps + dApps
+		hosts := s.lab.Opts.NumHosts
+		if dHosts != 0 {
+			hosts += dHosts
+		} else if dApps != 0 {
+			// Growing the fleet by an app brings its host pair along, the
+			// paper's 2-hosts-per-app sizing; removal gives them back.
+			hosts += 2 * dApps
+		}
+		return s.resize(apps, hosts)
+	}
+}
+
+func (s *server) resize(apps, hosts int) (any, error) {
+	if apps < 1 || apps > 4 {
+		return nil, badRequest("apps must be in 1..4 (got %d)", apps)
+	}
+	if hosts < 0 {
+		return nil, badRequest("hosts must be positive (got %d)", hosts)
+	}
+	prev := s.labOpts
+	s.labOpts.NumApps = apps
+	s.labOpts.NumHosts = hosts
+	if err := s.rebuild(); err != nil {
+		s.labOpts = prev
+		return nil, badRequest("fleet rejected: %v", err)
+	}
+	return s.stateLocked(), nil
+}
+
+func (s *server) handleCheckpoint(r *http.Request) (any, error) {
+	if r.Method != http.MethodPost {
+		return nil, &apiError{status: http.StatusMethodNotAllowed, msg: "POST required"}
+	}
+	var req struct {
+		Path string `json:"path"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return nil, badRequest("bad request body: %v", err)
+	}
+	if req.Path == "" {
+		return nil, badRequest("path required")
+	}
+	snap, err := s.engine.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	if err := checkpoint.Write(req.Path, &checkpoint.File{
+		Schema:    checkpoint.Schema,
+		Strategy:  s.strategyName,
+		Workers:   s.workers,
+		Lab:       s.labOpts,
+		FaultRate: s.faultRate,
+		FaultSeed: s.faultSeed,
+		Scenario:  snap,
+	}); err != nil {
+		return nil, err
+	}
+	return map[string]any{"path": req.Path, "window": s.engine.WindowIndex(), "time_sec": s.engine.Now().Seconds()}, nil
+}
+
+func (s *server) handleRestore(r *http.Request) (any, error) {
+	if r.Method != http.MethodPost {
+		return nil, &apiError{status: http.StatusMethodNotAllowed, msg: "POST required"}
+	}
+	var req struct {
+		Path string `json:"path"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return nil, badRequest("bad request body: %v", err)
+	}
+	if req.Path == "" {
+		return nil, badRequest("path required")
+	}
+	ck, err := checkpoint.Read(req.Path)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	if err := s.restoreFrom(ck); err != nil {
+		return nil, badRequest("restore failed: %v", err)
+	}
+	return s.stateLocked(), nil
+}

@@ -8,7 +8,8 @@
 //	            [-dvfs] [-csv] [-fault-rate P] [-fault-seed N]
 //	            [-provenance FILE] [-trace FILE] [-metrics FILE]
 //	            [-log-level LEVEL] [-pprof ADDR] [-bench-json FILE]
-//	            [-slo] [-profile-dir DIR] [-profile-budget D] [-profile-max N]
+//	            [-slo] [-slo-exit] [-profile-dir DIR] [-profile-budget D]
+//	            [-profile-max N] [-checkpoint FILE] [-resume FILE]
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"github.com/mistralcloud/mistral"
+	"github.com/mistralcloud/mistral/internal/checkpoint"
 	"github.com/mistralcloud/mistral/internal/experiments"
 	"github.com/mistralcloud/mistral/internal/fault"
 	"github.com/mistralcloud/mistral/internal/obs"
@@ -59,6 +61,9 @@ func run() (err error) {
 		profileDir   = flag.String("profile-dir", "", "capture pprof CPU/heap artifacts into DIR when a decide blows its wall-clock latency budget")
 		profileBud   = flag.Duration("profile-budget", 500*time.Millisecond, "wall-clock decide budget that triggers pprof capture (with -profile-dir)")
 		profileMax   = flag.Int("profile-max", 8, "maximum pprof artifacts written (with -profile-dir)")
+		sloExit      = flag.Bool("slo-exit", false, "exit nonzero when any SLO objective's error budget is exhausted at the end of the run (for CI gates; implies the SLO engine)")
+		ckptPath     = flag.String("checkpoint", "", "write an engine checkpoint to FILE when the run completes (resume with -resume)")
+		resumePath   = flag.String("resume", "", "restore the engine from a checkpoint FILE and continue the replay; the checkpoint's recorded environment (apps, seed, strategy, workers, fault profile) overrides the corresponding flags")
 	)
 	flag.Parse()
 
@@ -66,7 +71,7 @@ func run() (err error) {
 	if err != nil {
 		return err
 	}
-	if *benchJSON != "" || *sloReport {
+	if *benchJSON != "" || *sloReport || *sloExit {
 		// The perf counters and SLO gauges ride the metrics registry; make
 		// sure one exists even when no other observability knob is set.
 		if ob == nil {
@@ -82,9 +87,27 @@ func run() (err error) {
 		}
 	}()
 
+	// A checkpoint records the environment it was built from; resuming
+	// adopts that recipe wholesale so the rebuilt lab, strategy, and fault
+	// plane match the snapshot exactly.
+	var ckFile *checkpoint.File
+	if *resumePath != "" {
+		ckFile, err = checkpoint.Read(*resumePath)
+		if err != nil {
+			return err
+		}
+		*strategyName = ckFile.Strategy
+		*workers = ckFile.Workers
+		*faultRate = ckFile.FaultRate
+		*faultSeed = ckFile.FaultSeed
+	}
+
 	labOpts := experiments.LabOptions{NumApps: *numApps, Seed: *seed, Zones: *zones}
 	if *dvfs {
 		labOpts.DVFSLevels = []float64{0.6, 0.8}
+	}
+	if ckFile != nil {
+		labOpts = ckFile.Lab
 	}
 	lab, err := experiments.NewLab(labOpts)
 	if err != nil {
@@ -145,7 +168,7 @@ func run() (err error) {
 	// (scenario.Run otherwise builds its own whenever an observer is
 	// active), plus optional latency-triggered pprof capture.
 	var eng *slo.Engine
-	if *sloReport {
+	if *sloReport || *sloExit {
 		eng = slo.New(slo.Config{Interval: lab.Util.MonitoringInterval}, ob)
 	}
 	var prof *obs.Profiler
@@ -162,7 +185,7 @@ func run() (err error) {
 		runtime.GC()
 		runtime.ReadMemStats(&mem0)
 	}
-	res, err := scenario.Run(tb, decider, scenario.RunConfig{
+	engine, err := scenario.NewEngine(tb, decider, scenario.RunConfig{
 		Traces:     lab.Traces,
 		Duration:   *duration,
 		Interval:   lab.Util.MonitoringInterval,
@@ -175,6 +198,38 @@ func run() (err error) {
 	})
 	if err != nil {
 		return err
+	}
+	if ckFile != nil {
+		if err := engine.Restore(ckFile.Scenario); err != nil {
+			return err
+		}
+	}
+	for !engine.Done() {
+		if _, err := engine.Step(); err != nil {
+			return err
+		}
+	}
+	if err := engine.Close(); err != nil {
+		return err
+	}
+	res := engine.Result()
+	if *ckptPath != "" {
+		snap, err := engine.Snapshot()
+		if err != nil {
+			return err
+		}
+		if err := checkpoint.Write(*ckptPath, &checkpoint.File{
+			Schema:    checkpoint.Schema,
+			Strategy:  strings.ToLower(*strategyName),
+			Workers:   *workers,
+			Lab:       labOpts,
+			FaultRate: *faultRate,
+			FaultSeed: *faultSeed,
+			Scenario:  snap,
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "checkpoint: wrote %s (window %d, t=%s)\n", *ckptPath, engine.WindowIndex(), engine.Now())
 	}
 
 	appNames := make([]string, len(lab.AppNames))
@@ -221,7 +276,7 @@ func run() (err error) {
 			res.DegradedWindows, res.FailedActions, res.Retries, res.SkippedActions,
 			res.HostCrashes, res.SensorDrops)
 	}
-	if eng != nil {
+	if eng != nil && *sloReport {
 		snap := eng.Snapshot()
 		fmt.Fprintf(os.Stderr, "slo: %d windows observed, %d alerts\n", snap.Windows, snap.TotalAlerts)
 		for _, o := range snap.Objectives {
@@ -282,6 +337,18 @@ func run() (err error) {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "bench: wrote %s\n", *benchJSON)
+	}
+	if *sloExit && eng != nil {
+		snap := eng.Snapshot()
+		var exhausted []string
+		for _, o := range snap.Objectives {
+			if !o.Healthy {
+				exhausted = append(exhausted, o.Name)
+			}
+		}
+		if len(exhausted) > 0 {
+			return fmt.Errorf("slo: error budget exhausted: %s", strings.Join(exhausted, ", "))
+		}
 	}
 	return nil
 }

@@ -1,0 +1,91 @@
+// Package checkpoint is the on-disk envelope around a scenario engine
+// snapshot: the engine state itself plus the construction recipe (lab
+// options, strategy, fault profile) a fresh process needs to rebuild an
+// identical environment before restoring into it. mistral-sim's
+// -checkpoint/-resume flags and mistral-serve's /checkpoint endpoints both
+// speak this format, so a batch run can be resumed by the daemon and vice
+// versa.
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/mistralcloud/mistral/internal/experiments"
+	"github.com/mistralcloud/mistral/internal/scenario"
+)
+
+// Schema identifies the envelope format; Read refuses any other value.
+const Schema = "mistral.checkpoint-file/v1"
+
+// File is a complete checkpoint: the recipe to rebuild the environment and
+// the engine snapshot to restore into it. The recipe fields record exactly
+// what the writing process was built from — a reader reconstructs the lab,
+// strategy, and fault plane from them rather than trusting its own flags.
+type File struct {
+	Schema   string `json:"schema"`
+	Strategy string `json:"strategy"`
+	Workers  int    `json:"workers"`
+	// Lab holds the options as given to experiments.NewLab (pre-default):
+	// rebuilding applies the same defaulting the original construction did.
+	Lab       experiments.LabOptions `json:"lab"`
+	FaultRate float64                `json:"fault_rate,omitempty"`
+	FaultSeed uint64                 `json:"fault_seed,omitempty"`
+	Scenario  *scenario.Snapshot     `json:"scenario"`
+}
+
+// Write atomically persists the checkpoint: the JSON lands in a temp file
+// in the target directory and renames over path, so a crash mid-write
+// never leaves a truncated checkpoint where a good one stood.
+func Write(path string, f *File) error {
+	if f.Schema == "" {
+		f.Schema = Schema
+	}
+	raw, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*.tmp")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Read loads and validates a checkpoint file.
+func Read(path string) (*File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return Decode(raw)
+}
+
+// Decode parses a checkpoint from its JSON bytes.
+func Decode(raw []byte) (*File, error) {
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	if f.Schema != Schema {
+		return nil, fmt.Errorf("checkpoint: unsupported schema %q (want %q)", f.Schema, Schema)
+	}
+	if f.Scenario == nil {
+		return nil, fmt.Errorf("checkpoint: no engine snapshot")
+	}
+	return &f, nil
+}

@@ -1,0 +1,63 @@
+package cluster
+
+import "sort"
+
+// PlacementState is one active VM's placement in serializable form.
+type PlacementState struct {
+	VM     VMID    `json:"vm"`
+	Host   string  `json:"host"`
+	CPUPct float64 `json:"cpu_pct"`
+}
+
+// HostFreqState is one host's non-nominal DVFS level in serializable form.
+type HostFreqState struct {
+	Host string  `json:"host"`
+	Freq float64 `json:"freq"`
+}
+
+// ConfigState is a Config's complete serializable state, in deterministic
+// sorted order. RestoreConfig rebuilds the configuration through the
+// fingerprint-maintaining mutators, so the restored fingerprint is
+// identical to the original's (the fingerprint is an XOR fold of content
+// tokens — order-independent and free of construction history).
+type ConfigState struct {
+	HostsOn    []string         `json:"hosts_on,omitempty"`
+	Placements []PlacementState `json:"placements,omitempty"`
+	HostFreq   []HostFreqState  `json:"host_freq,omitempty"`
+}
+
+// Snapshot captures the configuration.
+func (c Config) Snapshot() ConfigState {
+	var s ConfigState
+	s.HostsOn = c.ActiveHosts()
+	for _, id := range c.ActiveVMs() {
+		p := c.placements[id]
+		s.Placements = append(s.Placements, PlacementState{VM: id, Host: p.Host, CPUPct: p.CPUPct})
+	}
+	if len(c.hostFreq) > 0 {
+		hosts := make([]string, 0, len(c.hostFreq))
+		for h := range c.hostFreq {
+			hosts = append(hosts, h)
+		}
+		sort.Strings(hosts)
+		for _, h := range hosts {
+			s.HostFreq = append(s.HostFreq, HostFreqState{Host: h, Freq: c.hostFreq[h]})
+		}
+	}
+	return s
+}
+
+// RestoreConfig rebuilds a Config from a captured state.
+func RestoreConfig(s ConfigState) Config {
+	c := NewConfig()
+	for _, h := range s.HostsOn {
+		c.SetHostOn(h, true)
+	}
+	for _, p := range s.Placements {
+		c.Place(p.VM, p.Host, p.CPUPct)
+	}
+	for _, f := range s.HostFreq {
+		c.SetHostFreq(f.Host, f.Freq)
+	}
+	return c
+}

@@ -279,6 +279,64 @@ func (c *Controller) expected(cw time.Duration) ExpectedUtility {
 	}
 }
 
+// ControllerState is a controller's complete mutable state in serializable
+// form: the workload bands it tracks, the utility history feeding UH, and
+// the ARMA estimator internals. Configuration (options, evaluator,
+// searcher) is not included — state is restored into a freshly constructed
+// controller with the same options.
+type ControllerState struct {
+	Bands        map[string]workload.Band `json:"bands,omitempty"`
+	BandsSet     bool                     `json:"bands_set"`
+	BandStartNS  int64                    `json:"band_start_ns"`
+	History      []WindowRecordState      `json:"history,omitempty"`
+	Estimator    predict.PersistState     `json:"estimator"`
+}
+
+// WindowRecordState is one past window's realized utility and rates.
+type WindowRecordState struct {
+	Utility  float64 `json:"utility"`
+	PerfRate float64 `json:"perf_rate"`
+	PwrRate  float64 `json:"pwr_rate"`
+}
+
+// Persist captures the controller's mutable state (maps and slices are
+// copied).
+func (c *Controller) Persist() ControllerState {
+	s := ControllerState{
+		BandsSet:    c.bandsSet,
+		BandStartNS: int64(c.bandStart),
+		Estimator:   c.est.Persist(),
+	}
+	if len(c.bands) > 0 {
+		s.Bands = make(map[string]workload.Band, len(c.bands))
+		for name, b := range c.bands {
+			s.Bands[name] = b
+		}
+	}
+	for _, r := range c.history {
+		s.History = append(s.History, WindowRecordState{Utility: r.utility, PerfRate: r.perfRate, PwrRate: r.pwrRate})
+	}
+	return s
+}
+
+// Restore overwrites the controller's mutable state with a captured one.
+func (c *Controller) Restore(s ControllerState) {
+	c.bands = nil
+	if len(s.Bands) > 0 {
+		c.bands = make(map[string]workload.Band, len(s.Bands))
+		for name, b := range s.Bands {
+			c.bands[name] = b
+		}
+	}
+	c.bandsSet = s.BandsSet
+	c.bandStart = time.Duration(s.BandStartNS)
+	c.history = nil
+	for _, r := range s.History {
+		c.history = append(c.history, windowRecord{utility: r.Utility, perfRate: r.PerfRate, pwrRate: r.PwrRate})
+	}
+	c.est.Restore(s.Estimator)
+}
+
 // Decide runs one control cycle at virtual time now: band check, stability
 // interval bookkeeping, Perf-Pwr ideal, and the adaptation search.
 func (c *Controller) Decide(now time.Duration, cfg cluster.Config, rates map[string]float64) (Decision, error) {

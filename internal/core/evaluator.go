@@ -304,6 +304,122 @@ func (e *Evaluator) flushStats(entries int) {
 // the last reset (a proxy for model-solving work).
 func (e *Evaluator) Evals() int { return int(e.evals.Load()) }
 
+// CacheEntryState is one memoized steady evaluation in serializable form.
+// Only completed, successful solves are captured (failed solves are never
+// cached; between control windows no solve is in flight).
+type CacheEntryState struct {
+	FP  [2]uint64 `json:"fp"`
+	RFP uint64    `json:"rfp"`
+	Gen uint64    `json:"gen"`
+
+	PerfRate  float64            `json:"perf_rate"`
+	PowerRate float64            `json:"power_rate"`
+	Watts     float64            `json:"watts"`
+	RTSec     map[string]float64 `json:"rt_sec,omitempty"`
+	Saturated bool               `json:"saturated,omitempty"`
+}
+
+// CacheSnapshot is the evaluator's complete memoization state: the cache
+// generation, the residual (un-flushed) activity counters, and every live
+// entry. Restoring it into a fresh evaluator reproduces which future solves
+// hit versus miss — and therefore the cache-hit counter stream the SLO
+// engine watches — exactly as if the original process had kept running.
+type CacheSnapshot struct {
+	Gen     uint64            `json:"gen"`
+	Hits    int64             `json:"hits"`
+	Evals   int64             `json:"evals"`
+	Dedups  int64             `json:"dedups"`
+	Entries []CacheEntryState `json:"entries,omitempty"`
+}
+
+// SnapshotCache captures the memo cache. Not synchronized with in-flight
+// solves: call it only at a quiescent point (between control windows).
+func (e *Evaluator) SnapshotCache() CacheSnapshot {
+	snap := CacheSnapshot{
+		Gen:    e.gen.Load(),
+		Hits:   e.cacheHits.Load(),
+		Evals:  e.evals.Load(),
+		Dedups: e.dedups.Load(),
+	}
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		for k, ent := range sh.entries {
+			select {
+			case <-ent.done:
+			default:
+				continue // in-flight: caller violated quiescence; skip
+			}
+			if ent.err != nil {
+				continue
+			}
+			var rt map[string]float64
+			if len(ent.s.RTSec) > 0 {
+				rt = make(map[string]float64, len(ent.s.RTSec))
+				for app, v := range ent.s.RTSec {
+					rt[app] = v
+				}
+			}
+			snap.Entries = append(snap.Entries, CacheEntryState{
+				FP:        [2]uint64(k.fp),
+				RFP:       uint64(k.rfp),
+				Gen:       ent.gen,
+				PerfRate:  ent.s.PerfRate,
+				PowerRate: ent.s.PowerRate,
+				Watts:     ent.s.Watts,
+				RTSec:     rt,
+				Saturated: ent.s.Saturated,
+			})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(snap.Entries, func(i, j int) bool {
+		a, b := &snap.Entries[i], &snap.Entries[j]
+		if a.FP != b.FP {
+			return a.FP[0] < b.FP[0] || (a.FP[0] == b.FP[0] && a.FP[1] < b.FP[1])
+		}
+		return a.RFP < b.RFP
+	})
+	return snap
+}
+
+// RestoreCache replaces the memo cache with a captured snapshot. Entries
+// are installed as completed solves (closed done channels), so lookups hit
+// them immediately.
+func (e *Evaluator) RestoreCache(snap CacheSnapshot) {
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		sh.entries = make(map[steadyKey]*cacheEntry)
+		sh.mu.Unlock()
+	}
+	e.gen.Store(snap.Gen)
+	e.cacheHits.Store(snap.Hits)
+	e.evals.Store(snap.Evals)
+	e.dedups.Store(snap.Dedups)
+	for _, es := range snap.Entries {
+		key := steadyKey{fp: cluster.Fingerprint(es.FP), rfp: RatesFP(es.RFP)}
+		ent := &cacheEntry{done: make(chan struct{}), gen: es.Gen}
+		ent.s = Steady{
+			PerfRate:  es.PerfRate,
+			PowerRate: es.PowerRate,
+			Watts:     es.Watts,
+			Saturated: es.Saturated,
+		}
+		if len(es.RTSec) > 0 {
+			ent.s.RTSec = make(map[string]float64, len(es.RTSec))
+			for app, v := range es.RTSec {
+				ent.s.RTSec[app] = v
+			}
+		}
+		close(ent.done)
+		sh := &e.shards[shardOf(key)]
+		sh.mu.Lock()
+		sh.entries[key] = ent
+		sh.mu.Unlock()
+	}
+}
+
 // RatesFP is a 64-bit fingerprint of a workload vector, the rate-band half
 // of the steady-cache key. Callers on the search hot path compute it once
 // per decision with RatesFingerprint and thread it through SteadyFP; the

@@ -175,6 +175,63 @@ func (in *Injector) Counts() Counts {
 	return in.counts
 }
 
+// State is an Injector's complete mutable state in serializable form: the
+// positions of the three fault streams and the injected-event totals.
+// Options are not included — state is restored into an injector freshly
+// built with the same options.
+type State struct {
+	Actions []byte `json:"actions"`
+	Hosts   []byte `json:"hosts"`
+	Sensors []byte `json:"sensors"`
+	Counts  Counts `json:"counts"`
+}
+
+// Snapshot captures the injector's state; a nil injector yields a nil
+// state pointer (nothing to persist).
+func (in *Injector) Snapshot() (*State, error) {
+	if in == nil {
+		return nil, nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var s State
+	var err error
+	if s.Actions, err = in.actions.Snapshot(); err != nil {
+		return nil, err
+	}
+	if s.Hosts, err = in.hosts.Snapshot(); err != nil {
+		return nil, err
+	}
+	if s.Sensors, err = in.sensors.Snapshot(); err != nil {
+		return nil, err
+	}
+	s.Counts = in.counts
+	return &s, nil
+}
+
+// Restore rewinds the injector's streams and totals to a captured state. A
+// nil state is a no-op (matching the nil snapshot of a nil injector);
+// restoring into a nil injector with a non-nil state is an error caught by
+// the caller's configuration mismatch, so it just no-ops here too.
+func (in *Injector) Restore(s *State) error {
+	if in == nil || s == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if err := in.actions.Restore(s.Actions); err != nil {
+		return err
+	}
+	if err := in.hosts.Restore(s.Hosts); err != nil {
+		return err
+	}
+	if err := in.sensors.Restore(s.Sensors); err != nil {
+		return err
+	}
+	in.counts = s.Counts
+	return nil
+}
+
 func (in *Injector) failRate(kind cluster.ActionKind) float64 {
 	if p, ok := in.opts.FailRateByKind[kind]; ok {
 		return p

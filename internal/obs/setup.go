@@ -31,6 +31,10 @@ type CLI struct {
 	// bind an ephemeral port; the bound address lands in
 	// Observer.HTTPAddr.
 	PprofAddr string
+	// Handlers mounts extra endpoints on the same listener as /metrics
+	// and /ops (mistral-serve rides its control API here). Patterns use
+	// net/http.ServeMux syntax; ignored unless PprofAddr is set.
+	Handlers map[string]http.Handler
 }
 
 // shutdownTimeout bounds how long the closer waits for in-flight HTTP
@@ -85,6 +89,9 @@ func (c CLI) Build() (*Observer, func() error, error) {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", o.Metrics.MetricsHandler())
 		mux.Handle("/ops", o.Ops.Handler())
+		for pattern, h := range c.Handlers {
+			mux.Handle(pattern, h)
+		}
 		mux.Handle("/", http.DefaultServeMux)
 		ln, err := net.Listen("tcp", c.PprofAddr)
 		if err != nil {

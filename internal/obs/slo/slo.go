@@ -385,6 +385,92 @@ func (e *Engine) publishGaugesLocked() {
 	}
 }
 
+// ObjectivePersist is one objective's mutable accounting in serializable
+// form.
+type ObjectivePersist struct {
+	Name       string `json:"name"`
+	Windows    int    `json:"windows"`
+	Breaches   int    `json:"breaches"`
+	LastBreach int    `json:"last_breach"`
+	Ring       []bool `json:"ring,omitempty"`
+	Paged      bool   `json:"paged,omitempty"`
+}
+
+// PersistState is the engine's complete mutable state in serializable
+// form, for checkpoint/restore. Unlike Snapshot — a derived reporting view
+// — it carries the raw accounting ObserveWindow folds into, including the
+// cumulative cache-counter baseline the eval-cache objective diffs
+// against. Configuration is not included: state is restored into an engine
+// freshly built with the same Config.
+type PersistState struct {
+	Windows    int                `json:"windows"`
+	Alerts     []Alert            `json:"alerts,omitempty"`
+	Total      int                `json:"total"`
+	LastHits   int64              `json:"last_hits"`
+	LastMisses int64              `json:"last_misses"`
+	Objectives []ObjectivePersist `json:"objectives"`
+}
+
+// Persist captures the engine's mutable state; a nil engine yields a nil
+// pointer.
+func (e *Engine) Persist() *PersistState {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := &PersistState{
+		Windows:    e.windows,
+		Alerts:     append([]Alert(nil), e.alerts...),
+		Total:      e.total,
+		LastHits:   e.lastHits,
+		LastMisses: e.lastMisses,
+	}
+	for _, ob := range e.objectives {
+		s.Objectives = append(s.Objectives, ObjectivePersist{
+			Name:       ob.name,
+			Windows:    ob.windows,
+			Breaches:   ob.breaches,
+			LastBreach: ob.lastBreach,
+			Ring:       append([]bool(nil), ob.ring...),
+			Paged:      ob.paged,
+		})
+	}
+	return s
+}
+
+// Restore overwrites the engine's mutable state with a captured one,
+// matching objectives by name (unknown names are ignored). Nil engine or
+// nil state is a no-op.
+func (e *Engine) Restore(s *PersistState) {
+	if e == nil || s == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.windows = s.Windows
+	e.alerts = append([]Alert(nil), s.Alerts...)
+	e.total = s.Total
+	e.lastHits = s.LastHits
+	e.lastMisses = s.LastMisses
+	byName := make(map[string]*objective, len(e.objectives))
+	for _, ob := range e.objectives {
+		byName[ob.name] = ob
+	}
+	for _, os := range s.Objectives {
+		ob := byName[os.Name]
+		if ob == nil {
+			continue
+		}
+		ob.windows = os.Windows
+		ob.breaches = os.Breaches
+		ob.lastBreach = os.LastBreach
+		ob.ring = append([]bool(nil), os.Ring...)
+		ob.paged = os.Paged
+	}
+	e.publishGaugesLocked()
+}
+
 // Snapshot returns the engine's deterministic serialized state.
 func (e *Engine) Snapshot() Snapshot {
 	if e == nil {

@@ -89,6 +89,43 @@ func (e *Estimator) State() State {
 	}
 }
 
+// PersistState is the estimator's complete mutable state in serializable
+// form, used by checkpoint/restore. Unlike State (a provenance view), it
+// carries everything Observe folds into: the histories, the current
+// estimate and β, and whether a first measurement has seeded the error
+// term. The construction parameters k and γ are not included — an
+// estimator is restored into a freshly constructed instance with the same
+// options.
+type PersistState struct {
+	Measured []float64 `json:"measured,omitempty"`
+	Errors   []float64 `json:"errors,omitempty"`
+	Estimate float64   `json:"estimate"`
+	Beta     float64   `json:"beta"`
+	Seeded   bool      `json:"seeded"`
+}
+
+// Persist captures the estimator's complete mutable state.
+func (e *Estimator) Persist() PersistState {
+	return PersistState{
+		Measured: append([]float64(nil), e.measured...),
+		Errors:   append([]float64(nil), e.errors...),
+		Estimate: e.estimate,
+		Beta:     e.beta,
+		Seeded:   e.seeded,
+	}
+}
+
+// Restore overwrites the estimator's mutable state with a captured one;
+// subsequent Observe calls continue the sequence exactly as if the
+// original estimator had kept running.
+func (e *Estimator) Restore(s PersistState) {
+	e.measured = append([]float64(nil), s.Measured...)
+	e.errors = append([]float64(nil), s.Errors...)
+	e.estimate = s.Estimate
+	e.beta = s.Beta
+	e.seeded = s.Seeded
+}
+
 // maxIntervalSec clamps measurements and estimates: a stability interval
 // longer than 30 days is a unit artifact (divergent rates, duration
 // overflow), not workload information.

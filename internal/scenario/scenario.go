@@ -6,7 +6,6 @@
 package scenario
 
 import (
-	"encoding/json"
 	"fmt"
 	"time"
 
@@ -14,7 +13,6 @@ import (
 	"github.com/mistralcloud/mistral/internal/fault"
 	"github.com/mistralcloud/mistral/internal/obs"
 	"github.com/mistralcloud/mistral/internal/obs/slo"
-	"github.com/mistralcloud/mistral/internal/par"
 	"github.com/mistralcloud/mistral/internal/provenance"
 	"github.com/mistralcloud/mistral/internal/testbed"
 	"github.com/mistralcloud/mistral/internal/utility"
@@ -312,7 +310,11 @@ func safeDecide(d Decider, now time.Duration, cfg cluster.Config, rates map[stri
 	return d.Decide(now, cfg, rates)
 }
 
-// Run replays the traces on the testbed under the decider's control.
+// Run replays the traces on the testbed under the decider's control. It is
+// a thin loop over Engine.Step — batch replay is just the resumable engine
+// driven to the trace horizon — and its behaviour (decision stream, Result,
+// provenance records, error semantics) is byte-identical to the monolithic
+// loop it replaced.
 //
 // The loop degrades rather than aborts: a decision error (or panic), a
 // rejected plan, a failed or skipped action, a host crash, or a dropped
@@ -323,358 +325,14 @@ func safeDecide(d Decider, now time.Duration, cfg cluster.Config, rates map[stri
 // even then the in-progress window (with its already-charged search cost)
 // is recorded before returning.
 func Run(tb *testbed.Testbed, d Decider, cfg RunConfig) (*Result, error) {
-	cfg, err := cfg.withDefaults()
+	e, err := NewEngine(tb, d, cfg)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Strategy: d.Name(), ViolationsByApp: make(map[string]int)}
-	var totalSearch time.Duration
-	var retries []pendingRetry
-
-	// Observability: the replay loop owns the root "decide" span of each
-	// control opportunity, so controller-level children ("perfpwr",
-	// "search") and testbed "action:*" events nest under it. All sinks are
-	// nil-safe no-ops when observability is disabled.
-	o := obs.Resolve(cfg.Obs)
-	tr := o.Tracer()
-	olog := o.Logger()
-	cWindows := o.Counter("scenario_windows_total")
-	cViolations := o.Counter("scenario_target_violations_total")
-	cDecideErr := o.Counter("scenario_decide_errors_total")
-	cDegraded := o.Counter("scenario_degraded_windows_total")
-	cFailedActions := o.Counter("scenario_failed_actions_total")
-	cRetries := o.Counter("scenario_retries_total")
-	cExecRej := o.Counter("scenario_exec_rejections_total")
-	cCrashes := o.Counter("scenario_host_crashes_total")
-	hWindowUtil := o.Histogram("scenario_window_utility_dollars", []float64{-10, -1, -0.1, 0, 0.1, 1, 10})
-	gCumUtil := o.Gauge("scenario_cum_utility_dollars")
-	o.Gauge("scenario_workers").Set(float64(par.Workers(cfg.Workers)))
-
-	// Causal identity: each window gets a deterministic trace context
-	// (obs.WindowTrace) shared by spans, SLO alerts, the ops plane, and —
-	// by recomputation from Record.Window — provenance. The SLO engine
-	// defaults on whenever an observer is active; it reads only
-	// virtual-time quantities, so its state is deterministic and the
-	// decision stream is untouched.
-	var reg *obs.Registry
-	if o != nil {
-		reg = o.Metrics
-	}
-	eng := cfg.SLO
-	if eng == nil && o != nil {
-		eng = slo.New(slo.Config{Interval: cfg.Interval}, o)
-	}
-	ops := o.OpsState()
-	ops.BeginRun(d.Name(), cfg.Interval)
-	ta, _ := d.(TraceAware)
-
-	// countExec folds one ExecReport into the window and result totals and
-	// queues retryable failures. attempt is how many times the report's
-	// actions have now been executed.
-	countExec := func(log *WindowLog, rep testbed.ExecReport, attempt int, now time.Duration) {
-		log.Actions += rep.Started()
-		res.TotalActions += rep.Started()
-		if rep.Failed > 0 {
-			log.FailedActions += rep.Failed
-			res.FailedActions += rep.Failed
-			cFailedActions.Add(int64(rep.Failed))
-			log.degrade(fmt.Sprintf("%d action(s) failed", rep.Failed))
-			retries = queueRetries(retries, rep, attempt, now, cfg.Retry)
-		}
-		if rep.Skipped > 0 {
-			res.SkippedActions += rep.Skipped
-			log.degrade(fmt.Sprintf("%d action(s) skipped", rep.Skipped))
+	for !e.Done() {
+		if _, err := e.Step(); err != nil {
+			return e.Result(), err
 		}
 	}
-
-	// record emits one provenance record for a completed (or aborted)
-	// window; window indices count every window, busy ones included. The
-	// same index seeds the window's trace context, so provenance readers
-	// recover the trace ID with obs.TraceID(Record.Window) — no new
-	// serialized field, no byte-level drift.
-	winIdx := 0
-	record := func(log *WindowLog, busy bool, searchCost float64, provs []*provenance.DecisionProv) {
-		if !cfg.Provenance.Enabled() {
-			return
-		}
-		// Append's first error is sticky on the recorder and surfaced when
-		// the replay ends; the replay itself never aborts mid-window over a
-		// provenance write.
-		_ = cfg.Provenance.Append(&provenance.Record{
-			Window:            winIdx,
-			TimeSec:           log.Time.Seconds(),
-			Strategy:          res.Strategy,
-			Invoked:           log.Invoked,
-			Busy:              busy,
-			Degraded:          log.Degraded,
-			DegradedReason:    log.DegradedReason,
-			Actions:           log.Actions,
-			SearchTimeSec:     log.SearchTime.Seconds(),
-			SearchCostDollars: searchCost,
-			UtilityDollars:    log.Utility,
-			CumUtilityDollars: log.CumUtility,
-			Watts:             log.Watts,
-			Decisions:         provs,
-		})
-	}
-
-	for t := time.Duration(0); t < cfg.Duration; t, winIdx = t+cfg.Interval, winIdx+1 {
-		rates := cfg.Traces.At(t)
-		if err := tb.SetRates(rates); err != nil {
-			return res, fmt.Errorf("scenario: %w", err)
-		}
-
-		log := WindowLog{Time: t + cfg.Interval, Rates: rates}
-
-		// The window's causal identity: spans, alerts, ops entries, and
-		// log lines below all carry tc's trace ID, and the provenance
-		// record's Window field pins the same identity.
-		tc := obs.WindowTrace(winIdx)
-		if tr != nil {
-			if ta != nil {
-				ta.SetTraceContext(tc)
-			}
-			tb.SetTrace(tc)
-		}
-
-		// Host crashes land first, and only while no plan is in flight (so
-		// executing phases stay consistent): the strategy plans against the
-		// post-crash configuration.
-		if cfg.Fault.Enabled() && !tb.Busy() {
-			for _, h := range cfg.Fault.HostCrashes(tb.Config().ActiveHosts(), cfg.Interval) {
-				rep, err := tb.CrashHost(h)
-				if err != nil {
-					olog.Warn("host crash not applied", "host", h, "err", err)
-					continue
-				}
-				log.HostCrashes++
-				log.degrade("host crash: " + h)
-				res.HostCrashes++
-				cCrashes.Inc()
-				olog.Warn("host crashed",
-					"host", h,
-					"displaced", len(rep.Displaced),
-					"stranded", len(rep.Stranded),
-					"recovery", rep.Recovery)
-			}
-		}
-
-		// Re-execute one due retry per window while idle; if its recovery
-		// phase occupies the testbed, the decision naturally defers to the
-		// next window via the Busy check below.
-		if !tb.Busy() {
-			if i := dueRetry(retries, t); i >= 0 {
-				rt := retries[i]
-				retries = append(retries[:i], retries[i+1:]...)
-				res.Retries++
-				cRetries.Inc()
-				log.Retried++
-				log.degrade(fmt.Sprintf("retry of failed %s", rt.action.Kind))
-				tr.Event("retry", t, t, tc.Attr(),
-					obs.Attr{Key: "span", Value: tc.SpanID("retry", fmt.Sprint(rt.action.Kind))},
-					obs.Attr{Key: "kind", Value: fmt.Sprint(rt.action.Kind)},
-					obs.Attr{Key: "attempt", Value: rt.attempt + 1})
-				rep, err := tb.Execute([]cluster.Action{rt.action})
-				if err != nil {
-					// The cluster moved on (host crashed, VM re-placed);
-					// the action no longer applies. Abandon it.
-					olog.Warn("retry rejected", "kind", rt.action.Kind, "err", err)
-				} else {
-					countExec(&log, rep, rt.attempt+1, t)
-				}
-			}
-		}
-
-		// Invoke the strategy unless the testbed is still executing a
-		// previously chosen plan.
-		busy := tb.Busy()
-		var searchCost float64
-		var provs []*provenance.DecisionProv
-		var decideWall time.Duration
-		decideErred := false
-		if !busy {
-			sp := tr.Start("decide", t,
-				obs.Attr{Key: "strategy", Value: d.Name()},
-				tc.Attr(),
-				obs.Attr{Key: "span", Value: tc.SpanID("decide")})
-			cfg.Profile.BeginDecide(winIdx)
-			wallT0 := time.Now()
-			dec, err := safeDecide(d, t, tb.Config(), rates)
-			decideWall = time.Since(wallT0)
-			res.DecideWall = append(res.DecideWall, decideWall)
-			if paths := cfg.Profile.EndDecide(winIdx, decideWall); len(paths) > 0 {
-				olog.Warn("decide blew latency budget; pprof captured",
-					"trace", tc.ID(), "wall", decideWall,
-					"budget", cfg.Profile.Budget(), "artifacts", paths)
-			}
-			if err != nil {
-				decideErred = true
-				sp.End(t, obs.Attr{Key: "error", Value: err.Error()})
-				olog.Warn("decide failed; degrading to no adaptation",
-					"strategy", d.Name(), "t", t, "err", err)
-				res.DecideErrors++
-				cDecideErr.Inc()
-				log.degrade("decide: " + err.Error())
-			} else {
-				provs = dec.Provs
-				if dec.Invoked {
-					res.Invocations++
-					totalSearch += dec.SearchTime
-					log.Invoked = true
-					log.SearchTime = dec.SearchTime
-					searchCost = dec.SearchCost
-				}
-				if dec.Degraded {
-					reason := dec.DegradedReason
-					if reason == "" {
-						reason = "strategy fallback"
-					}
-					log.degrade(reason)
-					res.FallbackDecisions++
-				}
-				var planDur time.Duration
-				if len(dec.Plan) > 0 {
-					rep, err := tb.Execute(dec.Plan)
-					if err != nil {
-						// The whole plan was rejected — typically stale
-						// against a crash-reconciled configuration. Replan
-						// next window.
-						olog.Warn("plan rejected", "strategy", d.Name(), "t", t, "err", err)
-						res.ExecRejections++
-						cExecRej.Inc()
-						log.degrade("plan rejected: " + err.Error())
-					} else {
-						planDur = rep.Duration
-						countExec(&log, rep, 1, t)
-					}
-				}
-				// The root span covers the decision and the plan it launched:
-				// search time and execution overlap on the virtual clock, so
-				// the span ends when the longer of the two does.
-				end := t + dec.SearchTime
-				if pe := t + planDur; pe > end {
-					end = pe
-				}
-				sp.End(end,
-					obs.Attr{Key: "invoked", Value: dec.Invoked},
-					obs.Attr{Key: "actions", Value: len(dec.Plan)},
-					obs.Attr{Key: "search_cost", Value: dec.SearchCost})
-				log.Utility -= dec.SearchCost
-			}
-		}
-
-		w, err := tb.MeasureWindow(t + cfg.Interval)
-		if err != nil {
-			// Record the in-progress window — its search cost is already
-			// charged — before surfacing the error.
-			res.CumUtility += log.Utility
-			log.CumUtility = res.CumUtility
-			log.ActiveHosts = tb.Config().NumActiveHosts()
-			log.degrade("measure: " + err.Error())
-			res.Windows = append(res.Windows, log)
-			record(&log, busy, searchCost, provs)
-			if res.Invocations > 0 {
-				res.MeanSearchTime = totalSearch / time.Duration(res.Invocations)
-			}
-			return res, fmt.Errorf("scenario: %w", err)
-		}
-		log.RTSec = w.RTSec
-		log.Watts = w.Watts
-		if w.SensorDropped {
-			log.SensorDropped = true
-			log.degrade("sensor window dropped")
-			res.SensorDrops++
-		}
-
-		perfRate := cfg.Utility.PerfRateAll(rates, w.RTSec)
-		pwrRate := cfg.Utility.PowerRate(w.Watts)
-		log.Utility += cfg.Interval.Seconds() * (perfRate + pwrRate)
-		res.CumUtility += log.Utility
-		log.CumUtility = res.CumUtility
-		d.RecordWindow(log.Utility, perfRate, pwrRate)
-
-		violationsBefore := res.TargetViolations
-		for name, a := range cfg.Utility.Apps {
-			if rates[name] > 0 && w.RTSec[name] > a.TargetRT.Seconds() {
-				res.TargetViolations++
-				res.ViolationsByApp[name]++
-			}
-		}
-		if log.Degraded {
-			res.DegradedWindows++
-			cDegraded.Inc()
-			olog.Warn("window degraded",
-				"strategy", d.Name(),
-				"t", log.Time,
-				"reason", log.DegradedReason)
-		}
-		cWindows.Inc()
-		cViolations.Add(int64(res.TargetViolations - violationsBefore))
-		hWindowUtil.ObserveExemplar(log.Utility, tc.ID())
-		gCumUtil.Set(res.CumUtility)
-		olog.Info("window",
-			"strategy", d.Name(),
-			"trace", tc.ID(),
-			"t", log.Time,
-			"watts", w.Watts,
-			"utility", log.Utility,
-			"cum_utility", res.CumUtility,
-			"actions", log.Actions,
-			"invoked", log.Invoked,
-			"degraded", log.Degraded)
-		log.ActiveHosts = tb.Config().NumActiveHosts()
-		res.EnergyKWh += w.Watts * cfg.Interval.Hours() / 1000
-		res.HostHours += float64(log.ActiveHosts) * cfg.Interval.Hours()
-		res.Windows = append(res.Windows, log)
-		record(&log, busy, searchCost, provs)
-
-		// Self-monitoring: the SLO engine folds the window's virtual-time
-		// facts in; any alerts surface on the log with the window's trace
-		// ID, and the ops plane gets the refreshed health snapshot.
-		if eng != nil {
-			alerts := eng.ObserveWindow(slo.WindowObs{
-				Window:      winIdx,
-				Time:        log.Time,
-				Invoked:     log.Invoked,
-				Degraded:    log.Degraded,
-				SearchTime:  log.SearchTime,
-				Retries:     log.Retried,
-				CacheHits:   reg.CounterValue("eval_cache_hits_total"),
-				CacheMisses: reg.CounterValue("eval_cache_misses_total"),
-			})
-			for _, a := range alerts {
-				olog.Warn("slo alert",
-					"objective", a.Objective,
-					"severity", a.Severity,
-					"trace", a.Trace,
-					"msg", a.Message)
-			}
-		}
-		if ops != nil {
-			ops.RecordWindow(obs.OpsWindow{
-				Window:        winIdx,
-				Trace:         tc.ID(),
-				TimeSec:       log.Time.Seconds(),
-				CumUtility:    res.CumUtility,
-				Degraded:      log.Degraded,
-				Error:         decideErred,
-				Retries:       log.Retried,
-				Crashes:       log.HostCrashes,
-				WallMS:        float64(decideWall.Microseconds()) / 1000,
-				SearchTimeSec: log.SearchTime.Seconds(),
-			})
-			if eng != nil {
-				if raw, err := json.Marshal(eng.Snapshot()); err == nil {
-					ops.SetSLO(raw)
-				}
-			}
-		}
-	}
-	if res.Invocations > 0 {
-		res.MeanSearchTime = totalSearch / time.Duration(res.Invocations)
-	}
-	if err := cfg.Provenance.Err(); err != nil {
-		return res, fmt.Errorf("scenario: %w", err)
-	}
-	return res, nil
+	return e.Result(), e.Close()
 }

@@ -1,0 +1,212 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"github.com/mistralcloud/mistral/internal/cluster"
+	"github.com/mistralcloud/mistral/internal/fault"
+	"github.com/mistralcloud/mistral/internal/obs/slo"
+	"github.com/mistralcloud/mistral/internal/testbed"
+)
+
+// SnapshotSchema identifies the checkpoint format; Restore refuses any
+// other value. Bump it when a field changes meaning — a version bump turns
+// silent state corruption into a clean "unsupported schema" error.
+const SnapshotSchema = "mistral.checkpoint/v1"
+
+// Snapshotter is the optional Decider extension that makes a strategy
+// checkpointable: SnapshotState serializes every piece of mutable decision
+// state (estimator histories, utility bands, eval-cache contents, per-level
+// invocation stats), and RestoreState rebuilds it in a freshly constructed
+// strategy. The encoding is the strategy's own business — the engine stores
+// it opaquely. A strategy that doesn't implement it can still be engine-
+// driven, just not checkpointed.
+type Snapshotter interface {
+	SnapshotState() (json.RawMessage, error)
+	RestoreState(json.RawMessage) error
+}
+
+// RetryState is one pending action retry in serializable form.
+type RetryState struct {
+	Action  cluster.Action `json:"action"`
+	Attempt int            `json:"attempt"`
+	AtNS    int64          `json:"at_ns"`
+}
+
+// Snapshot is a complete engine checkpoint: everything a fresh process
+// needs to resume the replay mid-trace with zero decision drift. All
+// durations are int64 nanoseconds (never float seconds — exactness is the
+// whole point). Construction inputs (catalog, app specs, traces, utility
+// params, fault rates) are NOT included: a checkpoint is restored into an
+// engine rebuilt from the same configuration, and Restore cross-checks the
+// parts it can see (schema, strategy name, fault-plane presence).
+type Snapshot struct {
+	Schema   string `json:"schema"`
+	Strategy string `json:"strategy"`
+
+	// Replay cursor.
+	WindowIndex   int          `json:"window_index"`
+	TimeNS        int64        `json:"time_ns"`
+	TotalSearchNS int64        `json:"total_search_ns"`
+	Retries       []RetryState `json:"retries,omitempty"`
+
+	// Accumulated outputs.
+	Result *Result `json:"result"`
+
+	// Subsystem state.
+	Testbed *testbed.State    `json:"testbed"`
+	Fault   *fault.State      `json:"fault,omitempty"`
+	SLO     *slo.PersistState `json:"slo,omitempty"`
+	Decider json.RawMessage   `json:"decider,omitempty"`
+
+	// Cumulative registry counters the SLO engine's eval-cache-hit
+	// objective diffs window over window. A fresh process's registry
+	// starts at zero; without these the first post-restore diff would go
+	// negative, the objective would mark windows unmeasurable, and the SLO
+	// state would drift from an uninterrupted run's.
+	RegCacheHits   int64 `json:"reg_cache_hits"`
+	RegCacheMisses int64 `json:"reg_cache_misses"`
+}
+
+// Snapshot captures the engine's complete state between steps. The engine
+// keeps running — snapshotting is non-destructive — so a daemon can
+// checkpoint periodically while serving. Call it only between Step calls.
+func (e *Engine) Snapshot() (*Snapshot, error) {
+	tbState, err := e.tb.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	faultState, err := e.cfg.Fault.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("scenario: fault snapshot: %w", err)
+	}
+	s := &Snapshot{
+		Schema:        SnapshotSchema,
+		Strategy:      e.res.Strategy,
+		WindowIndex:   e.winIdx,
+		TimeNS:        int64(e.t),
+		TotalSearchNS: int64(e.totalSearch),
+		Testbed:       tbState,
+		Fault:         faultState,
+	}
+	for _, r := range e.retries {
+		s.Retries = append(s.Retries, RetryState{
+			Action:  r.action,
+			Attempt: r.attempt,
+			AtNS:    int64(r.at),
+		})
+	}
+	// Deep-copy the result through JSON: encoding/json round-trips float64
+	// via shortest-representation exactly, and time.Duration as int64
+	// nanoseconds, so the copy is bit-faithful and detached from the
+	// engine's live pointer.
+	raw, err := json.Marshal(e.res)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: result snapshot: %w", err)
+	}
+	var res Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return nil, fmt.Errorf("scenario: result snapshot: %w", err)
+	}
+	s.Result = &res
+	if sn, ok := e.d.(Snapshotter); ok {
+		s.Decider, err = sn.SnapshotState()
+		if err != nil {
+			return nil, fmt.Errorf("scenario: decider snapshot: %w", err)
+		}
+	}
+	if e.slo != nil {
+		s.SLO = e.slo.Persist()
+	}
+	if e.reg != nil {
+		s.RegCacheHits = e.reg.CounterValue("eval_cache_hits_total")
+		s.RegCacheMisses = e.reg.CounterValue("eval_cache_misses_total")
+	}
+	return s, nil
+}
+
+// Restore rewinds a freshly built engine to a checkpoint. The engine must
+// have been constructed with the same inputs (testbed catalog and specs,
+// strategy configuration, traces, utility params, fault options) as the
+// one that produced the snapshot; Restore verifies what it can — schema
+// version, strategy name, fault-plane presence — and trusts the caller for
+// the rest. After Restore, Step continues the replay as if the process had
+// never stopped.
+func (e *Engine) Restore(s *Snapshot) error {
+	if s == nil {
+		return fmt.Errorf("scenario: nil snapshot")
+	}
+	if s.Schema != SnapshotSchema {
+		return fmt.Errorf("scenario: unsupported checkpoint schema %q (want %q)", s.Schema, SnapshotSchema)
+	}
+	if s.Strategy != e.d.Name() {
+		return fmt.Errorf("scenario: checkpoint is for strategy %q, engine runs %q", s.Strategy, e.d.Name())
+	}
+	if (s.Fault != nil) != e.cfg.Fault.Enabled() {
+		return fmt.Errorf("scenario: checkpoint fault-injection state does not match engine configuration")
+	}
+	if s.Result == nil {
+		return fmt.Errorf("scenario: checkpoint has no result")
+	}
+	if err := e.tb.Restore(s.Testbed); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	if err := e.cfg.Fault.Restore(s.Fault); err != nil {
+		return fmt.Errorf("scenario: fault restore: %w", err)
+	}
+	if len(s.Decider) > 0 {
+		sn, ok := e.d.(Snapshotter)
+		if !ok {
+			return fmt.Errorf("scenario: checkpoint carries decider state but strategy %q cannot restore it", e.d.Name())
+		}
+		if err := sn.RestoreState(s.Decider); err != nil {
+			return fmt.Errorf("scenario: decider restore: %w", err)
+		}
+	}
+	// Detach the restored result from the snapshot via the same exact
+	// JSON round-trip used on capture.
+	raw, err := json.Marshal(s.Result)
+	if err != nil {
+		return fmt.Errorf("scenario: result restore: %w", err)
+	}
+	res := &Result{}
+	if err := json.Unmarshal(raw, res); err != nil {
+		return fmt.Errorf("scenario: result restore: %w", err)
+	}
+	if res.ViolationsByApp == nil {
+		res.ViolationsByApp = make(map[string]int)
+	}
+	e.res = res
+	e.winIdx = s.WindowIndex
+	e.t = time.Duration(s.TimeNS)
+	e.totalSearch = time.Duration(s.TotalSearchNS)
+	e.retries = nil
+	for _, r := range s.Retries {
+		e.retries = append(e.retries, pendingRetry{
+			action:  r.Action,
+			attempt: r.Attempt,
+			at:      time.Duration(r.AtNS),
+		})
+	}
+	if e.slo != nil {
+		e.slo.Restore(s.SLO)
+	}
+	// Re-seat the cumulative eval-cache counters the SLO engine diffs:
+	// Add the shortfall so a fresh registry reads exactly what the
+	// checkpointed one did (residual un-flushed evaluator stats were
+	// restored separately with the decider's cache state).
+	if e.reg != nil {
+		if d := s.RegCacheHits - e.reg.CounterValue("eval_cache_hits_total"); d != 0 {
+			e.reg.Counter("eval_cache_hits_total").Add(d)
+		}
+		if d := s.RegCacheMisses - e.reg.CounterValue("eval_cache_misses_total"); d != 0 {
+			e.reg.Counter("eval_cache_misses_total").Add(d)
+		}
+	}
+	// Republish the headline gauges so a freshly restored daemon's
+	// /metrics reflects the checkpoint instead of zero.
+	e.gCumUtil.Set(e.res.CumUtility)
+	return nil
+}

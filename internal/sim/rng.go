@@ -10,13 +10,25 @@ import (
 // so that adding draws in one subsystem does not perturb another.
 type RNG struct {
 	src *rand.Rand
+	pcg *rand.PCG
 }
 
 // NewRNG returns a stream seeded from the two words. The same seed pair
 // always yields the same sequence.
 func NewRNG(seed1, seed2 uint64) *RNG {
-	return &RNG{src: rand.New(rand.NewPCG(seed1, seed2))}
+	pcg := rand.NewPCG(seed1, seed2)
+	return &RNG{src: rand.New(pcg), pcg: pcg}
 }
+
+// Snapshot serializes the stream's current position (the underlying PCG
+// state). Restoring it resumes the draw sequence exactly where it left
+// off; rand/v2's distribution methods keep no state of their own, so the
+// PCG words are the complete stream identity.
+func (r *RNG) Snapshot() ([]byte, error) { return r.pcg.MarshalBinary() }
+
+// Restore rewinds (or fast-forwards) the stream to a position captured by
+// Snapshot.
+func (r *RNG) Restore(b []byte) error { return r.pcg.UnmarshalBinary(b) }
 
 // Split derives an independent stream from this one. The derived stream is a
 // pure function of the parent's current state, preserving determinism.

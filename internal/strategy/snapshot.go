@@ -1,0 +1,181 @@
+package strategy
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"github.com/mistralcloud/mistral/internal/core"
+	"github.com/mistralcloud/mistral/internal/predict"
+)
+
+// Every strategy implements scenario.Snapshotter: SnapshotState serializes
+// its complete mutable decision state — controller band/history/estimator
+// state, last-seen rates, per-level stats, and the contents of the
+// evaluator cache(s) it drives — and RestoreState rebuilds it in a freshly
+// constructed strategy so a checkpointed run resumes with zero decision
+// drift. Construction inputs (catalog, search options, host groups) are
+// not serialized; state restores into a strategy built from the same
+// configuration.
+
+// mistralState is the Mistral hierarchy's serialized form.
+type mistralState struct {
+	L3    *core.ControllerState  `json:"l3,omitempty"`
+	L2    core.ControllerState   `json:"l2"`
+	L1    []core.ControllerState `json:"l1"`
+	Stats [3]LevelStats          `json:"stats"`
+	Eval  core.CacheSnapshot     `json:"eval"`
+}
+
+// SnapshotState implements scenario.Snapshotter.
+func (m *Mistral) SnapshotState() (json.RawMessage, error) {
+	m.statsMu.Lock()
+	stats := m.stats
+	m.statsMu.Unlock()
+	s := mistralState{
+		L2:    m.l2.Persist(),
+		Stats: stats,
+		Eval:  m.eval.SnapshotCache(),
+	}
+	if m.l3 != nil {
+		l3 := m.l3.Persist()
+		s.L3 = &l3
+	}
+	for _, l1 := range m.l1 {
+		s.L1 = append(s.L1, l1.Persist())
+	}
+	return json.Marshal(s)
+}
+
+// RestoreState implements scenario.Snapshotter.
+func (m *Mistral) RestoreState(raw json.RawMessage) error {
+	var s mistralState
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return fmt.Errorf("strategy: mistral state: %w", err)
+	}
+	if (s.L3 != nil) != (m.l3 != nil) {
+		return fmt.Errorf("strategy: mistral state has 3rd level %v, hierarchy %v", s.L3 != nil, m.l3 != nil)
+	}
+	if len(s.L1) != len(m.l1) {
+		return fmt.Errorf("strategy: mistral state has %d 1st-level controllers, hierarchy has %d", len(s.L1), len(m.l1))
+	}
+	if s.L3 != nil {
+		m.l3.Restore(*s.L3)
+	}
+	m.l2.Restore(s.L2)
+	for i, cs := range s.L1 {
+		m.l1[i].Restore(cs)
+	}
+	m.statsMu.Lock()
+	m.stats = s.Stats
+	m.statsMu.Unlock()
+	m.eval.RestoreCache(s.Eval)
+	return nil
+}
+
+// perfPwrState is the Perf-Pwr baseline's serialized form.
+type perfPwrState struct {
+	Last map[string]float64 `json:"last,omitempty"`
+	Eval core.CacheSnapshot `json:"eval"`
+}
+
+// SnapshotState implements scenario.Snapshotter.
+func (p *PerfPwr) SnapshotState() (json.RawMessage, error) {
+	s := perfPwrState{Eval: p.eval.SnapshotCache()}
+	if p.last != nil {
+		s.Last = make(map[string]float64, len(p.last))
+		for k, v := range p.last {
+			s.Last[k] = v
+		}
+	}
+	return json.Marshal(s)
+}
+
+// RestoreState implements scenario.Snapshotter.
+func (p *PerfPwr) RestoreState(raw json.RawMessage) error {
+	var s perfPwrState
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return fmt.Errorf("strategy: perf-pwr state: %w", err)
+	}
+	p.last = nil
+	if s.Last != nil {
+		p.last = make(map[string]float64, len(s.Last))
+		for k, v := range s.Last {
+			p.last[k] = v
+		}
+	}
+	p.eval.RestoreCache(s.Eval)
+	return nil
+}
+
+// perfCostState is the Perf-Cost baseline's serialized form. Eval is the
+// baseline's private power-blind evaluator, not the shared one.
+type perfCostState struct {
+	Ctrl core.ControllerState `json:"ctrl"`
+	Eval core.CacheSnapshot   `json:"eval"`
+}
+
+// SnapshotState implements scenario.Snapshotter.
+func (p *PerfCost) SnapshotState() (json.RawMessage, error) {
+	return json.Marshal(perfCostState{
+		Ctrl: p.ctrl.Persist(),
+		Eval: p.eval.SnapshotCache(),
+	})
+}
+
+// RestoreState implements scenario.Snapshotter.
+func (p *PerfCost) RestoreState(raw json.RawMessage) error {
+	var s perfCostState
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return fmt.Errorf("strategy: perf-cost state: %w", err)
+	}
+	p.ctrl.Restore(s.Ctrl)
+	p.eval.RestoreCache(s.Eval)
+	return nil
+}
+
+// pwrCostState is the Pwr-Cost baseline's serialized form.
+type pwrCostState struct {
+	Est         predict.PersistState `json:"est"`
+	Last        map[string]float64   `json:"last,omitempty"`
+	BandStartNS int64                `json:"band_start_ns"`
+	Started     bool                 `json:"started"`
+	Eval        core.CacheSnapshot   `json:"eval"`
+}
+
+// SnapshotState implements scenario.Snapshotter.
+func (p *PwrCost) SnapshotState() (json.RawMessage, error) {
+	s := pwrCostState{
+		Est:         p.est.Persist(),
+		BandStartNS: int64(p.bandStart),
+		Started:     p.started,
+		Eval:        p.eval.SnapshotCache(),
+	}
+	if p.last != nil {
+		s.Last = make(map[string]float64, len(p.last))
+		for k, v := range p.last {
+			s.Last[k] = v
+		}
+	}
+	return json.Marshal(s)
+}
+
+// RestoreState implements scenario.Snapshotter.
+func (p *PwrCost) RestoreState(raw json.RawMessage) error {
+	var s pwrCostState
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return fmt.Errorf("strategy: pwr-cost state: %w", err)
+	}
+	p.est.Restore(s.Est)
+	p.bandStart = time.Duration(s.BandStartNS)
+	p.started = s.Started
+	p.last = nil
+	if s.Last != nil {
+		p.last = make(map[string]float64, len(s.Last))
+		for k, v := range s.Last {
+			p.last[k] = v
+		}
+	}
+	p.eval.RestoreCache(s.Eval)
+	return nil
+}
