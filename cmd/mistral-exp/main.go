@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	mistral-exp [-run all|fig1|...|table1|faultsweep|ablations|bench]
+//	mistral-exp [-run all|fig1|...|table1|faultsweep|ablations|chaossweep|bench]
 //	            [-seed N] [-fault-seed N] [-csv] [-outdir DIR] [-quick] [-workers N]
 //	            [-provenance FILE] [-trace FILE] [-metrics FILE]
 //	            [-log-level LEVEL] [-pprof ADDR]
@@ -61,9 +61,9 @@ func (e *emitter) emit(name string, tables []experiments.Table) error {
 
 func run() (err error) {
 	var (
-		which       = flag.String("run", "all", "which experiment: all, fig1, fig3, fig4, fig5, fig6, fig7, fig7m, fig89, fig10, table1, faultsweep, ablations, bench (bench is not part of all)")
+		which       = flag.String("run", "all", "which experiment: all, fig1, fig3, fig4, fig5, fig6, fig7, fig7m, fig89, fig10, table1, faultsweep, ablations, chaossweep, bench (chaossweep and bench are not part of all)")
 		seed        = flag.Uint64("seed", 42, "random seed")
-		faultSeed   = flag.Uint64("fault-seed", 0, "fault schedule seed for faultsweep (0 = use -seed)")
+		faultSeed   = flag.Uint64("fault-seed", 0, "fault schedule seed for faultsweep/chaossweep (0 = use -seed)")
 		asCSV       = flag.Bool("csv", false, "emit CSV instead of ASCII tables")
 		outdir      = flag.String("outdir", "", "write outputs to this directory instead of stdout")
 		quick       = flag.Bool("quick", false, "cheaper variants of the slow experiments (shorter replays, fewer trials)")
@@ -214,6 +214,28 @@ func run() (err error) {
 		}
 		if err := e.emit("faultsweep", r.Tables()); err != nil {
 			return err
+		}
+	}
+	// Like bench, chaossweep is opt-in: four full replays under maximum
+	// chaos are too slow to ride along with every "all" run.
+	if strings.EqualFold(*which, "chaossweep") {
+		opts := experiments.ChaosSweepOptions{Seed: *faultSeed, Workers: *workers}
+		if *faultSeed == 0 {
+			opts.Seed = *seed
+		}
+		if *quick {
+			opts.Rates = []float64{0.30}
+			opts.Duration = time.Hour
+		}
+		r, err := mistral.RunChaosSweep(opts)
+		if err != nil {
+			return fmt.Errorf("chaossweep: %w", err)
+		}
+		if err := e.emit("chaossweep", r.Tables()); err != nil {
+			return err
+		}
+		if v := r.Violations(); len(v) > 0 {
+			return fmt.Errorf("chaossweep: %d safety invariant breach(es); first: %s", len(v), v[0])
 		}
 	}
 	if want("ablations") {

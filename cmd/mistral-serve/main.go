@@ -30,14 +30,17 @@
 //	              [-strategy mistral|naive|perf-pwr|perf-cost|pwr-cost]
 //	              [-apps N] [-hosts N] [-seed N] [-zones N] [-workers N]
 //	              [-dvfs] [-fault-rate P] [-fault-seed N]
-//	              [-log-level LEVEL] [-resume FILE]
+//	              [-exec-policy fail-forward|rollback] [-guard]
+//	              [-log-level LEVEL] [-resume FILE] [-auto-checkpoint FILE]
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -50,10 +53,12 @@ import (
 	"github.com/mistralcloud/mistral/internal/checkpoint"
 	"github.com/mistralcloud/mistral/internal/experiments"
 	"github.com/mistralcloud/mistral/internal/fault"
+	"github.com/mistralcloud/mistral/internal/guard"
 	"github.com/mistralcloud/mistral/internal/obs"
 	"github.com/mistralcloud/mistral/internal/provenance"
 	"github.com/mistralcloud/mistral/internal/scenario"
 	"github.com/mistralcloud/mistral/internal/strategy"
+	"github.com/mistralcloud/mistral/internal/testbed"
 )
 
 func main() {
@@ -77,6 +82,9 @@ func run() (err error) {
 		faultSeed    = flag.Uint64("fault-seed", 0, "fault schedule seed (0 = use -seed)")
 		logLevel     = flag.String("log-level", "", "structured logging to stderr: debug, info, warn, error")
 		resumePath   = flag.String("resume", "", "restore the engine from a checkpoint FILE at startup; the checkpoint's recorded environment overrides the corresponding flags")
+		execPolicy   = flag.String("exec-policy", "fail-forward", "plan execution policy: fail-forward or rollback (compensate applied steps on non-retryable failure)")
+		guardOn      = flag.Bool("guard", false, "enable the admission guard and adaptation circuit breaker")
+		autoCkPath   = flag.String("auto-checkpoint", "", "on SIGTERM/SIGINT, drain the in-flight window and write a final checkpoint to FILE before exiting")
 	)
 	flag.Parse()
 	if *faultRate < 0 || *faultRate > 1 {
@@ -85,12 +93,18 @@ func run() (err error) {
 	if *faultSeed == 0 {
 		*faultSeed = *seed
 	}
+	exec, err := testbed.ParseExecPolicy(*execPolicy)
+	if err != nil {
+		return err
+	}
 
 	s := &server{
 		strategyName: strings.ToLower(*strategyName),
 		workers:      *workers,
 		faultRate:    *faultRate,
 		faultSeed:    *faultSeed,
+		execPolicy:   exec,
+		guardOn:      *guardOn,
 		labOpts:      experiments.LabOptions{NumApps: *numApps, NumHosts: *numHosts, Seed: *seed, Zones: *zones},
 	}
 	if *dvfs {
@@ -139,6 +153,20 @@ func run() (err error) {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	signal.Stop(sig)
+	fmt.Fprintln(os.Stderr, "mistral-serve: draining")
+	// Acquiring the engine lock waits for any in-flight window batch to
+	// finish — a SIGTERM mid-window never truncates a decision. The lock is
+	// deliberately held through exit so no request admitted during listener
+	// shutdown can advance the engine past the final checkpoint.
+	s.mu.Lock()
+	if *autoCkPath != "" {
+		if err := s.writeCheckpointLocked(*autoCkPath); err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("auto-checkpoint: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "mistral-serve: checkpoint written to %s (window %d)\n", *autoCkPath, s.engine.WindowIndex())
+	}
 	fmt.Fprintln(os.Stderr, "mistral-serve: shutting down")
 	return nil
 }
@@ -156,11 +184,14 @@ type server struct {
 	workers      int
 	faultRate    float64
 	faultSeed    uint64
+	execPolicy   testbed.ExecPolicy
+	guardOn      bool
 	labOpts      experiments.LabOptions
 
 	// Live engine state, rebuilt on fleet changes and restores.
 	lab     *experiments.Lab
 	inj     *fault.Injector
+	guard   *guard.Guard
 	decider mistral.Decider
 	engine  *scenario.Engine
 	provBuf *lockedBuffer
@@ -199,9 +230,13 @@ func (s *server) rebuild() error {
 		return err
 	}
 	inj := fault.New(fault.Profile(s.faultRate, s.faultSeed))
-	tb, err := lab.NewTestbedWithFaults(inj)
+	tb, err := lab.NewTestbedExec(inj, s.execPolicy)
 	if err != nil {
 		return err
+	}
+	var g *guard.Guard
+	if s.guardOn {
+		g = guard.New(guard.Config{Obs: s.ob}, lab.Cat)
 	}
 	eval, err := lab.NewEvaluator()
 	if err != nil {
@@ -238,12 +273,17 @@ func (s *server) rebuild() error {
 		Workers:    s.workers,
 		Obs:        s.ob,
 		Fault:      inj,
+		Guard:      g,
 		Provenance: rec,
+		// The daemon's flight recorder always carries per-step outcomes:
+		// a skipped or rolled-back step's cause is an operator question,
+		// and the daemon has no byte-compat goldens to preserve.
+		StepProvenance: true,
 	})
 	if err != nil {
 		return err
 	}
-	s.lab, s.inj, s.decider, s.engine = lab, inj, decider, engine
+	s.lab, s.inj, s.guard, s.decider, s.engine = lab, inj, g, decider, engine
 	s.provBuf, s.rec = provBuf, rec
 	s.windows = nil
 	return nil
@@ -252,10 +292,16 @@ func (s *server) rebuild() error {
 // restoreFrom adopts a checkpoint's recipe, rebuilds the environment from
 // it, and restores the engine state.
 func (s *server) restoreFrom(ck *checkpoint.File) error {
+	exec, err := testbed.ParseExecPolicy(ck.ExecPolicy)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
 	s.strategyName = ck.Strategy
 	s.workers = ck.Workers
 	s.faultRate = ck.FaultRate
 	s.faultSeed = ck.FaultSeed
+	s.execPolicy = exec
+	s.guardOn = ck.Guard
 	s.labOpts = ck.Lab
 	if err := s.rebuild(); err != nil {
 		return err
@@ -315,21 +361,24 @@ type stateResp struct {
 	CumUtility  float64  `json:"cum_utility"`
 	FaultRate   float64  `json:"fault_rate,omitempty"`
 	Workers     int      `json:"workers"`
+	ExecPolicy  string   `json:"exec_policy"`
+	Guard       bool     `json:"guard,omitempty"`
+	Breaker     string   `json:"breaker,omitempty"`
 }
 
 func (s *server) routes() map[string]http.Handler {
 	return map[string]http.Handler{
-		"/v1/state":        s.handler(s.handleState),
-		"/v1/window":       s.handler(s.handleWindow),
-		"/v1/decisions":    s.handler(s.handleDecisions),
+		"/v1/state":        s.handler(http.MethodGet, s.handleState),
+		"/v1/window":       s.handler(http.MethodPost, s.handleWindow),
+		"/v1/decisions":    s.handler(http.MethodGet, s.handleDecisions),
 		"/v1/provenance":   http.HandlerFunc(s.handleProvenance),
-		"/v1/fleet":        s.handler(s.handleFleet),
-		"/v1/apps/admit":   s.handler(s.deltaHandler(1, 0)),
-		"/v1/apps/remove":  s.handler(s.deltaHandler(-1, 0)),
-		"/v1/hosts/admit":  s.handler(s.deltaHandler(0, 1)),
-		"/v1/hosts/remove": s.handler(s.deltaHandler(0, -1)),
-		"/v1/checkpoint":   s.handler(s.handleCheckpoint),
-		"/v1/restore":      s.handler(s.handleRestore),
+		"/v1/fleet":        s.handler(http.MethodPost, s.handleFleet),
+		"/v1/apps/admit":   s.handler(http.MethodPost, s.deltaHandler(1, 0)),
+		"/v1/apps/remove":  s.handler(http.MethodPost, s.deltaHandler(-1, 0)),
+		"/v1/hosts/admit":  s.handler(http.MethodPost, s.deltaHandler(0, 1)),
+		"/v1/hosts/remove": s.handler(http.MethodPost, s.deltaHandler(0, -1)),
+		"/v1/checkpoint":   s.handler(http.MethodPost, s.handleCheckpoint),
+		"/v1/restore":      s.handler(http.MethodPost, s.handleRestore),
 	}
 }
 
@@ -345,28 +394,76 @@ func badRequest(format string, args ...any) *apiError {
 	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
-// handler wraps an endpoint with the engine lock, JSON encoding, and
-// uniform error reporting.
-func (s *server) handler(fn func(r *http.Request) (any, error)) http.Handler {
+// maxBodyBytes bounds every control-API request body. The largest
+// legitimate request is a rates map over four applications — a megabyte is
+// orders of magnitude of headroom, and everything past it is abuse.
+const maxBodyBytes = 1 << 20
+
+// decodeJSON strictly decodes a bounded request body: unknown fields and
+// trailing data are errors (they always indicate a malformed client, and
+// silently ignoring them turns typos into no-ops), while an entirely empty
+// body means "all defaults" and stays legal. The body is already wrapped
+// in a MaxBytesReader by the handler plumbing.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return &apiError{status: http.StatusRequestEntityTooLarge,
+				msg: fmt.Sprintf("request body exceeds %d bytes", mbe.Limit)}
+		}
+		return badRequest("bad request body: %v", err)
+	}
+	if dec.More() {
+		return badRequest("bad request body: trailing data after JSON value")
+	}
+	return nil
+}
+
+// handler wraps an endpoint with method and media-type enforcement, the
+// engine lock, a request-body cap, JSON encoding, and uniform structured
+// error reporting.
+func (s *server) handler(method string, fn func(r *http.Request) (any, error)) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeErr := func(status int, msg string) {
+			w.WriteHeader(status)
+			json.NewEncoder(w).Encode(map[string]string{"error": msg})
+		}
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			writeErr(http.StatusMethodNotAllowed, method+" required")
+			return
+		}
+		if method == http.MethodPost {
+			// Accept application/json (with any parameters) or an absent
+			// Content-Type; anything else is a client speaking the wrong
+			// protocol.
+			if ct := r.Header.Get("Content-Type"); ct != "" {
+				if mt := strings.TrimSpace(strings.SplitN(ct, ";", 2)[0]); !strings.EqualFold(mt, "application/json") {
+					writeErr(http.StatusUnsupportedMediaType, fmt.Sprintf("unsupported content type %q (want application/json)", mt))
+					return
+				}
+			}
+			r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		}
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		w.Header().Set("Content-Type", "application/json")
 		if s.engine == nil {
-			w.WriteHeader(http.StatusServiceUnavailable)
-			json.NewEncoder(w).Encode(map[string]string{"error": "engine not ready"})
+			writeErr(http.StatusServiceUnavailable, "engine not ready")
 			return
 		}
 		out, err := fn(r)
 		if err != nil {
 			status := http.StatusInternalServerError
-			var ae *apiError
-			if e, ok := err.(*apiError); ok {
-				ae = e
+			if ae, ok := err.(*apiError); ok {
 				status = ae.status
 			}
-			w.WriteHeader(status)
-			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+			writeErr(status, err.Error())
 			return
 		}
 		json.NewEncoder(w).Encode(out)
@@ -374,7 +471,7 @@ func (s *server) handler(fn func(r *http.Request) (any, error)) http.Handler {
 }
 
 func (s *server) stateLocked() stateResp {
-	return stateResp{
+	st := stateResp{
 		Strategy:    s.engine.Result().Strategy,
 		Apps:        append([]string(nil), s.lab.AppNames...),
 		Hosts:       s.lab.Opts.NumHosts,
@@ -384,7 +481,13 @@ func (s *server) stateLocked() stateResp {
 		CumUtility:  s.engine.Result().CumUtility,
 		FaultRate:   s.faultRate,
 		Workers:     s.workers,
+		ExecPolicy:  s.execPolicy.String(),
 	}
+	if s.guardOn {
+		st.Guard = true
+		st.Breaker = s.guard.Breaker().String()
+	}
+	return st
 }
 
 func (s *server) handleState(r *http.Request) (any, error) {
@@ -395,18 +498,23 @@ func (s *server) handleState(r *http.Request) (any, error) {
 // the given rates, {"windows":N} runs N windows off the configured traces,
 // and {} runs one trace window.
 func (s *server) handleWindow(r *http.Request) (any, error) {
-	if r.Method != http.MethodPost {
-		return nil, &apiError{status: http.StatusMethodNotAllowed, msg: "POST required"}
-	}
 	var req struct {
 		Rates   map[string]float64 `json:"rates"`
 		Windows int                `json:"windows"`
+		Window  *int               `json:"window"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		return nil, badRequest("bad request body: %v", err)
+	if err := decodeJSON(r, &req); err != nil {
+		return nil, err
 	}
 	if req.Rates != nil && req.Windows > 1 {
 		return nil, badRequest("rates and windows are mutually exclusive")
+	}
+	// An optional sequence number makes the step idempotent against retries:
+	// a client that resends after a lost response (or races another client)
+	// gets a conflict instead of silently double-advancing the replay.
+	if req.Window != nil && *req.Window != s.engine.WindowIndex() {
+		return nil, &apiError{status: http.StatusConflict,
+			msg: fmt.Sprintf("window %d out of sequence (next window is %d)", *req.Window, s.engine.WindowIndex())}
 	}
 	n := req.Windows
 	if n <= 0 {
@@ -458,6 +566,13 @@ func (s *server) handleDecisions(r *http.Request) (any, error) {
 }
 
 func (s *server) handleProvenance(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		json.NewEncoder(w).Encode(map[string]string{"error": "GET required"})
+		return
+	}
 	s.mu.Lock()
 	buf := s.provBuf
 	s.mu.Unlock()
@@ -470,15 +585,12 @@ func (s *server) handleProvenance(w http.ResponseWriter, r *http.Request) {
 // handleFleet declaratively resizes the fleet: {"apps":N,"hosts":M}.
 // Rebuilding resets control state — calibration is per-fleet.
 func (s *server) handleFleet(r *http.Request) (any, error) {
-	if r.Method != http.MethodPost {
-		return nil, &apiError{status: http.StatusMethodNotAllowed, msg: "POST required"}
-	}
 	var req struct {
 		Apps  int `json:"apps"`
 		Hosts int `json:"hosts"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		return nil, badRequest("bad request body: %v", err)
+	if err := decodeJSON(r, &req); err != nil {
+		return nil, err
 	}
 	if req.Apps == 0 {
 		req.Apps = s.lab.Opts.NumApps
@@ -489,9 +601,6 @@ func (s *server) handleFleet(r *http.Request) (any, error) {
 // deltaHandler returns an endpoint that admits or removes one app or host.
 func (s *server) deltaHandler(dApps, dHosts int) func(r *http.Request) (any, error) {
 	return func(r *http.Request) (any, error) {
-		if r.Method != http.MethodPost {
-			return nil, &apiError{status: http.StatusMethodNotAllowed, msg: "POST required"}
-		}
 		apps := s.lab.Opts.NumApps + dApps
 		hosts := s.lab.Opts.NumHosts
 		if dHosts != 0 {
@@ -522,46 +631,48 @@ func (s *server) resize(apps, hosts int) (any, error) {
 	return s.stateLocked(), nil
 }
 
-func (s *server) handleCheckpoint(r *http.Request) (any, error) {
-	if r.Method != http.MethodPost {
-		return nil, &apiError{status: http.StatusMethodNotAllowed, msg: "POST required"}
+// writeCheckpointLocked snapshots the engine and persists the full
+// checkpoint envelope; callers hold s.mu.
+func (s *server) writeCheckpointLocked(path string) error {
+	snap, err := s.engine.Snapshot()
+	if err != nil {
+		return err
 	}
+	return checkpoint.Write(path, &checkpoint.File{
+		Schema:     checkpoint.Schema,
+		Strategy:   s.strategyName,
+		Workers:    s.workers,
+		Lab:        s.labOpts,
+		FaultRate:  s.faultRate,
+		FaultSeed:  s.faultSeed,
+		ExecPolicy: s.execPolicy.String(),
+		Guard:      s.guardOn,
+		Scenario:   snap,
+	})
+}
+
+func (s *server) handleCheckpoint(r *http.Request) (any, error) {
 	var req struct {
 		Path string `json:"path"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		return nil, badRequest("bad request body: %v", err)
+	if err := decodeJSON(r, &req); err != nil {
+		return nil, err
 	}
 	if req.Path == "" {
 		return nil, badRequest("path required")
 	}
-	snap, err := s.engine.Snapshot()
-	if err != nil {
-		return nil, err
-	}
-	if err := checkpoint.Write(req.Path, &checkpoint.File{
-		Schema:    checkpoint.Schema,
-		Strategy:  s.strategyName,
-		Workers:   s.workers,
-		Lab:       s.labOpts,
-		FaultRate: s.faultRate,
-		FaultSeed: s.faultSeed,
-		Scenario:  snap,
-	}); err != nil {
+	if err := s.writeCheckpointLocked(req.Path); err != nil {
 		return nil, err
 	}
 	return map[string]any{"path": req.Path, "window": s.engine.WindowIndex(), "time_sec": s.engine.Now().Seconds()}, nil
 }
 
 func (s *server) handleRestore(r *http.Request) (any, error) {
-	if r.Method != http.MethodPost {
-		return nil, &apiError{status: http.StatusMethodNotAllowed, msg: "POST required"}
-	}
 	var req struct {
 		Path string `json:"path"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		return nil, badRequest("bad request body: %v", err)
+	if err := decodeJSON(r, &req); err != nil {
+		return nil, err
 	}
 	if req.Path == "" {
 		return nil, badRequest("path required")

@@ -1,0 +1,261 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/mistralcloud/mistral/internal/experiments"
+	"github.com/mistralcloud/mistral/internal/testbed"
+)
+
+// newTestServer builds a 1-app daemon on the cheap perf-pwr strategy and
+// mounts the control API exactly as the obs plane would.
+func newTestServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	s := &server{
+		strategyName: "perf-pwr",
+		workers:      1,
+		execPolicy:   testbed.FailForward,
+		labOpts:      experiments.LabOptions{NumApps: 1, Seed: 7},
+	}
+	if err := s.rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	for path, h := range s.routes() {
+		mux.Handle(path, h)
+	}
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// do issues a request and returns status, decoded error message (if the
+// body carries one), and raw body.
+func do(t *testing.T, req *http.Request) (int, string, []byte) {
+	t.Helper()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	json.Unmarshal(body, &e)
+	return resp.StatusCode, e.Error, body
+}
+
+func post(t *testing.T, url, contentType, body string) *http.Request {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	return req
+}
+
+func TestServeMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t)
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/window", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/window = %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != http.MethodPost {
+		t.Errorf("Allow = %q, want POST", allow)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Errorf("405 body not a structured error (err=%v, body=%+v)", err, e)
+	}
+
+	// Writes on a read endpoint are refused the same way.
+	status, msg, _ := do(t, post(t, ts.URL+"/v1/provenance", "application/json", "{}"))
+	if status != http.StatusMethodNotAllowed || msg == "" {
+		t.Errorf("POST /v1/provenance = %d %q, want 405 with error", status, msg)
+	}
+	status, _, _ = do(t, post(t, ts.URL+"/v1/state", "application/json", "{}"))
+	if status != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/state = %d, want 405", status)
+	}
+}
+
+func TestServeContentTypeEnforced(t *testing.T) {
+	_, ts := newTestServer(t)
+	status, msg, _ := do(t, post(t, ts.URL+"/v1/window", "text/plain", "{}"))
+	if status != http.StatusUnsupportedMediaType {
+		t.Errorf("text/plain POST = %d, want 415", status)
+	}
+	if !strings.Contains(msg, "application/json") {
+		t.Errorf("415 error %q does not name the expected type", msg)
+	}
+	// application/json with parameters and an absent Content-Type both pass.
+	if status, msg, _ := do(t, post(t, ts.URL+"/v1/window", "application/json; charset=utf-8", "{}")); status != http.StatusOK {
+		t.Errorf("json-with-params POST = %d (%s), want 200", status, msg)
+	}
+	if status, msg, _ := do(t, post(t, ts.URL+"/v1/window", "", "{}")); status != http.StatusOK {
+		t.Errorf("no-content-type POST = %d (%s), want 200", status, msg)
+	}
+}
+
+func TestServeStrictBodyValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name, body string
+	}{
+		{"unknown field", `{"ratez":{"rubis1":50}}`},
+		{"trailing data", `{} {"windows":1}`},
+		{"malformed", `{"windows":`},
+		{"wrong type", `{"windows":"three"}`},
+	}
+	for _, tc := range cases {
+		status, msg, _ := do(t, post(t, ts.URL+"/v1/window", "application/json", tc.body))
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", tc.name, status)
+		}
+		if msg == "" {
+			t.Errorf("%s: no structured error message", tc.name)
+		}
+	}
+}
+
+func TestServeBodyTooLarge(t *testing.T) {
+	_, ts := newTestServer(t)
+	huge := `{"rates":{"` + strings.Repeat("x", maxBodyBytes) + `":1}}`
+	status, msg, _ := do(t, post(t, ts.URL+"/v1/window", "application/json", huge))
+	if status != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversize POST = %d (%s), want 413", status, msg)
+	}
+}
+
+func TestServeWindowSequencing(t *testing.T) {
+	s, ts := newTestServer(t)
+	// The correct sequence number is accepted...
+	status, msg, _ := do(t, post(t, ts.URL+"/v1/window", "application/json", `{"window":0}`))
+	if status != http.StatusOK {
+		t.Fatalf(`{"window":0} = %d (%s), want 200`, status, msg)
+	}
+	// ...a duplicate of the consumed number conflicts...
+	status, msg, _ = do(t, post(t, ts.URL+"/v1/window", "application/json", `{"window":0}`))
+	if status != http.StatusConflict {
+		t.Errorf("duplicate window = %d, want 409", status)
+	}
+	if !strings.Contains(msg, "out of sequence") {
+		t.Errorf("409 error %q does not explain the conflict", msg)
+	}
+	// ...and so does skipping ahead.
+	status, _, _ = do(t, post(t, ts.URL+"/v1/window", "application/json", `{"window":5}`))
+	if status != http.StatusConflict {
+		t.Errorf("future window = %d, want 409", status)
+	}
+	s.mu.Lock()
+	if got := s.engine.WindowIndex(); got != 1 {
+		t.Errorf("engine advanced to window %d, want 1 (conflicts must not step)", got)
+	}
+	s.mu.Unlock()
+}
+
+func TestServeStateReportsSafetyPlanes(t *testing.T) {
+	_, ts := newTestServer(t)
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/state", nil)
+	_, _, body := do(t, req)
+	var st stateResp
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ExecPolicy != "fail-forward" {
+		t.Errorf("exec_policy = %q, want fail-forward", st.ExecPolicy)
+	}
+	if st.Guard || st.Breaker != "" {
+		t.Errorf("guard-off daemon reports guard=%v breaker=%q", st.Guard, st.Breaker)
+	}
+}
+
+func TestServeGuardedStateAndBreaker(t *testing.T) {
+	s := &server{
+		strategyName: "perf-pwr",
+		workers:      1,
+		execPolicy:   testbed.RollbackOnFailure,
+		guardOn:      true,
+		labOpts:      experiments.LabOptions{NumApps: 1, Seed: 7},
+	}
+	if err := s.rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.stateLocked()
+	if !st.Guard || st.Breaker != "closed" {
+		t.Errorf("guarded daemon state guard=%v breaker=%q, want true/closed", st.Guard, st.Breaker)
+	}
+	if st.ExecPolicy != "rollback-on-failure" {
+		t.Errorf("exec_policy = %q, want rollback-on-failure", st.ExecPolicy)
+	}
+}
+
+func TestServeCheckpointRoundTripKeepsRecipe(t *testing.T) {
+	s, ts := newTestServer(t)
+	for i := 0; i < 3; i++ {
+		if status, msg, _ := do(t, post(t, ts.URL+"/v1/window", "application/json", "{}")); status != http.StatusOK {
+			t.Fatalf("window %d: %d (%s)", i, status, msg)
+		}
+	}
+	ck := t.TempDir() + "/ck.json"
+	body := fmt.Sprintf(`{"path":%q}`, ck)
+	if status, msg, _ := do(t, post(t, ts.URL+"/v1/checkpoint", "application/json", body)); status != http.StatusOK {
+		t.Fatalf("checkpoint: %d (%s)", status, msg)
+	}
+	// A fresh daemon restoring the checkpoint resumes at the same window
+	// with the same recipe.
+	status, _, out := do(t, post(t, ts.URL+"/v1/restore", "application/json", body))
+	if status != http.StatusOK {
+		t.Fatalf("restore: %d (%s)", status, out)
+	}
+	var st stateResp
+	if err := json.Unmarshal(out, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Window != 3 || st.ExecPolicy != "fail-forward" {
+		t.Errorf("restored state window=%d exec=%q, want 3/fail-forward", st.Window, st.ExecPolicy)
+	}
+	s.mu.Lock()
+	if got := s.engine.WindowIndex(); got != 3 {
+		t.Errorf("restored engine at window %d, want 3", got)
+	}
+	s.mu.Unlock()
+}
+
+func TestServeNotReady(t *testing.T) {
+	s := &server{strategyName: "perf-pwr", execPolicy: testbed.FailForward}
+	mux := http.NewServeMux()
+	for path, h := range s.routes() {
+		mux.Handle(path, h)
+	}
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/state", nil)
+	status, msg, _ := do(t, req)
+	if status != http.StatusServiceUnavailable {
+		t.Errorf("engine-less state = %d, want 503", status)
+	}
+	if msg == "" {
+		t.Error("503 without structured error")
+	}
+}

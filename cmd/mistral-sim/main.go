@@ -10,6 +10,7 @@
 //	            [-log-level LEVEL] [-pprof ADDR] [-bench-json FILE]
 //	            [-slo] [-slo-exit] [-profile-dir DIR] [-profile-budget D]
 //	            [-profile-max N] [-checkpoint FILE] [-resume FILE]
+//	            [-exec-policy fail-forward|rollback] [-guard] [-step-provenance]
 package main
 
 import (
@@ -25,11 +26,13 @@ import (
 	"github.com/mistralcloud/mistral/internal/checkpoint"
 	"github.com/mistralcloud/mistral/internal/experiments"
 	"github.com/mistralcloud/mistral/internal/fault"
+	"github.com/mistralcloud/mistral/internal/guard"
 	"github.com/mistralcloud/mistral/internal/obs"
 	"github.com/mistralcloud/mistral/internal/obs/slo"
 	"github.com/mistralcloud/mistral/internal/provenance"
 	"github.com/mistralcloud/mistral/internal/scenario"
 	"github.com/mistralcloud/mistral/internal/strategy"
+	"github.com/mistralcloud/mistral/internal/testbed"
 )
 
 func main() {
@@ -64,6 +67,9 @@ func run() (err error) {
 		sloExit      = flag.Bool("slo-exit", false, "exit nonzero when any SLO objective's error budget is exhausted at the end of the run (for CI gates; implies the SLO engine)")
 		ckptPath     = flag.String("checkpoint", "", "write an engine checkpoint to FILE when the run completes (resume with -resume)")
 		resumePath   = flag.String("resume", "", "restore the engine from a checkpoint FILE and continue the replay; the checkpoint's recorded environment (apps, seed, strategy, workers, fault profile) overrides the corresponding flags")
+		execPolicy   = flag.String("exec-policy", "fail-forward", "plan execution policy: fail-forward (keep the applied prefix on failure) or rollback (compensate it, restoring the pre-plan configuration)")
+		guardOn      = flag.Bool("guard", false, "run every plan through the admission guard and adaptation circuit breaker before execution")
+		stepProv     = flag.Bool("step-provenance", false, "include per-step execution outcomes (applied/failed/skipped/rolled-back, with causes) in each provenance record (with -provenance)")
 	)
 	flag.Parse()
 
@@ -100,6 +106,12 @@ func run() (err error) {
 		*workers = ckFile.Workers
 		*faultRate = ckFile.FaultRate
 		*faultSeed = ckFile.FaultSeed
+		*execPolicy = ckFile.ExecPolicy
+		*guardOn = ckFile.Guard
+	}
+	exec, err := testbed.ParseExecPolicy(*execPolicy)
+	if err != nil {
+		return err
 	}
 
 	labOpts := experiments.LabOptions{NumApps: *numApps, Seed: *seed, Zones: *zones}
@@ -120,9 +132,13 @@ func run() (err error) {
 		*faultSeed = *seed
 	}
 	inj := fault.New(fault.Profile(*faultRate, *faultSeed))
-	tb, err := lab.NewTestbedWithFaults(inj)
+	tb, err := lab.NewTestbedExec(inj, exec)
 	if err != nil {
 		return err
+	}
+	var grd *guard.Guard
+	if *guardOn {
+		grd = guard.New(guard.Config{Obs: ob}, lab.Cat)
 	}
 	var rec *provenance.Recorder
 	if *provPath != "" {
@@ -186,15 +202,17 @@ func run() (err error) {
 		runtime.ReadMemStats(&mem0)
 	}
 	engine, err := scenario.NewEngine(tb, decider, scenario.RunConfig{
-		Traces:     lab.Traces,
-		Duration:   *duration,
-		Interval:   lab.Util.MonitoringInterval,
-		Utility:    lab.Util,
-		Workers:    *workers,
-		Fault:      inj,
-		Provenance: rec,
-		SLO:        eng,
-		Profile:    prof,
+		Traces:         lab.Traces,
+		Duration:       *duration,
+		Interval:       lab.Util.MonitoringInterval,
+		Utility:        lab.Util,
+		Workers:        *workers,
+		Fault:          inj,
+		Guard:          grd,
+		Provenance:     rec,
+		StepProvenance: *stepProv,
+		SLO:            eng,
+		Profile:        prof,
 	})
 	if err != nil {
 		return err
@@ -219,13 +237,15 @@ func run() (err error) {
 			return err
 		}
 		if err := checkpoint.Write(*ckptPath, &checkpoint.File{
-			Schema:    checkpoint.Schema,
-			Strategy:  strings.ToLower(*strategyName),
-			Workers:   *workers,
-			Lab:       labOpts,
-			FaultRate: *faultRate,
-			FaultSeed: *faultSeed,
-			Scenario:  snap,
+			Schema:     checkpoint.Schema,
+			Strategy:   strings.ToLower(*strategyName),
+			Workers:    *workers,
+			Lab:        labOpts,
+			FaultRate:  *faultRate,
+			FaultSeed:  *faultSeed,
+			ExecPolicy: exec.String(),
+			Guard:      *guardOn,
+			Scenario:   snap,
 		}); err != nil {
 			return err
 		}
@@ -275,6 +295,17 @@ func run() (err error) {
 			*faultRate*100, *faultSeed, counts.Injected,
 			res.DegradedWindows, res.FailedActions, res.Retries, res.SkippedActions,
 			res.HostCrashes, res.SensorDrops)
+	}
+	// These lines only appear when their (default-off) planes are on, so a
+	// default invocation's stderr stays byte-identical across versions.
+	if exec == testbed.RollbackOnFailure {
+		fmt.Fprintf(os.Stderr, "rollback: %d plan(s) compensated, %d rollback action(s) executed\n",
+			res.CompensatedPlans, res.RolledBackActions)
+	}
+	if grd != nil {
+		adm, rej, opens := grd.Stats()
+		fmt.Fprintf(os.Stderr, "guard: %d plan(s) admitted, %d rejected, breaker opened %d time(s) (final state %s)\n",
+			adm, rej, opens, grd.Breaker())
 	}
 	if eng != nil && *sloReport {
 		snap := eng.Snapshot()

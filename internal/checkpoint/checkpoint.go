@@ -33,7 +33,13 @@ type File struct {
 	Lab       experiments.LabOptions `json:"lab"`
 	FaultRate float64                `json:"fault_rate,omitempty"`
 	FaultSeed uint64                 `json:"fault_seed,omitempty"`
-	Scenario  *scenario.Snapshot     `json:"scenario"`
+	// ExecPolicy records the testbed execution policy ("fail-forward" when
+	// empty, for checkpoints written before the field existed).
+	ExecPolicy string `json:"exec_policy,omitempty"`
+	// Guard records whether the admission guard was enabled; the engine
+	// snapshot carries its state when true.
+	Guard    bool               `json:"guard,omitempty"`
+	Scenario *scenario.Snapshot `json:"scenario"`
 }
 
 // Write atomically persists the checkpoint: the JSON lands in a temp file

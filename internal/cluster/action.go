@@ -434,3 +434,38 @@ func Enumerate(cat *Catalog, cfg Config, space ActionSpace) []Action {
 	}
 	return out
 }
+
+// Inverse synthesizes the compensating action that undoes a previously
+// applied (filled) action, given the configuration the action was applied
+// to. The inverse of a filled inverse round-trips: applying the action and
+// then its inverse restores the original configuration and fingerprint.
+// The returned action has its derived fields (FromHost, CPUPct, Freq)
+// filled directly from the forward action and the pre-step configuration,
+// so callers may cost or record it without staging it again.
+func Inverse(filled Action, before Config) (Action, error) {
+	switch filled.Kind {
+	case ActionIncreaseCPU:
+		return Action{Kind: ActionDecreaseCPU, VM: filled.VM, Host: filled.Host, DeltaCPUPct: filled.DeltaCPUPct}, nil
+	case ActionDecreaseCPU:
+		return Action{Kind: ActionIncreaseCPU, VM: filled.VM, Host: filled.Host, DeltaCPUPct: filled.DeltaCPUPct}, nil
+	case ActionAddReplica:
+		return Action{Kind: ActionRemoveReplica, VM: filled.VM, FromHost: filled.Host}, nil
+	case ActionRemoveReplica:
+		p, ok := before.PlacementOf(filled.VM)
+		if !ok {
+			return Action{}, fmt.Errorf("cluster: inverse of remove-replica %s: VM not placed in pre-step config", filled.VM)
+		}
+		return Action{Kind: ActionAddReplica, VM: filled.VM, Host: p.Host, CPUPct: p.CPUPct}, nil
+	case ActionMigrate:
+		return Action{Kind: ActionMigrate, VM: filled.VM, Host: filled.FromHost, FromHost: filled.Host, CPUPct: filled.CPUPct}, nil
+	case ActionWANMigrate:
+		return Action{Kind: ActionWANMigrate, VM: filled.VM, Host: filled.FromHost, FromHost: filled.Host, CPUPct: filled.CPUPct}, nil
+	case ActionStartHost:
+		return Action{Kind: ActionStopHost, Host: filled.Host}, nil
+	case ActionStopHost:
+		return Action{Kind: ActionStartHost, Host: filled.Host}, nil
+	case ActionSetDVFS:
+		return Action{Kind: ActionSetDVFS, Host: filled.Host, Freq: before.HostFreq(filled.Host)}, nil
+	}
+	return Action{}, fmt.Errorf("cluster: no inverse for action kind %v", filled.Kind)
+}

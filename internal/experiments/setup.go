@@ -226,10 +226,18 @@ func (l *Lab) NewTestbed() (*testbed.Testbed, error) {
 // testbed's execution and measurement paths; a nil (or disabled) injector
 // reproduces NewTestbed exactly.
 func (l *Lab) NewTestbedWithFaults(inj *fault.Injector) (*testbed.Testbed, error) {
+	return l.NewTestbedExec(inj, testbed.FailForward)
+}
+
+// NewTestbedExec is NewTestbedWithFaults with an explicit execution
+// policy; RollbackOnFailure makes plans transactional (compensating
+// inverse actions on non-retryable failure).
+func (l *Lab) NewTestbedExec(inj *fault.Injector, exec testbed.ExecPolicy) (*testbed.Testbed, error) {
 	tb, err := testbed.New(l.Cat, l.Apps, l.Initial, l.Traces.At(0), l.Costs, testbed.Options{
 		Mode:  l.Opts.Mode,
 		Seed:  l.Opts.Seed,
 		Fault: inj,
+		Exec:  exec,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)

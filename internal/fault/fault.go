@@ -110,6 +110,25 @@ func Profile(rate float64, seed uint64) Options {
 	}
 }
 
+// ChaosProfile is Profile turned hostile: every fault class is active at
+// once — delays as likely as failures, crashes at half the headline rate —
+// and most injected failures are terminal (RetryableFraction 0.4), the
+// regime the rollback execution policy and the admission guard exist for.
+func ChaosProfile(rate float64, seed uint64) Options {
+	if rate <= 0 {
+		return Options{Seed: seed}
+	}
+	return Options{
+		Seed:              seed,
+		ActionFailRate:    rate,
+		DelayRate:         rate,
+		SensorDropRate:    rate / 4,
+		SensorNoise:       rate / 10,
+		HostCrashPerHour:  rate / 2,
+		RetryableFraction: 0.4,
+	}
+}
+
 // Counts is a snapshot of everything the injector has injected.
 type Counts struct {
 	Injected       int64 // total fault events of any class

@@ -101,7 +101,17 @@ func (c CLI) Build() (*Observer, func() error, error) {
 			return nil, nop, fmt.Errorf("obs: http listen %s: %w", c.PprofAddr, err)
 		}
 		o.HTTPAddr = ln.Addr().String()
-		srv = &http.Server{Handler: mux}
+		// The listener fronts a long-lived daemon, so a stalled or
+		// malicious client must not pin a connection forever. Write stays
+		// generous: /debug/pprof/profile?seconds=30 legitimately streams
+		// for half a minute.
+		srv = &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 10 * time.Second,
+			ReadTimeout:       time.Minute,
+			WriteTimeout:      5 * time.Minute,
+			IdleTimeout:       2 * time.Minute,
+		}
 		serveErr = make(chan error, 1)
 		go func() { serveErr <- srv.Serve(ln) }()
 	}

@@ -64,6 +64,11 @@ type Config struct {
 	// RetryFrac is the allowed fraction of windows above the ceiling.
 	// Default 0.10.
 	RetryFrac float64
+	// GuardRejectFrac is the allowed fraction of guard-checked windows
+	// whose plan the admission guard rejected. A guard that refuses most
+	// plans means the controller and the safety envelope disagree — the
+	// run is technically safe but no longer adapting. Default 0.25.
+	GuardRejectFrac float64
 	// BurnWindows is the trailing-window span for burn-rate estimation.
 	// Default 16.
 	BurnWindows int
@@ -97,6 +102,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryFrac <= 0 {
 		c.RetryFrac = 0.10
 	}
+	if c.GuardRejectFrac <= 0 {
+		c.GuardRejectFrac = 0.25
+	}
 	if c.BurnWindows <= 0 {
 		c.BurnWindows = 16
 	}
@@ -126,6 +134,12 @@ type WindowObs struct {
 	// the engine diffs them per window. Zero deltas mark the window
 	// unmeasurable for the cache objective (skipped, not breached).
 	CacheHits, CacheMisses int64
+	// GuardChecked marks a window whose proposed plan went through the
+	// admission guard; GuardRejected reports the guard refused it.
+	// Windows without a guard (or without a plan) are unmeasurable for
+	// the guard-reject objective — runs predating the guard keep their
+	// SLO accounting unchanged.
+	GuardChecked, GuardRejected bool
 }
 
 // ObjectiveState is one objective's error-budget accounting.
@@ -268,6 +282,21 @@ func New(cfg Config, o *obs.Observer) *Engine {
 			breach: func(v, t float64) bool { return v > t },
 			format: func(v, t float64) string {
 				return fmt.Sprintf("%d fault retries, ceiling %d", int(v), int(t))
+			},
+		},
+		{
+			name:   "guard-reject",
+			budget: cfg.GuardRejectFrac,
+			measure: func(_ *Engine, w WindowObs) (float64, float64, bool) {
+				v := 0.0
+				if w.GuardRejected {
+					v = 1
+				}
+				return v, 0.5, w.GuardChecked
+			},
+			breach: func(v, t float64) bool { return v > t },
+			format: func(_, _ float64) string {
+				return "admission guard rejected the window's plan"
 			},
 		},
 	}

@@ -112,6 +112,46 @@ type Record struct {
 	// (the Mistral hierarchy can invoke several 1st-level controllers in
 	// one control opportunity, in controller order).
 	Decisions []*DecisionProv `json:"decisions,omitempty"`
+	// Guard carries the admission verdict for the window's proposed plan.
+	// Only populated when an admission guard is attached, so unguarded
+	// runs stay byte-identical to pre-guard recordings.
+	Guard *GuardProv `json:"guard,omitempty"`
+	// Steps carries the window's per-step execution outcomes (main plan
+	// and retries, in execution order). Only populated when the run opts
+	// into step provenance (scenario.RunConfig.StepProvenance), so
+	// existing recordings stay byte-identical.
+	Steps []StepProv `json:"steps,omitempty"`
+}
+
+// GuardProv is the admission guard's verdict on the window's plan.
+type GuardProv struct {
+	Allowed bool `json:"allowed"`
+	// Rule names the invariant that rejected the plan ("" when allowed);
+	// Reason is its human-readable explanation.
+	Rule   string `json:"rule,omitempty"`
+	Reason string `json:"reason,omitempty"`
+	// Breaker is the circuit breaker's state at decision time
+	// ("closed", "open", "half-open").
+	Breaker string `json:"breaker"`
+}
+
+// StepProv is one executed (or skipped) plan step's realized outcome — the
+// flight-recorder view of testbed.StepReport.
+type StepProv struct {
+	Action string `json:"action"`
+	// Status is the step outcome: "applied", "failed", "skipped",
+	// "rolled-back".
+	Status string `json:"status"`
+	// PlannedSec is the cost-table duration; RealizedSec the time actually
+	// consumed on the timeline.
+	PlannedSec  float64 `json:"planned_sec,omitempty"`
+	RealizedSec float64 `json:"realized_sec,omitempty"`
+	// Retry marks a re-execution of a previously failed action (with its
+	// attempt number); Retryable marks a failure the retry queue may yet
+	// complete.
+	Retry     int  `json:"retry,omitempty"`
+	Retryable bool `json:"retryable,omitempty"`
+	Err       string `json:"err,omitempty"`
 }
 
 // DecisionProv is one controller invocation's provenance.

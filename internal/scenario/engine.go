@@ -52,8 +52,13 @@ type Engine struct {
 	cRetries       *obs.Counter
 	cExecRej       *obs.Counter
 	cCrashes       *obs.Counter
+	cRolledBack    *obs.Counter
 	hWindowUtil    *obs.Histogram
 	gCumUtil       *obs.Gauge
+
+	// steps accumulates the current window's per-step execution outcomes
+	// when RunConfig.StepProvenance is on; reset at each StepRates entry.
+	steps []provenance.StepProv
 }
 
 // StepResult is what one completed monitoring window hands back to the
@@ -100,6 +105,7 @@ func NewEngine(tb *testbed.Testbed, d Decider, cfg RunConfig) (*Engine, error) {
 	e.cRetries = o.Counter("scenario_retries_total")
 	e.cExecRej = o.Counter("scenario_exec_rejections_total")
 	e.cCrashes = o.Counter("scenario_host_crashes_total")
+	e.cRolledBack = o.Counter("scenario_rolledback_actions_total")
 	e.hWindowUtil = o.Histogram("scenario_window_utility_dollars", []float64{-10, -1, -0.1, 0, 0.1, 1, 10})
 	e.gCumUtil = o.Gauge("scenario_cum_utility_dollars")
 	o.Gauge("scenario_workers").Set(float64(par.Workers(cfg.Workers)))
@@ -168,6 +174,37 @@ func (e *Engine) countExec(log *WindowLog, rep testbed.ExecReport, attempt int, 
 		e.res.SkippedActions += rep.Skipped
 		log.degrade(fmt.Sprintf("%d action(s) skipped", rep.Skipped))
 	}
+	if rep.Compensated {
+		// The plan aborted as a transaction and its applied prefix was
+		// rolled back. FPRestored cross-checks the testbed's guarantee:
+		// the scheduled final configuration's fingerprint returned to its
+		// pre-plan value.
+		log.RolledBack += rep.RolledBack
+		e.res.RolledBackActions += rep.RolledBack
+		e.cRolledBack.Add(int64(rep.RolledBack))
+		e.res.CompensatedPlans++
+		log.Compensated = true
+		log.FPRestored = rep.FinalFP == rep.PrePlanFP
+		log.degrade(fmt.Sprintf("plan rolled back (%d compensating step(s))", rep.RolledBack))
+	}
+	if e.cfg.StepProvenance && e.cfg.Provenance.Enabled() {
+		for _, st := range rep.Steps {
+			sp := provenance.StepProv{
+				Action:      st.Action.String(),
+				Status:      st.Status.String(),
+				PlannedSec:  st.Planned.Seconds(),
+				RealizedSec: st.Realized.Seconds(),
+				Retryable:   st.Retryable,
+			}
+			if attempt > 1 {
+				sp.Retry = attempt - 1
+			}
+			if st.Err != nil {
+				sp.Err = st.Err.Error()
+			}
+			e.steps = append(e.steps, sp)
+		}
+	}
 }
 
 // record emits one provenance record for a completed (or aborted) window;
@@ -175,14 +212,14 @@ func (e *Engine) countExec(log *WindowLog, rep testbed.ExecReport, attempt int, 
 // seeds the window's trace context, so provenance readers recover the
 // trace ID with obs.TraceID(Record.Window) — no new serialized field, no
 // byte-level drift.
-func (e *Engine) record(log *WindowLog, busy bool, searchCost float64, provs []*provenance.DecisionProv) {
+func (e *Engine) record(log *WindowLog, busy bool, searchCost float64, provs []*provenance.DecisionProv, gp *provenance.GuardProv) {
 	if !e.cfg.Provenance.Enabled() {
 		return
 	}
 	// Append's first error is sticky on the recorder, surfaced live on each
 	// StepResult and finally by Close; the window itself never aborts over
 	// a provenance write.
-	_ = e.cfg.Provenance.Append(&provenance.Record{
+	rec := &provenance.Record{
 		Window:            e.winIdx,
 		TimeSec:           log.Time.Seconds(),
 		Strategy:          e.res.Strategy,
@@ -197,7 +234,12 @@ func (e *Engine) record(log *WindowLog, busy bool, searchCost float64, provs []*
 		CumUtilityDollars: log.CumUtility,
 		Watts:             log.Watts,
 		Decisions:         provs,
-	})
+		Guard:             gp,
+	}
+	if e.cfg.StepProvenance {
+		rec.Steps = e.steps
+	}
+	_ = e.cfg.Provenance.Append(rec)
 }
 
 // StepRates runs one monitoring window under the given per-application
@@ -225,6 +267,7 @@ func (e *Engine) StepRates(rates map[string]float64) (StepResult, error) {
 	}
 
 	log := WindowLog{Time: t + cfg.Interval, Rates: rates}
+	e.steps = nil
 
 	// The window's causal identity: spans, alerts, ops entries, and
 	// log lines below all carry tc's trace ID, and the provenance
@@ -290,6 +333,7 @@ func (e *Engine) StepRates(rates map[string]float64) (StepResult, error) {
 	busy := tb.Busy()
 	var searchCost float64
 	var provs []*provenance.DecisionProv
+	var gp *provenance.GuardProv
 	var decideWall time.Duration
 	decideErred := false
 	if !busy {
@@ -334,8 +378,28 @@ func (e *Engine) StepRates(rates map[string]float64) (StepResult, error) {
 			}
 			var planDur time.Duration
 			if len(dec.Plan) > 0 {
-				rep, err := tb.Execute(dec.Plan)
-				if err != nil {
+				// Admission: the guard screens the plan against its
+				// invariants (and the circuit breaker) before a single
+				// action is scheduled. A nil guard admits everything.
+				v := cfg.Guard.Admit(t, tb.FinalConfig(), dec.Plan)
+				if cfg.Guard.Enabled() {
+					gp = &provenance.GuardProv{
+						Allowed: v.Allowed,
+						Rule:    v.Rule,
+						Reason:  v.Reason,
+						Breaker: v.Breaker.String(),
+					}
+				}
+				if !v.Allowed {
+					res.GuardRejections++
+					log.GuardRejected = true
+					log.GuardRule = v.Rule
+					log.degrade("guard rejected plan: " + v.Rule)
+					olog.Warn("guard rejected plan",
+						"strategy", d.Name(), "t", t,
+						"rule", v.Rule, "reason", v.Reason,
+						"breaker", v.Breaker.String())
+				} else if rep, err := tb.Execute(dec.Plan); err != nil {
 					// The whole plan was rejected — typically stale
 					// against a crash-reconciled configuration. Replan
 					// next window.
@@ -372,7 +436,7 @@ func (e *Engine) StepRates(rates map[string]float64) (StepResult, error) {
 		log.ActiveHosts = tb.Config().NumActiveHosts()
 		log.degrade("measure: " + err.Error())
 		res.Windows = append(res.Windows, log)
-		e.record(&log, busy, searchCost, provs)
+		e.record(&log, busy, searchCost, provs, gp)
 		if res.Invocations > 0 {
 			res.MeanSearchTime = e.totalSearch / time.Duration(res.Invocations)
 		}
@@ -427,7 +491,12 @@ func (e *Engine) StepRates(rates map[string]float64) (StepResult, error) {
 	res.EnergyKWh += w.Watts * cfg.Interval.Hours() / 1000
 	res.HostHours += float64(log.ActiveHosts) * cfg.Interval.Hours()
 	res.Windows = append(res.Windows, log)
-	e.record(&log, busy, searchCost, provs)
+	e.record(&log, busy, searchCost, provs, gp)
+
+	// The breaker consumes the window's health exactly once per window,
+	// busy windows included (its cooldown is counted in windows): this
+	// window's degraded status gates the next window's admission.
+	cfg.Guard.ObserveWindow(log.Degraded)
 
 	// Self-monitoring: the SLO engine folds the window's virtual-time
 	// facts in; any alerts surface on the log with the window's trace
@@ -439,9 +508,11 @@ func (e *Engine) StepRates(rates map[string]float64) (StepResult, error) {
 			Invoked:     log.Invoked,
 			Degraded:    log.Degraded,
 			SearchTime:  log.SearchTime,
-			Retries:     log.Retried,
-			CacheHits:   e.reg.CounterValue("eval_cache_hits_total"),
-			CacheMisses: e.reg.CounterValue("eval_cache_misses_total"),
+			Retries:       log.Retried,
+			CacheHits:     e.reg.CounterValue("eval_cache_hits_total"),
+			CacheMisses:   e.reg.CounterValue("eval_cache_misses_total"),
+			GuardChecked:  gp != nil,
+			GuardRejected: log.GuardRejected,
 		})
 		for _, a := range alerts {
 			olog.Warn("slo alert",

@@ -11,6 +11,7 @@ import (
 
 	"github.com/mistralcloud/mistral/internal/cluster"
 	"github.com/mistralcloud/mistral/internal/fault"
+	"github.com/mistralcloud/mistral/internal/guard"
 	"github.com/mistralcloud/mistral/internal/obs"
 	"github.com/mistralcloud/mistral/internal/obs/slo"
 	"github.com/mistralcloud/mistral/internal/provenance"
@@ -106,6 +107,18 @@ type RunConfig struct {
 	// Profile, when non-nil, captures pprof artifacts for decide calls
 	// that blow their wall-clock latency budget. Observational only.
 	Profile *obs.Profiler
+	// Guard, when non-nil, screens every proposed plan against safety
+	// invariants before execution and freezes adaptation via its circuit
+	// breaker after runs of degraded windows. Its verdicts land on the
+	// window log, the provenance record, and the SLO engine. Nil — the
+	// default — admits everything, byte-identical to an unguarded run.
+	Guard *guard.Guard
+	// StepProvenance, when true, attaches each window's per-step execution
+	// outcomes (applied/failed/skipped/rolled-back, realized durations,
+	// errors) to the provenance record. Default-off: the extra fields
+	// would change provenance bytes, and the golden-compat guarantee for
+	// existing runs is byte-identical output.
+	StepProvenance bool
 }
 
 // RetryPolicy bounds retry-with-backoff for actions the fault plane failed
@@ -184,6 +197,21 @@ type WindowLog struct {
 	HostCrashes int
 	// SensorDropped marks the window's measurements as a stale replay.
 	SensorDropped bool
+	// RolledBack counts compensating steps executed this window after a
+	// non-retryable failure aborted a plan under
+	// testbed.RollbackOnFailure.
+	RolledBack int
+	// Compensated marks a window whose plan aborted and was rolled back;
+	// FPRestored then reports whether the testbed's scheduled final
+	// configuration fingerprint returned to its pre-plan value (the
+	// transactional guarantee — always true unless the rollback engine
+	// itself is broken).
+	Compensated bool
+	FPRestored  bool
+	// GuardRejected marks a window whose proposed plan the guard refused;
+	// GuardRule names the invariant that fired.
+	GuardRejected bool
+	GuardRule     string
 }
 
 // degrade marks the window degraded and appends the cause to its reason.
@@ -248,6 +276,13 @@ type Result struct {
 	HostCrashes int
 	// SensorDrops counts windows whose measurements were stale replays.
 	SensorDrops int
+	// RolledBackActions counts compensating steps executed under
+	// testbed.RollbackOnFailure.
+	RolledBackActions int
+	// CompensatedPlans counts plans that aborted and rolled back.
+	CompensatedPlans int
+	// GuardRejections counts plans the admission guard refused.
+	GuardRejections int
 }
 
 // MeanWatts is the time-averaged power draw over the replay.
@@ -283,6 +318,14 @@ func dueRetry(q []pendingRetry, now time.Duration) int {
 // backoff, dropping actions whose attempt budget is exhausted.
 func queueRetries(q []pendingRetry, rep testbed.ExecReport, attempt int, now time.Duration, pol RetryPolicy) []pendingRetry {
 	if pol.MaxAttempts < 0 {
+		return q
+	}
+	if rep.Compensated {
+		// The plan aborted as a transaction and the testbed already rolled
+		// the applied prefix back: re-executing any of its steps — even
+		// ones that failed retryably before the abort — would re-apply
+		// fragments of a plan the cluster no longer reflects. The strategy
+		// replans from the compensated configuration instead.
 		return q
 	}
 	for _, st := range rep.Steps {

@@ -7,6 +7,7 @@ import (
 
 	"github.com/mistralcloud/mistral/internal/cluster"
 	"github.com/mistralcloud/mistral/internal/fault"
+	"github.com/mistralcloud/mistral/internal/guard"
 	"github.com/mistralcloud/mistral/internal/obs/slo"
 	"github.com/mistralcloud/mistral/internal/testbed"
 )
@@ -59,6 +60,7 @@ type Snapshot struct {
 	Testbed *testbed.State    `json:"testbed"`
 	Fault   *fault.State      `json:"fault,omitempty"`
 	SLO     *slo.PersistState `json:"slo,omitempty"`
+	Guard   *guard.State      `json:"guard,omitempty"`
 	Decider json.RawMessage   `json:"decider,omitempty"`
 
 	// Cumulative registry counters the SLO engine's eval-cache-hit
@@ -120,6 +122,7 @@ func (e *Engine) Snapshot() (*Snapshot, error) {
 	if e.slo != nil {
 		s.SLO = e.slo.Persist()
 	}
+	s.Guard = e.cfg.Guard.Snapshot()
 	if e.reg != nil {
 		s.RegCacheHits = e.reg.CounterValue("eval_cache_hits_total")
 		s.RegCacheMisses = e.reg.CounterValue("eval_cache_misses_total")
@@ -146,6 +149,9 @@ func (e *Engine) Restore(s *Snapshot) error {
 	}
 	if (s.Fault != nil) != e.cfg.Fault.Enabled() {
 		return fmt.Errorf("scenario: checkpoint fault-injection state does not match engine configuration")
+	}
+	if (s.Guard != nil) != e.cfg.Guard.Enabled() {
+		return fmt.Errorf("scenario: checkpoint guard state does not match engine configuration")
 	}
 	if s.Result == nil {
 		return fmt.Errorf("scenario: checkpoint has no result")
@@ -192,6 +198,11 @@ func (e *Engine) Restore(s *Snapshot) error {
 	}
 	if e.slo != nil {
 		e.slo.Restore(s.SLO)
+	}
+	if s.Guard != nil {
+		if err := e.cfg.Guard.Restore(s.Guard); err != nil {
+			return fmt.Errorf("scenario: guard restore: %w", err)
+		}
 	}
 	// Re-seat the cumulative eval-cache counters the SLO engine diffs:
 	// Add the shortfall so a fresh registry reads exactly what the

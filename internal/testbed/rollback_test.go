@@ -1,0 +1,212 @@
+package testbed
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/mistralcloud/mistral/internal/cluster"
+	"github.com/mistralcloud/mistral/internal/fault"
+	"github.com/mistralcloud/mistral/internal/sim"
+)
+
+// randomPlan builds a small random plan that stages cleanly against cfg, so
+// any execution failure comes from the injector, never from validation.
+func randomPlan(rng *sim.RNG, cat *cluster.Catalog, cfg cluster.Config) []cluster.Action {
+	var plan []cluster.Action
+	scratch := cfg
+	want := 1 + rng.IntN(3)
+	for attempts := 0; len(plan) < want && attempts < 24; attempts++ {
+		vms := scratch.ActiveVMs()
+		if len(vms) == 0 {
+			break
+		}
+		vm := vms[rng.IntN(len(vms))]
+		var a cluster.Action
+		switch rng.IntN(4) {
+		case 0: // migrate to any other host with room
+			p, _ := scratch.PlacementOf(vm)
+			dst := ""
+			for _, h := range scratch.ActiveHosts() {
+				if h == p.Host {
+					continue
+				}
+				spec, _ := cat.Host(h)
+				if scratch.AllocatedCPU(h)+p.CPUPct <= spec.UsableCPUPct && len(scratch.VMsOnHost(h)) < spec.MaxVMs {
+					dst = h
+					break
+				}
+			}
+			if dst == "" {
+				continue
+			}
+			a = cluster.Action{Kind: cluster.ActionMigrate, VM: vm, Host: dst}
+		case 1:
+			a = cluster.Action{Kind: cluster.ActionIncreaseCPU, VM: vm, DeltaCPUPct: 5}
+		case 2:
+			a = cluster.Action{Kind: cluster.ActionDecreaseCPU, VM: vm, DeltaCPUPct: 5}
+		default: // power on a spare host, if any is off
+			off := ""
+			for _, h := range cat.HostNames() {
+				if !scratch.HostOn(h) {
+					off = h
+					break
+				}
+			}
+			if off == "" {
+				continue
+			}
+			a = cluster.Action{Kind: cluster.ActionStartHost, Host: off}
+		}
+		next, _, err := cluster.Apply(cat, scratch, a)
+		if err != nil {
+			continue
+		}
+		plan = append(plan, a)
+		scratch = next
+	}
+	return plan
+}
+
+// TestRollbackRestoresFingerprint is the transactional property test: under
+// RollbackOnFailure with mostly non-retryable failures and host crashes
+// interleaved between plans, every compensated plan must leave the
+// scheduled configuration at exactly the pre-plan 128-bit fingerprint.
+func TestRollbackRestoresFingerprint(t *testing.T) {
+	compensations := 0
+	for seed := uint64(1); seed <= 20; seed++ {
+		cat, apps, cfg := setup(t, 4, "rubis1", "rubis2")
+		opts := noiseless(ModeAnalytic)
+		opts.Fault = fault.New(fault.Options{
+			Seed:              seed,
+			ActionFailRate:    0.5,
+			RetryableFraction: -1, // every failure terminal
+			HostCrashPerHour:  1,  // crash re-placements interleave with plans
+		})
+		opts.Exec = RollbackOnFailure
+		tb, err := New(cat, apps, cfg, map[string]float64{"rubis1": 40, "rubis2": 40}, nil, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := sim.NewRNG(seed, 99)
+		for round := 0; round < 10; round++ {
+			if _, err := tb.MeasureWindow(tb.Now() + 2*time.Minute); err != nil {
+				t.Fatal(err)
+			}
+			plan := randomPlan(rng, cat, tb.FinalConfig())
+			if len(plan) == 0 {
+				continue
+			}
+			rep, err := tb.Execute(plan)
+			if err != nil {
+				t.Fatalf("seed %d round %d: %v", seed, round, err)
+			}
+			if !rep.Compensated {
+				if rep.RolledBack != 0 {
+					t.Fatalf("seed %d round %d: %d rolled-back steps without compensation", seed, round, rep.RolledBack)
+				}
+				continue
+			}
+			compensations++
+			if rep.FinalFP != rep.PrePlanFP {
+				t.Fatalf("seed %d round %d: rollback fingerprint %v != pre-plan %v", seed, round, rep.FinalFP, rep.PrePlanFP)
+			}
+			if got := tb.FinalConfig().Fingerprint(); got != rep.PrePlanFP {
+				t.Fatalf("seed %d round %d: scheduled config fingerprint %v != pre-plan %v", seed, round, got, rep.PrePlanFP)
+			}
+			if rep.RolledBack != rep.Applied {
+				t.Fatalf("seed %d round %d: %d applied but %d rolled back", seed, round, rep.Applied, rep.RolledBack)
+			}
+			// The report reads as a transaction log: applied prefix, one
+			// failure, abandoned remainder, then the compensation steps.
+			var failed, rolled int
+			for _, st := range rep.Steps {
+				switch st.Status {
+				case StepFailed:
+					failed++
+					if st.Retryable {
+						t.Fatalf("seed %d round %d: compensated plan aborted on a retryable failure", seed, round)
+					}
+				case StepRolledBack:
+					rolled++
+				case StepSkipped:
+					if st.Err == nil || !strings.Contains(st.Err.Error(), "rolled back") {
+						t.Fatalf("seed %d round %d: abandoned step lacks rollback cause: %+v", seed, round, st)
+					}
+				}
+			}
+			if failed != 1 || rolled != rep.RolledBack {
+				t.Fatalf("seed %d round %d: step ledger failed=%d rolled=%d, want 1/%d", seed, round, failed, rolled, rep.RolledBack)
+			}
+		}
+	}
+	if compensations == 0 {
+		t.Fatal("property run never exercised a rollback; raise the fail rate")
+	}
+}
+
+// TestFailForwardNeverCompensates pins the golden default: the same chaos,
+// executed under FailForward, never runs a compensating step.
+func TestFailForwardNeverCompensates(t *testing.T) {
+	cat, apps, cfg := setup(t, 4, "rubis1", "rubis2")
+	opts := noiseless(ModeAnalytic)
+	opts.Fault = fault.New(fault.Options{Seed: 5, ActionFailRate: 0.6, RetryableFraction: -1, HostCrashPerHour: 1})
+	tb, err := New(cat, apps, cfg, map[string]float64{"rubis1": 40, "rubis2": 40}, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(5, 99)
+	sawFailure := false
+	for round := 0; round < 20; round++ {
+		if _, err := tb.MeasureWindow(tb.Now() + 2*time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		plan := randomPlan(rng, cat, tb.FinalConfig())
+		if len(plan) == 0 {
+			continue
+		}
+		rep, err := tb.Execute(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Failed > 0 {
+			sawFailure = true
+		}
+		if rep.Compensated || rep.RolledBack != 0 {
+			t.Fatalf("round %d: fail-forward compensated: %+v", round, rep)
+		}
+		for _, st := range rep.Steps {
+			if st.Status == StepRolledBack {
+				t.Fatalf("round %d: fail-forward produced a rolled-back step", round)
+			}
+		}
+	}
+	if !sawFailure {
+		t.Fatal("fail-forward run never saw a failure; the comparison is vacuous")
+	}
+}
+
+// TestRetryableFailureFailsForwardUnderRollback: retryable failures are the
+// retry queue's business even under RollbackOnFailure — the transaction
+// only aborts on terminal failures.
+func TestRetryableFailureFailsForwardUnderRollback(t *testing.T) {
+	cat, apps, cfg := setup(t, 4, "rubis1")
+	opts := noiseless(ModeAnalytic)
+	opts.Fault = fault.New(fault.Options{Seed: 3, ActionFailRate: 1, RetryableFraction: 1})
+	opts.Exec = RollbackOnFailure
+	tb, err := New(cat, apps, cfg, map[string]float64{"rubis1": 40}, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := feasibleDst(t, cat, cfg, "rubis1-db-0")
+	rep, err := tb.Execute([]cluster.Action{{Kind: cluster.ActionMigrate, VM: "rubis1-db-0", Host: dst}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 1 || rep.Compensated || rep.RolledBack != 0 {
+		t.Fatalf("report = %+v, want one retryable failure and no compensation", rep)
+	}
+	if !rep.Steps[0].Retryable {
+		t.Fatalf("step not marked retryable: %+v", rep.Steps[0])
+	}
+}

@@ -18,6 +18,7 @@ type PhaseState struct {
 	ApplyAtStart bool                `json:"apply_at_start,omitempty"`
 	Applied      bool                `json:"applied,omitempty"`
 	Failed       bool                `json:"failed,omitempty"`
+	Rollback     bool                `json:"rollback,omitempty"`
 }
 
 // PredState is a cost.Prediction in serializable form.
@@ -78,6 +79,7 @@ func (tb *Testbed) Snapshot() (*State, error) {
 			ApplyAtStart: ph.applyAtStart,
 			Applied:      ph.applied,
 			Failed:       ph.failed,
+			Rollback:     ph.rollback,
 		}
 		ps.PredState.DurationNS = int64(ph.pred.Duration)
 		ps.PredState.DeltaWatts = ph.pred.DeltaWatts
@@ -131,6 +133,7 @@ func (tb *Testbed) Restore(s *State) error {
 			applyAtStart: ps.ApplyAtStart,
 			applied:      ps.Applied,
 			failed:       ps.Failed,
+			rollback:     ps.Rollback,
 		}
 		ph.pred.Duration = time.Duration(ps.PredState.DurationNS)
 		ph.pred.DeltaWatts = ps.PredState.DeltaWatts

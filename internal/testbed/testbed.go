@@ -48,6 +48,51 @@ const (
 	ModeRequestLevel
 )
 
+// ExecPolicy selects what Execute does with the already-applied prefix of
+// a plan when a step suffers a non-retryable injected failure.
+type ExecPolicy int
+
+// Execution policies.
+const (
+	// FailForward keeps the partially applied prefix in place: the cluster
+	// stays in the intermediate configuration the failure left it in and
+	// the controller replans from there. This is the golden default — a
+	// testbed built with the zero Options value behaves byte-identically
+	// to one built before ExecPolicy existed.
+	FailForward ExecPolicy = iota
+	// RollbackOnFailure treats each plan as a transaction: on a
+	// non-retryable failure the testbed synthesizes the compensating
+	// inverse plan for the applied prefix and executes it on the timeline,
+	// charging real rollback costs, so the cluster provably returns to the
+	// pre-plan configuration fingerprint. Retryable failures still fail
+	// forward (the retry queue may yet complete the step).
+	RollbackOnFailure
+)
+
+func (p ExecPolicy) String() string {
+	switch p {
+	case FailForward:
+		return "fail-forward"
+	case RollbackOnFailure:
+		return "rollback-on-failure"
+	}
+	return fmt.Sprintf("ExecPolicy(%d)", int(p))
+}
+
+// ParseExecPolicy maps a policy name (a flag value or a checkpoint recipe
+// field) onto its ExecPolicy. The empty string is FailForward, matching
+// checkpoints written before the field existed; "rollback" is accepted as
+// shorthand for "rollback-on-failure".
+func ParseExecPolicy(s string) (ExecPolicy, error) {
+	switch strings.ToLower(s) {
+	case "", "fail-forward":
+		return FailForward, nil
+	case "rollback", "rollback-on-failure":
+		return RollbackOnFailure, nil
+	}
+	return 0, fmt.Errorf("testbed: unknown exec policy %q (want fail-forward or rollback)", s)
+}
+
 // Options configures a Testbed.
 type Options struct {
 	// Mode defaults to ModeAnalytic.
@@ -93,6 +138,11 @@ type Options struct {
 	// faults (package fault). Nil — the default — executes every plan
 	// infallibly, byte-identical to a testbed built without the fault plane.
 	Fault *fault.Injector
+	// Exec selects how Execute treats a non-retryable mid-plan failure:
+	// FailForward (the zero value, today's behavior) keeps the partially
+	// applied prefix; RollbackOnFailure compensates it back to the pre-plan
+	// configuration. See ExecPolicy.
+	Exec ExecPolicy
 	// Obs overrides the process-default observer (obs.SetDefault) for
 	// action-execution metrics and trace events; nil resolves the default.
 	Obs *obs.Observer
@@ -141,6 +191,7 @@ type phase struct {
 	applyAtStart bool // stop-host applies its config when the phase begins
 	applied      bool
 	failed       bool // injected failure: cfgAfter is the unchanged config
+	rollback     bool // compensating step undoing an applied step of an aborted plan
 }
 
 // Testbed executes plans and measures the resulting system.
@@ -166,6 +217,7 @@ type Testbed struct {
 
 	obsv     *obs.Observer
 	cActions *obs.Counter
+	cSkipped *obs.Counter
 	hActionS *obs.Histogram
 	cByKind  map[cluster.ActionKind]*obs.Counter
 	trace    obs.TraceContext // current window's causal identity
@@ -211,6 +263,7 @@ func New(cat *cluster.Catalog, apps []*app.Spec, initial cluster.Config, rates m
 	o := obs.Resolve(opts.Obs)
 	tb.obsv = o
 	tb.cActions = o.Counter("actions_total")
+	tb.cSkipped = o.Counter("fault_steps_skipped_total")
 	tb.hActionS = o.Histogram("action_duration_s", []float64{1, 5, 15, 30, 60, 120, 300, 600})
 	if tb.cActions != nil {
 		tb.cByKind = make(map[cluster.ActionKind]*obs.Counter)
@@ -319,6 +372,10 @@ const (
 	// configuration (its precondition was destroyed by an earlier injected
 	// failure) and consumed no time.
 	StepSkipped
+	// StepRolledBack: a compensating step executed under RollbackOnFailure
+	// to undo a previously applied step of the same plan. Its Action is
+	// the inverse action, and its cost is charged on the timeline.
+	StepRolledBack
 )
 
 func (s StepStatus) String() string {
@@ -329,6 +386,8 @@ func (s StepStatus) String() string {
 		return "failed"
 	case StepSkipped:
 		return "skipped"
+	case StepRolledBack:
+		return "rolled-back"
 	}
 	return fmt.Sprintf("StepStatus(%d)", int(s))
 }
@@ -358,6 +417,16 @@ type ExecReport struct {
 	Duration time.Duration
 	// Applied, Failed, and Skipped count steps by status.
 	Applied, Failed, Skipped int
+	// RolledBack counts compensating steps executed after a non-retryable
+	// failure under RollbackOnFailure.
+	RolledBack int
+	// Compensated reports that a non-retryable failure aborted the plan
+	// and the applied prefix was rolled back; FinalFP equals PrePlanFP.
+	Compensated bool
+	// PrePlanFP and FinalFP fingerprint the scheduled final configuration
+	// before the plan and after it completes (or rolls back), so callers
+	// can verify the transactional guarantee without re-deriving configs.
+	PrePlanFP, FinalFP cluster.Fingerprint
 }
 
 // Started counts steps that consumed timeline time (applied + failed).
@@ -379,6 +448,15 @@ func (tb *Testbed) Execute(plan []cluster.Action) (ExecReport, error) {
 	inj := tb.opts.Fault
 	var rep ExecReport
 	var newPhases []phase
+	// undo records the applied prefix so RollbackOnFailure can compensate
+	// it: each entry pairs the filled forward action with the configuration
+	// it was applied to.
+	type undoRec struct {
+		action cluster.Action
+		before cluster.Config
+	}
+	var undo []undoRec
+	rep.PrePlanFP = cur.Fingerprint()
 	at := startAt
 	for i, a := range plan {
 		next, filled, err := cluster.Apply(tb.cat, cur, a)
@@ -394,6 +472,7 @@ func (tb *Testbed) Execute(plan []cluster.Action) (ExecReport, error) {
 					Err:    fmt.Errorf("testbed: plan step %d: %w", i, err),
 				})
 				rep.Skipped++
+				tb.cSkipped.Inc()
 				continue
 			}
 			return ExecReport{}, fmt.Errorf("testbed: plan step %d: %w", i, err)
@@ -422,6 +501,58 @@ func (tb *Testbed) Execute(plan []cluster.Action) (ExecReport, error) {
 			step.Retryable = f.Retryable
 			step.Err = fmt.Errorf("testbed: injected %s failure after %v of %v", filled.Kind, sunk.Round(time.Millisecond), dur.Round(time.Millisecond))
 			rep.Failed++
+			if tb.opts.Exec == RollbackOnFailure && !f.Retryable {
+				// Transaction abort: the sunk cost of the doomed step is
+				// already charged; abandon the rest of the plan and unwind
+				// the applied prefix.
+				newPhases = append(newPhases, ph)
+				at = ph.end
+				rep.Steps = append(rep.Steps, step)
+				for j := i + 1; j < len(plan); j++ {
+					rep.Steps = append(rep.Steps, StepReport{
+						Action: plan[j],
+						Status: StepSkipped,
+						Err:    fmt.Errorf("testbed: plan step %d abandoned: plan rolled back", j),
+					})
+					rep.Skipped++
+					tb.cSkipped.Inc()
+				}
+				for k := len(undo) - 1; k >= 0; k-- {
+					u := undo[k]
+					inv, err := cluster.Inverse(u.action, u.before)
+					if err != nil {
+						// Cannot happen for actions Stage accepted; guard
+						// anyway so a future kind fails loudly.
+						return ExecReport{}, fmt.Errorf("testbed: rollback step %d: %w", k, err)
+					}
+					// Compensation executes infallibly — no injector draws —
+					// so the cluster deterministically reaches the recorded
+					// pre-step configuration; the rollback cost is the cost
+					// table's real price for the inverse action.
+					ipred := tb.costMgr.Predict(cur, inv, tb.rates)
+					iph := phase{
+						start:        at,
+						end:          at + ipred.Duration,
+						action:       inv,
+						pred:         ipred,
+						cfgAfter:     u.before,
+						applyAtStart: inv.Kind == cluster.ActionStopHost,
+						rollback:     true,
+					}
+					newPhases = append(newPhases, iph)
+					at = iph.end
+					rep.Steps = append(rep.Steps, StepReport{
+						Action:   inv,
+						Status:   StepRolledBack,
+						Planned:  ipred.Duration,
+						Realized: ipred.Duration,
+					})
+					rep.RolledBack++
+					cur = u.before
+				}
+				rep.Compensated = true
+				break
+			}
 		} else {
 			ph.end = at + dur
 			ph.cfgAfter = next
@@ -429,13 +560,17 @@ func (tb *Testbed) Execute(plan []cluster.Action) (ExecReport, error) {
 			step.Status = StepApplied
 			step.Realized = dur
 			rep.Applied++
+			undo = append(undo, undoRec{action: filled, before: cur})
 			cur = next
 		}
-		newPhases = append(newPhases, ph)
-		at = ph.end
-		rep.Steps = append(rep.Steps, step)
+		if step.Status == StepFailed || step.Status == StepApplied {
+			newPhases = append(newPhases, ph)
+			at = ph.end
+			rep.Steps = append(rep.Steps, step)
+		}
 	}
 	rep.Duration = at - startAt
+	rep.FinalFP = cur.Fingerprint()
 	tb.phases = append(tb.phases, newPhases...)
 	tb.cfgFinal = cur
 	if tb.qsys != nil {
@@ -468,6 +603,9 @@ func (tb *Testbed) recordPhases(phases []phase) {
 		}
 		if ph.failed {
 			attrs = append(attrs, obs.Attr{Key: "failed", Value: true})
+		}
+		if ph.rollback {
+			attrs = append(attrs, obs.Attr{Key: "rollback", Value: true})
 		}
 		if tb.trace.Enabled() {
 			attrs = append(attrs, tb.trace.Attr())

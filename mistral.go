@@ -259,6 +259,14 @@ func RunFaultSweep(opts experiments.FaultSweepOptions) (*experiments.FaultSweepR
 	return experiments.FaultSweep(opts)
 }
 
+// RunChaosSweep runs the transactional-robustness study: Mistral replayed
+// under the combined chaos profile (simultaneous crashes, failures, and
+// delays, mostly non-retryable) with the admission guard enabled, under
+// both execution policies, asserting the safety invariants every window.
+func RunChaosSweep(opts experiments.ChaosSweepOptions) (*experiments.ChaosSweepResult, error) {
+	return experiments.ChaosSweep(opts)
+}
+
 // RunBenchSearch measures the decide hot path (per-window cache boundary,
 // Perf-Pwr ideal, Self-Aware A* search) over the paper's workload scenario
 // and returns the perf snapshot emitted as BENCH_search.json.
