@@ -16,10 +16,18 @@
 // under the provenance record. -format json emits machine-readable output
 // for the ops plane and scripts.
 //
+// With -series, FILE is a checkpoint file (mistral-sim -checkpoint /
+// mistral-serve /v1/checkpoint) instead of a provenance stream: the
+// telemetry history rings persisted in the checkpoint are rebuilt and
+// printed — "-series all" lists every retained series with its digest,
+// "-series utility,watts" dumps those series' retained samples window by
+// window. -format json emits the same data machine-readably.
+//
 // Usage:
 //
 //	mistral-explain [-window N] [-top K] [-check] [-format text|json]
 //	                [-trace SPANS.jsonl] FILE
+//	mistral-explain -series all|NAME[,NAME...] [-format text|json] CHECKPOINT
 package main
 
 import (
@@ -30,7 +38,9 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/mistralcloud/mistral/internal/checkpoint"
 	"github.com/mistralcloud/mistral/internal/obs"
+	"github.com/mistralcloud/mistral/internal/obs/tsdb"
 	"github.com/mistralcloud/mistral/internal/provenance"
 )
 
@@ -48,6 +58,7 @@ func run() error {
 		check     = flag.Bool("check", false, "validate the stream (schema, sequencing, ledger arithmetic) and exit")
 		format    = flag.String("format", "text", "output format: text or json")
 		tracePath = flag.String("trace", "", "span JSONL (from mistral-sim -trace) to stitch the window's causal chain from")
+		series    = flag.String("series", "", "print telemetry history from a CHECKPOINT file: 'all' lists every series, a comma list dumps those series' samples")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -55,6 +66,9 @@ func run() error {
 	}
 	if *format != "text" && *format != "json" {
 		return fmt.Errorf("-format %q: want text or json", *format)
+	}
+	if *series != "" {
+		return explainSeries(flag.Arg(0), *series, *format)
 	}
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
@@ -130,6 +144,58 @@ func writeJSON(v any) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(v)
+}
+
+// explainSeries prints the telemetry history persisted in a checkpoint
+// file: the -series mode, where FILE is a checkpoint (not provenance).
+func explainSeries(path, sel, format string) error {
+	ck, err := checkpoint.Read(path)
+	if err != nil {
+		return err
+	}
+	if ck.Scenario == nil || ck.Scenario.History == nil {
+		return fmt.Errorf("%s: checkpoint carries no telemetry history (pre-v2 checkpoint, or observability was off)", path)
+	}
+	store, err := tsdb.FromState(ck.Scenario.History)
+	if err != nil {
+		return err
+	}
+
+	if sel == "all" {
+		sums := store.Summaries(0)
+		if format == "json" {
+			return writeJSON(tsdb.ListResponse{
+				Schema:     tsdb.Schema,
+				LastWindow: store.LastWindow(),
+				Steps:      store.Steps(),
+				Series:     sums,
+			})
+		}
+		fmt.Printf("telemetry history from %s — %d series, last window %d\n",
+			path, len(sums), store.LastWindow())
+		fmt.Printf("%-18s %-8s %8s %12s %12s %12s\n", "series", "class", "windows", "last", "min", "max")
+		for _, s := range sums {
+			fmt.Printf("%-18s %-8s %8d %12.4g %12.4g %12.4g\n",
+				s.Name, s.Class, s.Windows, s.Last, s.Min, s.Max)
+		}
+		return nil
+	}
+
+	names := strings.Split(sel, ",")
+	resp, err := store.Query(names, 0, -1, 1)
+	if err != nil {
+		return err
+	}
+	if format == "json" {
+		return writeJSON(resp)
+	}
+	for _, qs := range resp.Series {
+		fmt.Printf("series %s (%s) — %d retained sample(s)\n", qs.Name, qs.Class, len(qs.Points))
+		for _, p := range qs.Points {
+			fmt.Printf("  %s  %g\n", obs.TraceID(p.Window), p.Value)
+		}
+	}
+	return nil
 }
 
 // windowDoc is the -window -format json document: the provenance record

@@ -37,6 +37,7 @@ import (
 
 	"github.com/mistralcloud/mistral/internal/obs"
 	"github.com/mistralcloud/mistral/internal/obs/slo"
+	"github.com/mistralcloud/mistral/internal/obs/tsdb"
 	"github.com/mistralcloud/mistral/internal/provenance"
 )
 
@@ -133,6 +134,17 @@ func (f *frame) validate() error {
 			if a.Severity != slo.SeverityWarn && a.Severity != slo.SeverityPage {
 				return fmt.Errorf("alert severity %q", a.Severity)
 			}
+		}
+	}
+	for _, h := range f.ops.History {
+		if h.Name == "" {
+			return fmt.Errorf("history series with empty name")
+		}
+		if h.Class != "virtual" && h.Class != "wall" {
+			return fmt.Errorf("history series %s: class %q", h.Name, h.Class)
+		}
+		if h.Min > h.Max {
+			return fmt.Errorf("history series %s: min %g > max %g", h.Name, h.Min, h.Max)
 		}
 	}
 	return nil
@@ -269,6 +281,18 @@ func (f *frame) render(w io.Writer, source string) {
 		fmt.Fprintln(w, "  (none)")
 	}
 
+	if len(o.History) > 0 {
+		fmt.Fprintf(w, "\ntrends (last %d windows)\n", opsSparkWidth(o.History))
+		for _, h := range o.History {
+			mark := ""
+			if h.Class == "wall" {
+				mark = " (wall)"
+			}
+			fmt.Fprintf(w, "  %-16s %s  last %-10s min %-10s max %-10s%s\n",
+				h.Name, sparkline(h.Spark), fmtVal(h.Last), fmtVal(h.Min), fmtVal(h.Max), mark)
+		}
+	}
+
 	fmt.Fprintf(w, "\nslowest windows (top %d)\n", len(o.SlowestWindows))
 	for _, s := range o.SlowestWindows {
 		mark := ""
@@ -291,4 +315,57 @@ func orDash(s string) string {
 		return "-"
 	}
 	return s
+}
+
+// sparkRamp is the 8-level block ramp trend sparklines render with.
+var sparkRamp = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders values as a block-character trend, scaled to the
+// vector's own min/max (a flat series renders as a low flat line).
+func sparkline(vs []float64) string {
+	if len(vs) == 0 {
+		return "-"
+	}
+	lo, hi := vs[0], vs[0]
+	for _, v := range vs {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	out := make([]rune, len(vs))
+	for i, v := range vs {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkRamp)-1))
+		}
+		out[i] = sparkRamp[idx]
+	}
+	return string(out)
+}
+
+// opsSparkWidth is the widest sparkline vector in the digests (they are
+// all cut to the same cap; early windows are just shorter).
+func opsSparkWidth(hist []tsdb.Summary) int {
+	w := 0
+	for _, h := range hist {
+		if len(h.Spark) > w {
+			w = len(h.Spark)
+		}
+	}
+	return w
+}
+
+// fmtVal compacts a float for the fixed-width trend table.
+func fmtVal(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	if av >= 1000 || (av > 0 && av < 0.01) {
+		return fmt.Sprintf("%.3g", v)
+	}
+	return fmt.Sprintf("%.2f", v)
 }

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/mistralcloud/mistral/internal/core"
+	"github.com/mistralcloud/mistral/internal/fault"
+	"github.com/mistralcloud/mistral/internal/obs/tsdb"
+	"github.com/mistralcloud/mistral/internal/scenario"
+	"github.com/mistralcloud/mistral/internal/strategy"
+)
+
+// runHistoryMistral replays the trimmed scenario with an explicit telemetry
+// history store attached and returns the result plus the store.
+func runHistoryMistral(t *testing.T, workers int, faultRate float64, hist *tsdb.Store) *scenario.Result {
+	t.Helper()
+	lab := shortLab(t, 11)
+	eval, err := lab.NewEvaluator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := strategy.NewMistral(eval, strategy.MistralConfig{
+		HostGroups:         lab.HostGroups(),
+		MonitoringInterval: lab.Util.MonitoringInterval,
+		Search:             core.SearchOptions{TimePerChild: 300 * time.Microsecond},
+		Workers:            workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.New(fault.Profile(faultRate, 99))
+	tb, err := lab.NewTestbedWithFaults(inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := lab.ScenarioConfig()
+	res, err := scenario.Run(tb, m, scenario.RunConfig{
+		Traces:   lab.Traces,
+		Duration: sc.Duration,
+		Interval: sc.Interval,
+		Utility:  lab.Util,
+		Workers:  workers,
+		Fault:    inj,
+		History:  hist,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// historyVirtualJSON runs one replay and serializes the store's virtual
+// series state. Wall-clock series (decide_wall_ms) are observational by
+// construction — same exemption as Result.DecideWall — and are stripped
+// before any byte comparison.
+func historyVirtualJSON(t *testing.T, workers int, faultRate float64) []byte {
+	t.Helper()
+	hist := tsdb.New(tsdb.Options{})
+	runHistoryMistral(t, workers, faultRate, hist)
+	st := hist.State()
+	kept := st.Series[:0:0]
+	for _, s := range st.Series {
+		if s.Class == "virtual" {
+			kept = append(kept, s)
+		}
+	}
+	st.Series = kept
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestHistoryDeterminism pins the telemetry history plane's core contract:
+// every virtual series — rings, downsampled tiers, totals — is a pure
+// function of the replay, so the serialized store must be byte-identical
+// across evaluation worker counts, run-to-run, and under a seeded fault
+// schedule.
+func TestHistoryDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario replay")
+	}
+	for _, tc := range []struct {
+		name string
+		rate float64
+	}{
+		{"fault=0", 0},
+		{"fault=0.3", 0.3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			serial := historyVirtualJSON(t, 0, tc.rate)
+			parallel := historyVirtualJSON(t, 1, tc.rate)
+			again := historyVirtualJSON(t, 0, tc.rate)
+			if !bytes.Equal(serial, parallel) {
+				t.Errorf("history diverges across worker counts:\nworkers=0: %s\nworkers=1: %s", serial, parallel)
+			}
+			if !bytes.Equal(serial, again) {
+				t.Error("history diverges run-to-run at identical configuration")
+			}
+			var st tsdb.State
+			if err := json.Unmarshal(serial, &st); err != nil {
+				t.Fatal(err)
+			}
+			if st.LastWindow != 29 {
+				t.Errorf("last window %d, want 29 (30-window replay)", st.LastWindow)
+			}
+			if len(st.Series) < 10 {
+				t.Errorf("only %d virtual series folded, want the full canonical set", len(st.Series))
+			}
+		})
+	}
+}
+
+// TestHistoryObserverDoesNotPerturbReplay pins the pure-observer contract:
+// attaching a history store must leave the replay result byte-identical to
+// the same run without one.
+func TestHistoryObserverDoesNotPerturbReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario replay")
+	}
+	bare := runHistoryMistral(t, 1, 0.15, nil)
+	hist := tsdb.New(tsdb.Options{})
+	observed := runHistoryMistral(t, 1, 0.15, hist)
+	bare.DecideWall, observed.DecideWall = nil, nil
+	if !reflect.DeepEqual(bare, observed) {
+		t.Errorf("history store perturbed the replay:\nbare:     %+v\nobserved: %+v", bare, observed)
+	}
+	if got := hist.LastWindow(); got != 29 {
+		t.Errorf("observed run folded through window %d, want 29", got)
+	}
+}

@@ -20,6 +20,8 @@ import (
 	"context"
 	"log/slog"
 	"sync/atomic"
+
+	"github.com/mistralcloud/mistral/internal/obs/tsdb"
 )
 
 // Observer bundles the three observability sinks threaded through the
@@ -35,9 +37,21 @@ type Observer struct {
 	// Ops is the live controller-health surface served at /ops; nil
 	// disables it.
 	Ops *OpsState
+	// History is the windowed telemetry store behind /v1/query; nil
+	// disables per-window history retention.
+	History *tsdb.Store
 	// HTTPAddr is the bound address of the pprof/metrics/ops HTTP
 	// server when one is running ("" otherwise). Informational only.
 	HTTPAddr string
+}
+
+// HistoryStore returns the observer's telemetry history store, or nil (a
+// valid disabled store).
+func (o *Observer) HistoryStore() *tsdb.Store {
+	if o == nil {
+		return nil
+	}
+	return o.History
 }
 
 // Counter returns the named counter from the observer's registry, or nil

@@ -3,9 +3,10 @@ package obs
 import (
 	"encoding/json"
 	"net/http"
-	"sort"
 	"sync"
 	"time"
+
+	"github.com/mistralcloud/mistral/internal/obs/tsdb"
 )
 
 // OpsSchema versions the /ops JSON snapshot so consumers (mistral-top,
@@ -46,7 +47,11 @@ type OpsSnapshot struct {
 	LastDecideWallMS float64         `json:"last_decide_wall_ms"`
 	SLO              json.RawMessage `json:"slo,omitempty"`
 	SlowestWindows   []SlowWindow    `json:"slowest_windows,omitempty"`
-	UpdatedUnixMS    int64           `json:"updated_unix_ms,omitempty"`
+	// History digests the telemetry store's retained series (per-series
+	// min/max/last plus a sparkline vector of the newest values),
+	// refreshed by the scenario loop after each window.
+	History       []tsdb.Summary `json:"history,omitempty"`
+	UpdatedUnixMS int64          `json:"updated_unix_ms,omitempty"`
 }
 
 // OpsWindow is one completed window's contribution to the ops state.
@@ -120,19 +125,37 @@ func (s *OpsState) RecordWindow(w OpsWindow) {
 	sn.Retries += w.Retries
 	sn.HostCrashes += w.Crashes
 	sn.LastDecideWallMS = w.WallMS
-	sn.SlowestWindows = append(sn.SlowestWindows, SlowWindow{
+	sn.SlowestWindows = insertSlowWindow(sn.SlowestWindows, SlowWindow{
 		Window:        w.Window,
 		Trace:         w.Trace,
 		WallMS:        w.WallMS,
 		SearchTimeSec: w.SearchTimeSec,
 		Degraded:      w.Degraded,
-	})
-	sort.SliceStable(sn.SlowestWindows, func(i, j int) bool {
-		return sn.SlowestWindows[i].WallMS > sn.SlowestWindows[j].WallMS
-	})
-	if len(sn.SlowestWindows) > s.topN {
-		sn.SlowestWindows = sn.SlowestWindows[:s.topN]
+	}, s.topN)
+}
+
+// insertSlowWindow places one window into the descending-WallMS top-N
+// leaderboard: O(topN) per window instead of re-sorting the whole slice.
+// Ties keep arrival order (the stable-sort semantics the leaderboard
+// always had): a new entry goes after existing entries of equal WallMS.
+func insertSlowWindow(top []SlowWindow, w SlowWindow, topN int) []SlowWindow {
+	if topN <= 0 {
+		return top
 	}
+	if len(top) >= topN && w.WallMS <= top[len(top)-1].WallMS {
+		return top // below (or tied with) the cut line: stable order drops it
+	}
+	i := len(top)
+	for i > 0 && top[i-1].WallMS < w.WallMS {
+		i--
+	}
+	top = append(top, SlowWindow{})
+	copy(top[i+1:], top[i:])
+	top[i] = w
+	if len(top) > topN {
+		top = top[:topN]
+	}
+	return top
 }
 
 // SetSLO attaches the SLO engine's marshaled snapshot, refreshed by
@@ -144,6 +167,17 @@ func (s *OpsState) SetSLO(raw json.RawMessage) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.snap.SLO = raw
+}
+
+// SetHistory attaches the telemetry store's per-series digests,
+// refreshed by the scenario loop after each window.
+func (s *OpsState) SetHistory(sums []tsdb.Summary) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.snap.History = sums
 }
 
 // Snapshot returns a copy of the current state, stamping the wall-clock
@@ -158,6 +192,7 @@ func (s *OpsState) Snapshot() OpsSnapshot {
 	sn := s.snap
 	sn.SlowestWindows = append([]SlowWindow(nil), s.snap.SlowestWindows...)
 	sn.SLO = append(json.RawMessage(nil), s.snap.SLO...)
+	sn.History = append([]tsdb.Summary(nil), s.snap.History...)
 	sn.UpdatedUnixMS = time.Now().UnixMilli()
 	return sn
 }

@@ -3,6 +3,8 @@ package obs
 import (
 	"encoding/json"
 	"net/http/httptest"
+	"reflect"
+	"sort"
 	"testing"
 	"time"
 )
@@ -58,6 +60,36 @@ func TestOpsStateFold(t *testing.T) {
 	s.BeginRun("Naive", time.Minute)
 	if got := s.Snapshot(); got.Windows != 0 || got.Strategy != "Naive" || len(got.SlowestWindows) != 0 {
 		t.Fatalf("BeginRun did not reset: %+v", got)
+	}
+}
+
+// TestInsertSlowWindowMatchesSort proves the O(topN) leaderboard insertion
+// reproduces the old sort-per-window implementation exactly: same
+// descending order, same stable tie-breaking (first arrival wins), same
+// truncation — checked after every single insertion, not just at the end.
+func TestInsertSlowWindowMatchesSort(t *testing.T) {
+	const topN = 5
+	// Plenty of duplicates so ties exercise the stable ordering.
+	walls := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3, 2, 3, 8, 4, 6, 2, 6, 4, 3}
+	var fast, ref []SlowWindow
+	for i, wall := range walls {
+		sw := SlowWindow{Window: i, Trace: TraceID(i), WallMS: wall}
+		fast = insertSlowWindow(fast, sw, topN)
+		ref = append(ref, sw)
+		sort.SliceStable(ref, func(a, b int) bool { return ref[a].WallMS > ref[b].WallMS })
+		if len(ref) > topN {
+			ref = ref[:topN]
+		}
+		if !reflect.DeepEqual(fast, ref) {
+			t.Fatalf("after window %d:\nfast %+v\nref  %+v", i, fast, ref)
+		}
+	}
+	if len(fast) != topN {
+		t.Fatalf("leaderboard length %d, want %d", len(fast), topN)
+	}
+	// topN <= 0 disables the leaderboard outright.
+	if got := insertSlowWindow(nil, SlowWindow{WallMS: 1}, 0); got != nil {
+		t.Fatalf("topN=0 retained %+v", got)
 	}
 }
 

@@ -90,7 +90,22 @@ func promFloat(v float64) string {
 // promName maps a registry name into the Prometheus metric-name alphabet
 // [a-zA-Z0-9_:], replacing everything else (dots, slashes, dashes) with
 // '_' and prefixing a '_' when the name would start with a digit.
+//
+// Nearly every registered name is already clean, and every scrape renders
+// every name, so the common case returns the input without allocating; a
+// byte scan suffices because any non-ASCII rune's UTF-8 bytes all fail
+// the alphabet check and route to the rune-wise slow path.
 func promName(name string) string {
+	clean := len(name) > 0 && !(name[0] >= '0' && name[0] <= '9')
+	for i := 0; clean && i < len(name); i++ {
+		c := name[i]
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == ':') {
+			clean = false
+		}
+	}
+	if clean {
+		return name
+	}
 	var b strings.Builder
 	for i, c := range name {
 		switch {

@@ -128,6 +128,36 @@ func TestPromName(t *testing.T) {
 	}
 }
 
+// TestPromNameFastPath pins the zero-allocation shortcut: a name that is
+// already exposition-legal comes back unchanged without ever touching the
+// builder, while names needing rewrites — leading digits, dotted names,
+// multi-byte runes — still take the slow path and produce the historical
+// output.
+func TestPromNameFastPath(t *testing.T) {
+	// Clean names — every canonical metric the registry emits — must be
+	// returned verbatim.
+	for _, name := range []string{"up", "search_expansions_total", "l1:decide_seconds", "Z_09_total"} {
+		if got := promName(name); got != name {
+			t.Errorf("promName(%q) = %q, want unchanged", name, got)
+		}
+	}
+	if n := testing.AllocsPerRun(100, func() { _ = promName("eval_cache_hits_total") }); n != 0 {
+		t.Errorf("clean name allocated %.1f times per call, want 0", n)
+	}
+	// Dirty names still go through the rewriter byte-for-byte as before.
+	for in, want := range map[string]string{
+		"9lives":         "_9lives",
+		"0":              "_0",
+		"search.seconds": "search_seconds",
+		"a.b.c":          "a_b_c",
+		"µs.total":       "_s_total",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
 // TestHistogramQuantiles checks the bucket-interpolated estimates against
 // hand-computed values.
 func TestHistogramQuantiles(t *testing.T) {

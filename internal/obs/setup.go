@@ -12,6 +12,8 @@ import (
 	"os"
 	"strings"
 	"time"
+
+	"github.com/mistralcloud/mistral/internal/obs/tsdb"
 )
 
 // CLI carries the observability flags shared by the cmd/ binaries.
@@ -84,11 +86,14 @@ func (c CLI) Build() (*Observer, func() error, error) {
 	var serveErr chan error
 	if c.PprofAddr != "" {
 		o.Ops = NewOpsState()
+		o.History = tsdb.New(tsdb.Options{})
 		// pprof and expvar register on the default mux; wrap it so the
-		// Prometheus and ops endpoints ride the same listener.
+		// Prometheus, ops, and trend-query endpoints ride the same
+		// listener.
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", o.Metrics.MetricsHandler())
 		mux.Handle("/ops", o.Ops.Handler())
+		mux.Handle("/v1/query", o.History.Handler())
 		for pattern, h := range c.Handlers {
 			mux.Handle(pattern, h)
 		}

@@ -69,6 +69,10 @@ type Config struct {
 	// plans means the controller and the safety envelope disagree — the
 	// run is technically safe but no longer adapting. Default 0.25.
 	GuardRejectFrac float64
+	// AnomalyFrac is the allowed fraction of history-checked windows in
+	// which the telemetry anomaly detector flagged a deterministic
+	// (virtual-time) series. Default 0.10.
+	AnomalyFrac float64
 	// BurnWindows is the trailing-window span for burn-rate estimation.
 	// Default 16.
 	BurnWindows int
@@ -105,6 +109,9 @@ func (c Config) withDefaults() Config {
 	if c.GuardRejectFrac <= 0 {
 		c.GuardRejectFrac = 0.25
 	}
+	if c.AnomalyFrac <= 0 {
+		c.AnomalyFrac = 0.10
+	}
 	if c.BurnWindows <= 0 {
 		c.BurnWindows = 16
 	}
@@ -140,6 +147,13 @@ type WindowObs struct {
 	// the guard-reject objective — runs predating the guard keep their
 	// SLO accounting unchanged.
 	GuardChecked, GuardRejected bool
+	// HistoryChecked marks a window the telemetry history plane scored
+	// for anomalies; Anomalies counts the deterministic (virtual-time)
+	// series the detector flagged. Windows without a history store are
+	// unmeasurable for the history-anomaly objective, so runs predating
+	// the telemetry plane keep their SLO accounting unchanged.
+	HistoryChecked bool
+	Anomalies      int
 }
 
 // ObjectiveState is one objective's error-budget accounting.
@@ -297,6 +311,17 @@ func New(cfg Config, o *obs.Observer) *Engine {
 			breach: func(v, t float64) bool { return v > t },
 			format: func(_, _ float64) string {
 				return "admission guard rejected the window's plan"
+			},
+		},
+		{
+			name:   "history-anomaly",
+			budget: cfg.AnomalyFrac,
+			measure: func(_ *Engine, w WindowObs) (float64, float64, bool) {
+				return float64(w.Anomalies), 0.5, w.HistoryChecked
+			},
+			breach: func(v, t float64) bool { return v > t },
+			format: func(v, _ float64) string {
+				return fmt.Sprintf("telemetry history flagged %d anomalous series", int(v))
 			},
 		},
 	}

@@ -1,0 +1,230 @@
+package tsdb
+
+import "sort"
+
+// Anomaly detection runs online, once per window, over the history store.
+//
+// Two regimes, matched to the two series classes:
+//
+//   - Virtual series (deterministic at fixed seed/workers) are scored with
+//     a rolling median/MAD z-score over the trailing raw window. The
+//     scoring is stateless — it reads the store's retained samples — so a
+//     restored daemon flags exactly the anomalies an uninterrupted one
+//     would, and the verdicts themselves are deterministic and safe to
+//     feed into the SLO engine.
+//   - Wall-clock series (decide latency) are scored with an EWMA
+//     mean/variance drift detector. Those verdicts depend on the machine
+//     the process runs on, so they are surfaced as warnings and counters
+//     only, never folded into deterministic state.
+type DetectorConfig struct {
+	// Trailing is how many prior samples form the robust baseline
+	// (default 32).
+	Trailing int
+	// MinSamples is the minimum baseline size before scoring (default 12):
+	// below it every window is "anomalous vs nothing".
+	MinSamples int
+	// ZThreshold is the |robust z| above which a virtual sample is
+	// anomalous (default 6; MAD z-scores are tight, so this is a loud
+	// signal, not a tuning knob).
+	ZThreshold float64
+	// Alpha is the EWMA smoothing factor for wall series (default 0.1).
+	Alpha float64
+	// DriftThreshold is the |sample − ewma| / stddev ratio above which a
+	// wall sample is drifting (default 8).
+	DriftThreshold float64
+	// MinWallMS floors the wall-series deviation (default 5ms): sub-floor
+	// jitter on a fast machine is noise, not drift.
+	MinWallMS float64
+}
+
+func (c DetectorConfig) withDefaults() DetectorConfig {
+	if c.Trailing <= 0 {
+		c.Trailing = 32
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 12
+	}
+	if c.ZThreshold <= 0 {
+		c.ZThreshold = 6
+	}
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		c.Alpha = 0.1
+	}
+	if c.DriftThreshold <= 0 {
+		c.DriftThreshold = 8
+	}
+	if c.MinWallMS <= 0 {
+		c.MinWallMS = 5
+	}
+	return c
+}
+
+// Anomaly is one flagged observation.
+type Anomaly struct {
+	Series string `json:"series"`
+	Window int    `json:"window"`
+	// Kind is "mad-z" for virtual series, "ewma-drift" for wall series.
+	Kind     string  `json:"kind"`
+	Value    float64 `json:"value"`
+	Score    float64 `json:"score"`
+	Baseline float64 `json:"baseline"`
+}
+
+// EWMAState is one wall series' running estimate. It is persisted through
+// checkpoints so a restarted daemon's drift baseline does not reset to
+// cold (which would re-arm the MinSamples grace and hide a slow machine).
+type EWMAState struct {
+	Mean float64 `json:"mean"`
+	Var  float64 `json:"var"`
+	N    int     `json:"n"`
+}
+
+// DetectorState is the detector's persistable state. Only the EWMA
+// estimates need carrying: the MAD path is stateless over the store.
+type DetectorState struct {
+	EWMA map[string]EWMAState `json:"ewma,omitempty"`
+}
+
+// Detector scores samples against history. It is driven by the engine's
+// single-threaded step loop and needs no locking of its own.
+type Detector struct {
+	cfg  DetectorConfig
+	ewma map[string]*EWMAState
+}
+
+// NewDetector builds a detector; zero config fields take defaults.
+func NewDetector(cfg DetectorConfig) *Detector {
+	return &Detector{cfg: cfg.withDefaults(), ewma: make(map[string]*EWMAState)}
+}
+
+// ScoreVirtual scores one virtual-series sample against its trailing
+// baseline (read from the store, windows strictly before the sample's).
+// It returns a non-nil Anomaly when the robust z-score breaches the
+// threshold. A zero MAD (flat baseline) yields no verdict rather than an
+// infinite score: flag-like series that sit at 0 forever must not page on
+// their first nonzero window via division by zero — the caller chooses
+// which series are worth monitoring.
+func (d *Detector) ScoreVirtual(s *Store, name string, window int, value float64) *Anomaly {
+	if d == nil {
+		return nil
+	}
+	base := s.TrailingBefore(name, window, d.cfg.Trailing)
+	if len(base) < d.cfg.MinSamples {
+		return nil
+	}
+	med := median(base)
+	dev := make([]float64, len(base))
+	for i, v := range base {
+		dev[i] = abs(v - med)
+	}
+	mad := median(dev)
+	if mad == 0 {
+		return nil
+	}
+	// 0.6745 ≈ Φ⁻¹(3/4): scales MAD to the stddev of a normal
+	// distribution, making ZThreshold comparable to a plain z-score.
+	z := 0.6745 * (value - med) / mad
+	if abs(z) < d.cfg.ZThreshold {
+		return nil
+	}
+	return &Anomaly{Series: name, Window: window, Kind: "mad-z", Value: value, Score: z, Baseline: med}
+}
+
+// ScoreWall folds one wall-clock sample into the series' EWMA estimate and
+// returns a non-nil Anomaly when the sample drifts past the threshold.
+// The sample is folded whether or not it is flagged, so a sustained shift
+// becomes the new baseline instead of paging forever.
+func (d *Detector) ScoreWall(name string, window int, value float64) *Anomaly {
+	if d == nil {
+		return nil
+	}
+	st := d.ewma[name]
+	if st == nil {
+		st = &EWMAState{}
+		d.ewma[name] = st
+	}
+	var out *Anomaly
+	if st.N >= d.cfg.MinSamples {
+		dev := abs(value - st.Mean)
+		sd := sqrt(st.Var)
+		if sd < d.cfg.MinWallMS {
+			sd = d.cfg.MinWallMS
+		}
+		if score := dev / sd; score >= d.cfg.DriftThreshold {
+			out = &Anomaly{Series: name, Window: window, Kind: "ewma-drift", Value: value, Score: score, Baseline: st.Mean}
+		}
+	}
+	if st.N == 0 {
+		st.Mean = value
+	} else {
+		delta := value - st.Mean
+		st.Mean += d.cfg.Alpha * delta
+		st.Var = (1 - d.cfg.Alpha) * (st.Var + d.cfg.Alpha*delta*delta)
+	}
+	st.N++
+	return out
+}
+
+// State captures the detector's persistable state; nil detector → nil.
+func (d *Detector) State() *DetectorState {
+	if d == nil || len(d.ewma) == 0 {
+		return nil
+	}
+	out := &DetectorState{EWMA: make(map[string]EWMAState, len(d.ewma))}
+	for name, st := range d.ewma {
+		out.EWMA[name] = *st
+	}
+	return out
+}
+
+// Restore overwrites the detector's EWMA estimates; nil state resets.
+func (d *Detector) Restore(st *DetectorState) {
+	if d == nil {
+		return
+	}
+	d.ewma = make(map[string]*EWMAState)
+	if st == nil {
+		return
+	}
+	for name, e := range st.EWMA {
+		cp := e
+		d.ewma[name] = &cp
+	}
+}
+
+func median(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// sqrt is Newton's method on float64 — keeps the package free of even a
+// math import so its determinism surface is arithmetic we fully control.
+func sqrt(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	x := v
+	for i := 0; i < 64; i++ {
+		nx := (x + v/x) / 2
+		if nx == x {
+			break
+		}
+		x = nx
+	}
+	return x
+}

@@ -9,6 +9,7 @@ import (
 	"github.com/mistralcloud/mistral/internal/experiments"
 	"github.com/mistralcloud/mistral/internal/fault"
 	"github.com/mistralcloud/mistral/internal/obs"
+	"github.com/mistralcloud/mistral/internal/obs/tsdb"
 	"github.com/mistralcloud/mistral/internal/provenance"
 	"github.com/mistralcloud/mistral/internal/scenario"
 	"github.com/mistralcloud/mistral/internal/strategy"
@@ -20,6 +21,7 @@ import (
 type ckEnv struct {
 	engine *scenario.Engine
 	prov   *bytes.Buffer
+	hist   *tsdb.Store
 }
 
 func newCkEnv(t *testing.T, workers int) *ckEnv {
@@ -49,7 +51,7 @@ func newCkEnv(t *testing.T, workers int) *ckEnv {
 	// A fresh metrics registry per environment: the restore path must
 	// re-seat the cumulative counters the SLO engine diffs, exactly as a
 	// restarted process would have to.
-	ob := &obs.Observer{Metrics: obs.NewRegistry()}
+	ob := &obs.Observer{Metrics: obs.NewRegistry(), History: tsdb.New(tsdb.Options{})}
 	e, err := scenario.NewEngine(tb, dec, scenario.RunConfig{
 		Traces:     lab.Traces,
 		Duration:   100 * lab.Util.MonitoringInterval,
@@ -62,7 +64,23 @@ func newCkEnv(t *testing.T, workers int) *ckEnv {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &ckEnv{engine: e, prov: buf}
+	return &ckEnv{engine: e, prov: buf, hist: ob.History}
+}
+
+// histQueryJSON renders a raw-resolution trend query over the full window
+// range for a fixed set of virtual series. Wall-clock series are excluded:
+// they are observational and never identical across runs.
+func histQueryJSON(t *testing.T, hist *tsdb.Store) []byte {
+	t.Helper()
+	resp, err := hist.Query([]string{"utility", "watts", "expansions", "guard_rejected"}, 0, 99, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
 }
 
 func stepN(t *testing.T, e *scenario.Engine, n int) {
@@ -148,6 +166,13 @@ func TestCheckpointRoundTripDeterminism(t *testing.T) {
 
 			if fullSLO, resumedSLO := sloJSON(t, full.engine), sloJSON(t, resumed.engine); !bytes.Equal(fullSLO, resumedSLO) {
 				t.Errorf("SLO state diverges after restore:\nfull:    %s\nresumed: %s", fullSLO, resumedSLO)
+			}
+
+			// The trend API must answer identically across the restore
+			// boundary: the same /v1/query over the overlapping window range
+			// returns byte-identical virtual series from either engine.
+			if fullHist, resumedHist := histQueryJSON(t, full.hist), histQueryJSON(t, resumed.hist); !bytes.Equal(fullHist, resumedHist) {
+				t.Errorf("history query diverges after restore:\nfull:    %s\nresumed: %s", fullHist, resumedHist)
 			}
 		})
 	}

@@ -9,6 +9,7 @@ import (
 	"github.com/mistralcloud/mistral/internal/cluster"
 	"github.com/mistralcloud/mistral/internal/obs"
 	"github.com/mistralcloud/mistral/internal/obs/slo"
+	"github.com/mistralcloud/mistral/internal/obs/tsdb"
 	"github.com/mistralcloud/mistral/internal/par"
 	"github.com/mistralcloud/mistral/internal/provenance"
 	"github.com/mistralcloud/mistral/internal/testbed"
@@ -44,6 +45,13 @@ type Engine struct {
 	ops  *obs.OpsState
 	ta   TraceAware
 
+	// Telemetry history plane (see history.go). hist is nil when
+	// observability is fully off; histExp/histHits/histMisses are the
+	// cumulative registry baselines the per-window fold diffs against.
+	hist                          *tsdb.Store
+	det                           *tsdb.Detector
+	histExp, histHits, histMisses int64
+
 	cWindows       *obs.Counter
 	cViolations    *obs.Counter
 	cDecideErr     *obs.Counter
@@ -53,6 +61,8 @@ type Engine struct {
 	cExecRej       *obs.Counter
 	cCrashes       *obs.Counter
 	cRolledBack    *obs.Counter
+	cAnomalies     *obs.Counter
+	cWallDrift     *obs.Counter
 	hWindowUtil    *obs.Histogram
 	gCumUtil       *obs.Gauge
 
@@ -106,6 +116,8 @@ func NewEngine(tb *testbed.Testbed, d Decider, cfg RunConfig) (*Engine, error) {
 	e.cExecRej = o.Counter("scenario_exec_rejections_total")
 	e.cCrashes = o.Counter("scenario_host_crashes_total")
 	e.cRolledBack = o.Counter("scenario_rolledback_actions_total")
+	e.cAnomalies = o.Counter("history_anomalies_total")
+	e.cWallDrift = o.Counter("history_wall_drift_total")
 	e.hWindowUtil = o.Histogram("scenario_window_utility_dollars", []float64{-10, -1, -0.1, 0, 0.1, 1, 10})
 	e.gCumUtil = o.Gauge("scenario_cum_utility_dollars")
 	o.Gauge("scenario_workers").Set(float64(par.Workers(cfg.Workers)))
@@ -125,6 +137,24 @@ func NewEngine(tb *testbed.Testbed, d Decider, cfg RunConfig) (*Engine, error) {
 	}
 	e.ops = o.OpsState()
 	e.ops.BeginRun(d.Name(), cfg.Interval)
+
+	// Telemetry history defaults on with any observer, like the SLO
+	// engine: an explicit store in the config wins, then the observer's
+	// shared store (the one /v1/query serves), then a private one. The
+	// store resets per engine — sequential runs over a shared observer
+	// each re-begin, and a daemon restore repopulates it from the
+	// checkpoint right after construction.
+	e.hist = cfg.History
+	if e.hist == nil && o != nil {
+		if e.hist = o.HistoryStore(); e.hist == nil {
+			e.hist = tsdb.New(tsdb.Options{})
+		}
+	}
+	if e.hist != nil {
+		e.hist.Reset()
+		e.det = tsdb.NewDetector(tsdb.DetectorConfig{})
+		e.histSyncBaselines()
+	}
 	e.ta, _ = d.(TraceAware)
 	return e, nil
 }
@@ -498,6 +528,11 @@ func (e *Engine) StepRates(rates map[string]float64) (StepResult, error) {
 	// window's degraded status gates the next window's admission.
 	cfg.Guard.ObserveWindow(log.Degraded)
 
+	// Telemetry history: fold the window's canonical sample set into the
+	// tsdb store and score it for anomalies. Runs before the SLO fold so
+	// the history-anomaly objective sees this window's verdicts.
+	histChecked, histAnomalies := e.observeHistory(&log, busy, searchCost, decideWall, tc)
+
 	// Self-monitoring: the SLO engine folds the window's virtual-time
 	// facts in; any alerts surface on the log with the window's trace
 	// ID, and the ops plane gets the refreshed health snapshot.
@@ -513,6 +548,8 @@ func (e *Engine) StepRates(rates map[string]float64) (StepResult, error) {
 			CacheMisses:   e.reg.CounterValue("eval_cache_misses_total"),
 			GuardChecked:  gp != nil,
 			GuardRejected: log.GuardRejected,
+			HistoryChecked: histChecked,
+			Anomalies:      histAnomalies,
 		})
 		for _, a := range alerts {
 			olog.Warn("slo alert",
@@ -539,6 +576,9 @@ func (e *Engine) StepRates(rates map[string]float64) (StepResult, error) {
 			if raw, err := json.Marshal(e.slo.Snapshot()); err == nil {
 				e.ops.SetSLO(raw)
 			}
+		}
+		if e.hist != nil {
+			e.ops.SetHistory(e.hist.Summaries(opsSparkN))
 		}
 	}
 

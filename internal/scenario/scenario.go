@@ -14,6 +14,7 @@ import (
 	"github.com/mistralcloud/mistral/internal/guard"
 	"github.com/mistralcloud/mistral/internal/obs"
 	"github.com/mistralcloud/mistral/internal/obs/slo"
+	"github.com/mistralcloud/mistral/internal/obs/tsdb"
 	"github.com/mistralcloud/mistral/internal/provenance"
 	"github.com/mistralcloud/mistral/internal/testbed"
 	"github.com/mistralcloud/mistral/internal/utility"
@@ -104,6 +105,13 @@ type RunConfig struct {
 	// and deterministic under virtual time); with observability fully
 	// off, no engine runs.
 	SLO *slo.Engine
+	// History overrides the windowed telemetry store every completed
+	// window folds its canonical sample set into. Nil uses the observer's
+	// store (the one served at /v1/query), or a private one when the
+	// observer has none; with observability fully off, no history is
+	// kept. History is a pure observer: decisions, provenance bytes, and
+	// stdout are identical with it on or off.
+	History *tsdb.Store
 	// Profile, when non-nil, captures pprof artifacts for decide calls
 	// that blow their wall-clock latency budget. Observational only.
 	Profile *obs.Profiler

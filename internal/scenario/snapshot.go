@@ -9,13 +9,22 @@ import (
 	"github.com/mistralcloud/mistral/internal/fault"
 	"github.com/mistralcloud/mistral/internal/guard"
 	"github.com/mistralcloud/mistral/internal/obs/slo"
+	"github.com/mistralcloud/mistral/internal/obs/tsdb"
 	"github.com/mistralcloud/mistral/internal/testbed"
 )
 
 // SnapshotSchema identifies the checkpoint format; Restore refuses any
-// other value. Bump it when a field changes meaning — a version bump turns
-// silent state corruption into a clean "unsupported schema" error.
-const SnapshotSchema = "mistral.checkpoint/v1"
+// other value except listed legacy versions. Bump it when a field changes
+// meaning — a version bump turns silent state corruption into a clean
+// "unsupported schema" error.
+//
+// v2 added the telemetry history plane (History/Anomaly); every v1 field
+// is unchanged, so v1 checkpoints restore with an empty history.
+const SnapshotSchema = "mistral.checkpoint/v2"
+
+// snapshotSchemaV1 is the pre-history checkpoint format, still accepted
+// on restore: old checkpoints simply carry no trend history.
+const snapshotSchemaV1 = "mistral.checkpoint/v1"
 
 // Snapshotter is the optional Decider extension that makes a strategy
 // checkpointable: SnapshotState serializes every piece of mutable decision
@@ -70,6 +79,13 @@ type Snapshot struct {
 	// state would drift from an uninterrupted run's.
 	RegCacheHits   int64 `json:"reg_cache_hits"`
 	RegCacheMisses int64 `json:"reg_cache_misses"`
+
+	// Telemetry history plane (v2): the tsdb store's complete ring
+	// contents and the anomaly detector's wall-clock EWMA baselines, so
+	// trends and drift detection survive a daemon restart. Absent from v1
+	// checkpoints and from engines running without observability.
+	History *tsdb.State         `json:"history,omitempty"`
+	Anomaly *tsdb.DetectorState `json:"anomaly,omitempty"`
 }
 
 // Snapshot captures the engine's complete state between steps. The engine
@@ -127,6 +143,8 @@ func (e *Engine) Snapshot() (*Snapshot, error) {
 		s.RegCacheHits = e.reg.CounterValue("eval_cache_hits_total")
 		s.RegCacheMisses = e.reg.CounterValue("eval_cache_misses_total")
 	}
+	s.History = e.hist.State()
+	s.Anomaly = e.det.State()
 	return s, nil
 }
 
@@ -141,7 +159,7 @@ func (e *Engine) Restore(s *Snapshot) error {
 	if s == nil {
 		return fmt.Errorf("scenario: nil snapshot")
 	}
-	if s.Schema != SnapshotSchema {
+	if s.Schema != SnapshotSchema && s.Schema != snapshotSchemaV1 {
 		return fmt.Errorf("scenario: unsupported checkpoint schema %q (want %q)", s.Schema, SnapshotSchema)
 	}
 	if s.Strategy != e.d.Name() {
@@ -215,6 +233,20 @@ func (e *Engine) Restore(s *Snapshot) error {
 		if d := s.RegCacheMisses - e.reg.CounterValue("eval_cache_misses_total"); d != 0 {
 			e.reg.Counter("eval_cache_misses_total").Add(d)
 		}
+	}
+	// Telemetry history: repopulate the store's rings from the checkpoint
+	// (a v1 checkpoint carries none — Restore(nil) just resets), restore
+	// the wall-clock drift baselines, and re-sync the counter baselines
+	// the per-window fold diffs — the registry was just re-seated above,
+	// so "baseline == live counter value" holds again and the next
+	// window's deltas cover exactly that window.
+	if e.hist != nil {
+		if err := e.hist.Restore(s.History); err != nil {
+			return fmt.Errorf("scenario: history restore: %w", err)
+		}
+		e.det.Restore(s.Anomaly)
+		e.histSyncBaselines()
+		e.ops.SetHistory(e.hist.Summaries(opsSparkN))
 	}
 	// Republish the headline gauges so a freshly restored daemon's
 	// /metrics reflects the checkpoint instead of zero.
